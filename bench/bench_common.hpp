@@ -1,0 +1,77 @@
+// Shared scaffolding for the figure-reproduction bench binaries.
+//
+// Every bench prints (a) the same rows/series the paper figure reports and
+// (b) a SHAPE-CHECK section asserting the qualitative result (orderings,
+// crossovers, rough factors). Absolute joules differ from the paper's ns-2
+// testbed; the shape is the reproduction target (see EXPERIMENTS.md).
+//
+// Scaling: by default a reduced scenario (60 nodes, 150 s, 3 seeds) keeps
+// each binary in the seconds-to-a-minute range. RCAST_FULL=1 restores the
+// paper's 100 nodes / 1125 s / 10 seeds. RCAST_DURATION_S / RCAST_REPS
+// override individual knobs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/scenario.hpp"
+
+namespace rcast::bench {
+
+using scenario::BenchScale;
+using scenario::RunResult;
+using scenario::ScenarioConfig;
+using scenario::Scheme;
+
+inline int g_shape_failures = 0;
+
+/// Records and prints a shape expectation; returns the condition.
+inline bool shape_check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what.c_str());
+  if (!ok) ++g_shape_failures;
+  return ok;
+}
+
+inline int shape_exit() {
+  if (g_shape_failures > 0) {
+    std::printf("\n%d shape check(s) FAILED\n", g_shape_failures);
+    return 1;
+  }
+  std::printf("\nall shape checks passed\n");
+  return 0;
+}
+
+/// Paper-default scenario with bench scaling applied.
+inline ScenarioConfig scaled_config(const BenchScale& scale) {
+  ScenarioConfig cfg;
+  scale.apply(cfg);
+  return cfg;
+}
+
+/// The paper's packet-rate sweep (Figs. 6-8 x-axis). Scaled mode uses three
+/// points; full mode the paper's 0.2..2.0 grid.
+inline std::vector<double> rate_sweep(const BenchScale& scale) {
+  if (scale.full) return {0.2, 0.4, 0.8, 1.2, 1.6, 2.0};
+  return {0.4, 1.0, 2.0};
+}
+
+/// Mean over repetitions for one (scheme, config) cell.
+inline RunResult run_cell(ScenarioConfig cfg, Scheme scheme,
+                          const BenchScale& scale) {
+  cfg.scheme = scheme;
+  return scenario::average(
+      scenario::run_repetitions(cfg, scale.repetitions));
+}
+
+inline void print_header(const char* title, const BenchScale& scale) {
+  std::printf("=== %s ===\n", title);
+  std::printf(
+      "scale: %s (%zu nodes, %.0f s, %zu seeds)%s\n\n",
+      scale.full ? "FULL (paper)" : "reduced", scale.num_nodes,
+      sim::to_seconds(scale.duration), scale.repetitions,
+      scale.full ? "" : "   [set RCAST_FULL=1 for paper scale]");
+}
+
+}  // namespace rcast::bench

@@ -1,0 +1,81 @@
+// Fig. 5: per-node energy consumption, sorted ascending, four panels:
+//   (a) rate 0.4, pause 600   (b) rate 2.0, pause 600
+//   (c) rate 0.4, static      (d) rate 2.0, static
+// Paper shape: 802.11 is a flat line at the maximum; ODPM is strongly
+// uneven (active nodes near always-on, idle nodes at the PSM floor);
+// RCAST is low and nearly flat.
+#include "bench/bench_common.hpp"
+
+using namespace rcast;
+using namespace rcast::bench;
+
+namespace {
+
+void panel(const char* name, double rate, sim::Time pause,
+           const BenchScale& scale) {
+  ScenarioConfig cfg = scaled_config(scale);
+  cfg.rate_pps = rate;
+  cfg.pause = pause;
+
+  std::printf("--- Fig.5%s: rate=%.1f pkt/s, pause=%.0f s ---\n", name, rate,
+              sim::to_seconds(pause));
+
+  std::vector<double> curves[3];
+  const Scheme schemes[3] = {Scheme::k80211, Scheme::kOdpm, Scheme::kRcast};
+  for (int i = 0; i < 3; ++i) {
+    RunResult r = run_cell(cfg, schemes[i], scale);
+    std::sort(r.per_node_energy_j.begin(), r.per_node_energy_j.end());
+    curves[i] = r.per_node_energy_j;
+  }
+
+  // Print deciles of the sorted curve (the figure's x-axis is node rank).
+  std::printf("%-8s", "rank%");
+  for (int d = 0; d <= 100; d += 10) std::printf(" %8d", d);
+  std::printf("\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-8s", std::string(to_string(schemes[i])).c_str());
+    const auto& c = curves[i];
+    for (int d = 0; d <= 100; d += 10) {
+      const std::size_t idx =
+          std::min(c.size() - 1, d * c.size() / 100);
+      std::printf(" %8.1f", c[idx]);
+    }
+    std::printf("\n");
+  }
+
+  const auto& awake = curves[0];
+  const auto& odpm = curves[1];
+  const auto& rcast = curves[2];
+  // P90-P10 spread of the sorted curve: robust to single-node outliers.
+  auto spread = [](const std::vector<double>& c) {
+    return c[c.size() * 9 / 10] - c[c.size() / 10];
+  };
+  const double flat_80211 = awake.back() - awake.front();
+  const double spread_odpm = spread(odpm);
+  const double spread_rcast = spread(rcast);
+  std::printf("spread (p90-p10): 80211=%.2f  ODPM=%.2f  RCAST=%.2f\n",
+              flat_80211, spread_odpm, spread_rcast);
+
+  shape_check(flat_80211 < 1e-6, "802.11 curve is flat at the maximum");
+  shape_check(awake.back() >= odpm.back() * 0.999,
+              "802.11 max >= ODPM max (nobody exceeds always-on)");
+  shape_check(spread_odpm > spread_rcast,
+              "ODPM per-node spread exceeds RCAST (energy balance)");
+  shape_check(rcast.back() < awake.back(),
+              "every RCAST node below the always-on ceiling");
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  const auto scale = BenchScale::from_env();
+  print_header("Fig. 5: per-node energy consumption (sorted)", scale);
+  const sim::Time mobile_pause =
+      scale.full ? 600 * sim::kSecond : scale.duration / 2;
+  panel("a", 0.4, mobile_pause, scale);
+  panel("b", 2.0, mobile_pause, scale);
+  panel("c", 0.4, scale.duration, scale);  // static
+  panel("d", 2.0, scale.duration, scale);
+  return shape_exit();
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark): hot paths of the simulator itself.
+// These guard the performance that makes paper-scale sweeps feasible.
+#include <benchmark/benchmark.h>
+
+#include "geo/grid_index.hpp"
+#include "routing/route_cache.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace rcast;
+
+void BM_RngNextU64(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngBernoulli(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.bernoulli(0.2));
+  }
+}
+BENCHMARK(BM_RngBernoulli);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(2);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      q.push(static_cast<sim::Time>(rng.uniform_u64(1'000'000)), [] {});
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(1024);
+    for (int i = 0; i < 1024; ++i) {
+      ids.push_back(q.push(i, [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+    while (!q.empty()) q.pop();
+  }
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_GridQuery(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  geo::GridIndex grid(geo::Rect{1500.0, 300.0}, 550.0);
+  Rng rng(3);
+  for (geo::ItemId i = 0; i < n; ++i) {
+    grid.insert(i, {rng.uniform(0.0, 1500.0), rng.uniform(0.0, 300.0)});
+  }
+  std::vector<geo::ItemId> out;
+  for (auto _ : state) {
+    out.clear();
+    grid.query({rng.uniform(0.0, 1500.0), rng.uniform(0.0, 300.0)}, 550.0,
+               geo::GridIndex::npos, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_GridQuery)->Arg(100)->Arg(1000);
+
+void BM_RouteCacheAddFind(benchmark::State& state) {
+  Rng rng(4);
+  for (auto _ : state) {
+    routing::RouteCache cache(0, routing::RouteCacheConfig{});
+    for (int i = 0; i < 64; ++i) {
+      std::vector<routing::NodeId> path{0};
+      const int len = 2 + static_cast<int>(rng.uniform_u64(6));
+      for (int h = 0; h < len; ++h) {
+        path.push_back(static_cast<routing::NodeId>(1 + rng.uniform_u64(99)));
+      }
+      cache.add(path, i);
+    }
+    for (routing::NodeId d = 1; d < 100; ++d) {
+      benchmark::DoNotOptimize(cache.find(d, 100));
+    }
+  }
+}
+BENCHMARK(BM_RouteCacheAddFind);
+
+void BM_FullScenarioSecond(benchmark::State& state) {
+  // End-to-end cost of simulating one second of the paper's scenario.
+  for (auto _ : state) {
+    scenario::ScenarioConfig cfg;
+    cfg.num_nodes = 50;
+    cfg.num_flows = 10;
+    cfg.duration = 1 * sim::kSecond;
+    cfg.scheme = scenario::Scheme::kRcast;
+    benchmark::DoNotOptimize(scenario::run_scenario(cfg));
+  }
+}
+BENCHMARK(BM_FullScenarioSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

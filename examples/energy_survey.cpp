@@ -1,0 +1,73 @@
+// Energy survey: a Fig-7-style sweep on a user-configurable topology.
+//
+// Sweeps packet rate for all six schemes (including the PSM overhearing
+// extremes and the broadcast extension) and prints energy / PDR / EPB per
+// cell — the quickest way to see where Rcast's savings come from on your
+// own scenario.
+//
+//   ./energy_survey [--nodes=60] [--flows=12] [--seconds=120]
+//                   [--width=1500] [--height=300] [--pause=60]
+//                   [--seeds=2] [--seed=1]
+#include <cstdio>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/scenario.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcast;
+  Flags flags(argc, argv);
+
+  scenario::ScenarioConfig base;
+  base.num_nodes = static_cast<std::size_t>(flags.get_int("nodes", 60));
+  base.num_flows = static_cast<std::size_t>(
+      flags.get_int("flows", static_cast<std::int64_t>(base.num_nodes / 5)));
+  base.duration = sim::from_seconds(flags.get_double("seconds", 120.0));
+  base.world = {flags.get_double("width", 1500.0),
+                flags.get_double("height", 300.0)};
+  base.pause = sim::from_seconds(flags.get_double("pause", 60.0));
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 2));
+
+  for (const auto& unknown : flags.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
+    return 2;
+  }
+
+  const std::vector<double> rates{0.4, 1.0, 2.0};
+  const scenario::Scheme schemes[] = {
+      scenario::Scheme::k80211,    scenario::Scheme::kPsmNone,
+      scenario::Scheme::kPsmAll,   scenario::Scheme::kOdpm,
+      scenario::Scheme::kRcast,    scenario::Scheme::kRcastBcast};
+
+  std::printf(
+      "energy survey: %zu nodes / %zu flows, %.0fx%.0f m, %.0f s, pause "
+      "%.0f s, %zu seed(s)\n\n",
+      base.num_nodes, base.num_flows, base.world.width, base.world.height,
+      sim::to_seconds(base.duration), sim::to_seconds(base.pause), seeds);
+  std::printf("%-10s %6s %12s %8s %12s %10s %12s\n", "scheme", "rate",
+              "energy(J)", "PDR(%)", "EPB(J/bit)", "delay(s)", "variance");
+
+  for (auto s : schemes) {
+    for (double rate : rates) {
+      scenario::ScenarioConfig cfg = base;
+      cfg.scheme = s;
+      cfg.rate_pps = rate;
+      const scenario::RunResult r =
+          scenario::average(scenario::run_repetitions(cfg, seeds));
+      std::printf("%-10s %6.1f %12.1f %8.1f %12.3g %10.3f %12.1f\n",
+                  std::string(to_string(s)).c_str(), rate, r.total_energy_j,
+                  r.pdr_percent, r.energy_per_bit_j, r.avg_delay_s,
+                  r.energy_variance);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Reading the table: PSM-NONE is the energy floor but starves DSR's\n"
+      "route cache; PSM-ALL keeps DSR fully informed at nearly always-on\n"
+      "cost. RCAST sits near the floor while keeping PDR close to 802.11 —\n"
+      "that gap is the paper's contribution.\n");
+  return 0;
+}

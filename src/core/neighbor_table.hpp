@@ -1,0 +1,72 @@
+// Passive neighbor table.
+//
+// Every cleanly decoded frame refreshes the transmitter's entry; entries
+// older than the TTL no longer count. This gives each node a local,
+// zero-overhead estimate of its neighbor count (the denominator of the
+// paper's P_R = 1 / number-of-neighbors) plus a link-churn signal used by
+// the mobility-based overhearing estimator.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "phy/frame.hpp"
+#include "sim/time.hpp"
+
+namespace rcast::core {
+
+class NeighborTable {
+ public:
+  explicit NeighborTable(sim::Time ttl = 5 * sim::kSecond) : ttl_(ttl) {}
+
+  /// Records that a frame from `neighbor` was decoded at `now`.
+  void heard(phy::NodeId neighbor, sim::Time now) {
+    auto [it, inserted] = entries_.try_emplace(neighbor, now);
+    if (inserted) {
+      ++appearances_;
+    } else {
+      if (now - it->second > ttl_) ++appearances_;  // expired, re-appeared
+      it->second = now;
+    }
+  }
+
+  /// Number of neighbors heard within the TTL.
+  std::size_t count(sim::Time now) const {
+    std::size_t n = 0;
+    for (const auto& [id, t] : entries_) {
+      if (now - t <= ttl_) ++n;
+    }
+    return n;
+  }
+
+  bool knows(phy::NodeId neighbor, sim::Time now) const {
+    const auto it = entries_.find(neighbor);
+    return it != entries_.end() && now - it->second <= ttl_;
+  }
+
+  /// Time a specific neighbor was last heard; 0 if never.
+  sim::Time last_heard(phy::NodeId neighbor) const {
+    const auto it = entries_.find(neighbor);
+    return it == entries_.end() ? 0 : it->second;
+  }
+
+  /// Connectivity-change events observed (new or re-appearing neighbors);
+  /// the rate of change is the node's self-estimate of mobility (paper
+  /// §3.2, "Mobility").
+  std::uint64_t appearances() const { return appearances_; }
+
+  /// Drops entries older than the TTL (bounds memory on long runs).
+  void expire(sim::Time now) {
+    std::erase_if(entries_,
+                  [&](const auto& kv) { return now - kv.second > ttl_; });
+  }
+
+  std::size_t raw_size() const { return entries_.size(); }
+
+ private:
+  sim::Time ttl_;
+  std::unordered_map<phy::NodeId, sim::Time> entries_;
+  std::uint64_t appearances_ = 0;
+};
+
+}  // namespace rcast::core

@@ -1,0 +1,47 @@
+// Per-packet-class overhearing levels (paper §3.3).
+//
+// The sender chooses the ATIM subtype per packet class. Rcast's mapping:
+// RREP → randomized (DSR emits many RREPs; unconditional would be wasteful),
+// DATA → randomized (temporal locality lets a neighbor catch a later packet),
+// RERR → unconditional (stale routes must be purged from all caches fast),
+// RREQ (broadcast) → standard announce (everyone receives), with an optional
+// randomized-receiving extension (paper §5 future work).
+#pragma once
+
+#include "mac/mac_types.hpp"
+
+namespace rcast::core {
+
+struct OverhearingMap {
+  mac::OverhearingMode rrep = mac::OverhearingMode::kRandomized;
+  mac::OverhearingMode data = mac::OverhearingMode::kRandomized;
+  mac::OverhearingMode rerr = mac::OverhearingMode::kUnconditional;
+  mac::OverhearingMode rreq_bcast = mac::OverhearingMode::kNone;
+
+  /// Rcast as evaluated in the paper.
+  static constexpr OverhearingMap rcast() { return OverhearingMap{}; }
+
+  /// Unmodified PSM, no overhearing at all: the "naive solution" of §1.
+  static constexpr OverhearingMap psm_none() {
+    return {mac::OverhearingMode::kNone, mac::OverhearingMode::kNone,
+            mac::OverhearingMode::kNone, mac::OverhearingMode::kNone};
+  }
+
+  /// PSM with unconditional overhearing: DSR semantics preserved, energy
+  /// savings forfeited (the "original IEEE PSM" comparison in the abstract).
+  static constexpr OverhearingMap psm_all() {
+    return {mac::OverhearingMode::kUnconditional,
+            mac::OverhearingMode::kUnconditional,
+            mac::OverhearingMode::kUnconditional,
+            mac::OverhearingMode::kNone};
+  }
+
+  /// Rcast including the broadcast extension (randomized RREQ receiving).
+  static constexpr OverhearingMap rcast_with_broadcast() {
+    OverhearingMap m{};
+    m.rreq_bcast = mac::OverhearingMode::kRandomized;
+    return m;
+  }
+};
+
+}  // namespace rcast::core

@@ -1,0 +1,131 @@
+#include "core/rcast.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rcast::core {
+
+RcastPolicy::RcastPolicy(const RcastConfig& config, Rng rng,
+                         energy::EnergyMeter* meter)
+    : cfg_(config), rng_(rng), meter_(meter), table_(config.neighbor_ttl) {
+  RCAST_REQUIRE(cfg_.min_pr >= 0.0 && cfg_.min_pr <= 1.0);
+  RCAST_REQUIRE(cfg_.max_pr >= cfg_.min_pr && cfg_.max_pr <= 1.0);
+}
+
+void RcastPolicy::on_frame_decoded(const mac::MacFrame& frame,
+                                   sim::Time now) {
+  table_.heard(frame.src, now);
+  now_hint_ = now;
+  // Note: the per-sender skip counter resets only when we actually commit to
+  // overhearing (in should_overhear) — decoding the sender's ATIM does not
+  // count as having overheard its data.
+  // Rebase the churn window every 10 s so the mobility estimate tracks the
+  // recent past instead of the lifetime average.
+  if (now - churn_window_start_ > 10 * sim::kSecond) {
+    churn_window_start_ = now;
+    churn_window_base_ = table_.appearances();
+  }
+}
+
+std::size_t RcastPolicy::neighbor_count(sim::Time now) const {
+  if (cfg_.neighbor_count_fn) return cfg_.neighbor_count_fn();
+  return table_.count(now);
+}
+
+double RcastPolicy::base_pr(sim::Time now) const {
+  const std::size_t n = neighbor_count(now);
+  return n == 0 ? 1.0 : 1.0 / static_cast<double>(n);
+}
+
+double RcastPolicy::current_pr(mac::NodeId sender, sim::Time now) {
+  double p = base_pr(now);
+  switch (cfg_.estimator) {
+    case PrEstimator::kNeighborCount:
+      break;
+
+    case PrEstimator::kSenderRecency: {
+      // Overhear for sure when the sender is new traffic (not heard for a
+      // while) or when we have skipped too many of its packets; otherwise
+      // 1/N keeps the budget bounded. (Paper §3.2, "Sender ID".)
+      const sim::Time last = table_.last_heard(sender);
+      const bool unheard = last == 0 || now - last > cfg_.sender_recency_window;
+      const auto it = skips_.find(sender);
+      const bool skipped_long = it != skips_.end() && it->second >= cfg_.max_skips;
+      if (unheard || skipped_long) p = 1.0;
+      break;
+    }
+
+    case PrEstimator::kMobility: {
+      // High link churn ⇒ overheard routes stale quickly ⇒ overhear less
+      // (paper §3.2, "Mobility": "overhear more conservatively").
+      const double window_s =
+          std::max(1.0, sim::to_seconds(now - churn_window_start_));
+      const double churn_per_s =
+          static_cast<double>(table_.appearances() - churn_window_base_) /
+          window_s;
+      p = p / (1.0 + cfg_.churn_factor * churn_per_s);
+      break;
+    }
+
+    case PrEstimator::kBattery: {
+      // Less overhearing as the battery drains (paper §3.2, "Remaining
+      // battery energy").
+      const double frac =
+          meter_ != nullptr ? meter_->battery_fraction(now) : 1.0;
+      p = p * frac;
+      break;
+    }
+
+    case PrEstimator::kCombined: {
+      const sim::Time last = table_.last_heard(sender);
+      const bool unheard = last == 0 || now - last > cfg_.sender_recency_window;
+      const auto it = skips_.find(sender);
+      const bool skipped_long = it != skips_.end() && it->second >= cfg_.max_skips;
+      if (unheard || skipped_long) {
+        p = 1.0;
+        break;
+      }
+      const double window_s =
+          std::max(1.0, sim::to_seconds(now - churn_window_start_));
+      const double churn_per_s =
+          static_cast<double>(table_.appearances() - churn_window_base_) /
+          window_s;
+      const double frac =
+          meter_ != nullptr ? meter_->battery_fraction(now) : 1.0;
+      p = p * frac / (1.0 + cfg_.churn_factor * churn_per_s);
+      break;
+    }
+  }
+  return std::clamp(p, cfg_.min_pr, cfg_.max_pr);
+}
+
+bool RcastPolicy::should_overhear(mac::NodeId sender, mac::OverhearingMode m,
+                                  sim::Time now) {
+  if (m == mac::OverhearingMode::kNone) return false;
+  if (m == mac::OverhearingMode::kUnconditional) return true;
+  ++stats_.decisions;
+  const double p = current_pr(sender, now);
+  const bool commit = rng_.bernoulli(p);
+  if (commit) {
+    ++stats_.commits;
+    skips_[sender] = 0;
+  } else {
+    ++skips_[sender];
+  }
+  return commit;
+}
+
+bool RcastPolicy::should_receive_broadcast(mac::NodeId, sim::Time now) {
+  ++stats_.bcast_decisions;
+  const std::size_t n = neighbor_count(now);
+  const double p =
+      n == 0 ? 1.0
+             : std::clamp(cfg_.bcast_scale / static_cast<double>(n),
+                          cfg_.bcast_floor, 1.0);
+  const bool commit = rng_.bernoulli(p);
+  if (commit) ++stats_.bcast_commits;
+  return commit;
+}
+
+}  // namespace rcast::core

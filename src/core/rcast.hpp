@@ -1,0 +1,114 @@
+// RandomCast (Rcast) power-management policy — the paper's contribution.
+//
+// Nodes consistently operate in PS mode. When a unicast ATIM advertising
+// randomized overhearing is heard, the node stays awake for the data phase
+// with probability P_R. The paper evaluates P_R = 1 / number-of-neighbors
+// and lists three further decision factors as future work (sender ID,
+// mobility, remaining battery energy); all four are implemented here and
+// compared in bench_ablation_pr.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+
+#include "core/neighbor_table.hpp"
+#include "energy/energy_model.hpp"
+#include "mac/mac_types.hpp"
+#include "util/rng.hpp"
+
+namespace rcast::core {
+
+/// Which estimator drives the overhearing probability (paper §3.2 factors).
+enum class PrEstimator {
+  kNeighborCount,  // P_R = 1/N                      (the paper's evaluation)
+  kSenderRecency,  // overhear senders not heard recently / skipped too long
+  kMobility,       // scale 1/N down as link churn rises
+  kBattery,        // scale 1/N by remaining battery fraction
+  kCombined,       // all of the above multiplied
+};
+
+constexpr const char* to_string(PrEstimator e) {
+  switch (e) {
+    case PrEstimator::kNeighborCount:
+      return "neighbors";
+    case PrEstimator::kSenderRecency:
+      return "sender-id";
+    case PrEstimator::kMobility:
+      return "mobility";
+    case PrEstimator::kBattery:
+      return "battery";
+    case PrEstimator::kCombined:
+      return "combined";
+  }
+  return "?";
+}
+
+struct RcastConfig {
+  PrEstimator estimator = PrEstimator::kNeighborCount;
+  /// Clamp on P_R so a node never fully deafens itself.
+  double min_pr = 0.0;
+  double max_pr = 1.0;
+  /// Neighbor-count source: when set, overrides the passive table (used to
+  /// match the paper's P_R = 1/N with the true topology denominator).
+  std::function<std::size_t()> neighbor_count_fn;
+  sim::Time neighbor_ttl = 5 * sim::kSecond;
+
+  // kSenderRecency knobs: always overhear a sender not heard for `window`
+  // or skipped `max_skips` consecutive times; otherwise fall back to 1/N.
+  sim::Time sender_recency_window = 2 * sim::kSecond;
+  int max_skips = 8;
+
+  // kMobility knob: P_R = (1/N) / (1 + churn_factor * appearances_per_sec).
+  double churn_factor = 2.0;
+
+  // Broadcast-Rcast extension: receive probability max(bcast_floor, c/N),
+  // conservative so floods still propagate (paper §3.3).
+  double bcast_floor = 0.5;
+  double bcast_scale = 3.0;
+};
+
+struct RcastPolicyStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t bcast_decisions = 0;
+  std::uint64_t bcast_commits = 0;
+};
+
+class RcastPolicy final : public mac::PowerPolicy {
+ public:
+  /// `meter` is optional and only used by the battery estimator.
+  RcastPolicy(const RcastConfig& config, Rng rng,
+              energy::EnergyMeter* meter = nullptr);
+
+  bool always_awake() const override { return false; }
+  bool ps_mode_now(sim::Time) override { return true; }
+
+  bool should_overhear(mac::NodeId sender, mac::OverhearingMode m,
+                       sim::Time now) override;
+  bool should_receive_broadcast(mac::NodeId sender, sim::Time now) override;
+  void on_frame_decoded(const mac::MacFrame& frame, sim::Time now) override;
+
+  /// The probability the next randomized decision would use (for tests and
+  /// the ablation bench).
+  double current_pr(mac::NodeId sender, sim::Time now);
+
+  const NeighborTable& neighbors() const { return table_; }
+  const RcastPolicyStats& stats() const { return stats_; }
+
+ private:
+  std::size_t neighbor_count(sim::Time now) const;
+  double base_pr(sim::Time now) const;
+
+  RcastConfig cfg_;
+  Rng rng_;
+  energy::EnergyMeter* meter_;
+  NeighborTable table_;
+  RcastPolicyStats stats_;
+  /// Consecutive skipped decisions per sender (kSenderRecency).
+  std::unordered_map<mac::NodeId, int> skips_;
+  sim::Time now_hint_ = 0;  // latest time seen via on_frame_decoded
+  sim::Time churn_window_start_ = 0;
+  std::uint64_t churn_window_base_ = 0;
+};
+
+}  // namespace rcast::core

@@ -1,0 +1,34 @@
+#include "energy/energy_model.hpp"
+
+namespace rcast::energy {
+
+void EnergyMeter::settle(sim::Time now) {
+  RCAST_REQUIRE_MSG(now >= state_since_, "energy meter time went backwards");
+  if (!remaining_init_) {
+    remaining_ = battery_;
+    remaining_init_ = true;
+  }
+  const double dt = sim::to_seconds(now - state_since_);
+  const double watts = table_.watts(state_);
+  double spend = watts * dt;
+  if (finite_battery_ && state_ != RadioState::kOff && spend >= remaining_ &&
+      watts > 0.0) {
+    // Battery dies partway through the interval: bill only what was left and
+    // pin the state to kOff at the depletion instant.
+    const double dt_alive = remaining_ / watts;
+    depletion_time_ = state_since_ + sim::from_seconds(dt_alive);
+    seconds_[static_cast<int>(state_)] += dt_alive;
+    seconds_[static_cast<int>(RadioState::kOff)] += dt - dt_alive;
+    consumed_ += remaining_;
+    remaining_ = 0.0;
+    state_ = RadioState::kOff;
+    state_since_ = now;
+    return;
+  }
+  seconds_[static_cast<int>(state_)] += dt;
+  consumed_ += spend;
+  if (finite_battery_) remaining_ -= spend;
+  state_since_ = now;
+}
+
+}  // namespace rcast::energy

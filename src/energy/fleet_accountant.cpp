@@ -1,0 +1,52 @@
+#include "energy/fleet_accountant.hpp"
+
+#include <algorithm>
+
+namespace rcast::energy {
+
+std::vector<double> FleetAccountant::per_node_joules(sim::Time now) const {
+  std::vector<double> out;
+  out.reserve(meters_.size());
+  for (EnergyMeter* m : meters_) out.push_back(m->consumed_joules(now));
+  return out;
+}
+
+std::vector<double> FleetAccountant::sorted_joules(sim::Time now) const {
+  auto out = per_node_joules(now);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double FleetAccountant::total_joules(sim::Time now) const {
+  double total = 0.0;
+  for (EnergyMeter* m : meters_) total += m->consumed_joules(now);
+  return total;
+}
+
+double FleetAccountant::variance(sim::Time now) const {
+  return stats(now).variance();
+}
+
+RunningStats FleetAccountant::stats(sim::Time now) const {
+  RunningStats s;
+  for (EnergyMeter* m : meters_) s.add(m->consumed_joules(now));
+  return s;
+}
+
+std::size_t FleetAccountant::dead_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(meters_.begin(), meters_.end(),
+                    [](EnergyMeter* m) { return m->depleted(); }));
+}
+
+std::optional<sim::Time> FleetAccountant::first_death() const {
+  std::optional<sim::Time> first;
+  for (EnergyMeter* m : meters_) {
+    if (m->depleted() && (!first || m->depletion_time() < *first)) {
+      first = m->depletion_time();
+    }
+  }
+  return first;
+}
+
+}  // namespace rcast::energy

@@ -1,0 +1,46 @@
+// Fleet-level energy views: the per-node curves, variance, and lifetime
+// numbers the paper's Figures 5, 6 and the lifetime extension report.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+#include "util/stats.hpp"
+
+namespace rcast::energy {
+
+class FleetAccountant {
+ public:
+  /// Registers a node's meter; index order defines node ids.
+  void add(EnergyMeter* meter) {
+    RCAST_REQUIRE(meter != nullptr);
+    meters_.push_back(meter);
+  }
+
+  std::size_t size() const { return meters_.size(); }
+
+  /// Per-node consumed joules at `now`, in node-id order.
+  std::vector<double> per_node_joules(sim::Time now) const;
+
+  /// Per-node consumed joules sorted ascending — the Fig. 5 curve.
+  std::vector<double> sorted_joules(sim::Time now) const;
+
+  double total_joules(sim::Time now) const;
+
+  /// Population variance of per-node consumption — the Fig. 6 metric.
+  double variance(sim::Time now) const;
+
+  RunningStats stats(sim::Time now) const;
+
+  /// Number of nodes with depleted batteries at any time so far.
+  std::size_t dead_count() const;
+
+  /// Earliest battery-depletion instant across the fleet, if any died.
+  std::optional<sim::Time> first_death() const;
+
+ private:
+  std::vector<EnergyMeter*> meters_;
+};
+
+}  // namespace rcast::energy

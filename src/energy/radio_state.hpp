@@ -1,0 +1,30 @@
+// Radio power states shared by the PHY and the energy accounting layer.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace rcast::energy {
+
+enum class RadioState : int {
+  kIdle = 0,   // awake, listening, no frame in flight
+  kRx = 1,     // actively receiving a frame
+  kTx = 2,     // actively transmitting a frame
+  kSleep = 3,  // low-power doze (PSM outside ATIM window / not overhearing)
+  kOff = 4,    // battery depleted (lifetime studies)
+};
+
+inline constexpr int kRadioStateCount = 5;
+
+constexpr std::string_view to_string(RadioState s) {
+  constexpr std::array<std::string_view, kRadioStateCount> names = {
+      "idle", "rx", "tx", "sleep", "off"};
+  return names[static_cast<int>(s)];
+}
+
+constexpr bool is_awake(RadioState s) {
+  return s == RadioState::kIdle || s == RadioState::kRx ||
+         s == RadioState::kTx;
+}
+
+}  // namespace rcast::energy

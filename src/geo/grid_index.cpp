@@ -1,0 +1,105 @@
+#include "geo/grid_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rcast::geo {
+
+GridIndex::GridIndex(Rect world, double cell_size)
+    : world_(world), cell_size_(cell_size) {
+  RCAST_REQUIRE(world.width > 0.0 && world.height > 0.0);
+  RCAST_REQUIRE(cell_size > 0.0);
+  cols_ = static_cast<std::uint32_t>(std::ceil(world.width / cell_size)) + 1;
+  rows_ = static_cast<std::uint32_t>(std::ceil(world.height / cell_size)) + 1;
+  cells_.resize(static_cast<std::size_t>(cols_) * rows_);
+}
+
+std::uint32_t GridIndex::cell_of(Vec2 p) const {
+  const double cx = std::clamp(p.x, 0.0, world_.width);
+  const double cy = std::clamp(p.y, 0.0, world_.height);
+  const auto col = static_cast<std::uint32_t>(cx / cell_size_);
+  const auto row = static_cast<std::uint32_t>(cy / cell_size_);
+  return row * cols_ + col;
+}
+
+void GridIndex::insert(ItemId id, Vec2 pos) {
+  if (id >= slots_.size()) slots_.resize(id + 1);
+  RCAST_REQUIRE_MSG(!slots_[id].live, "duplicate insert");
+  link(id, pos);
+  ++live_count_;
+}
+
+void GridIndex::link(ItemId id, Vec2 pos) {
+  Slot& s = slots_[id];
+  s.pos = pos;
+  s.live = true;
+  s.cell = cell_of(pos);
+  cells_[s.cell].push_back(id);
+}
+
+void GridIndex::unlink(ItemId id) {
+  Slot& s = slots_[id];
+  auto& bucket = cells_[s.cell];
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  s.live = false;
+}
+
+void GridIndex::move(ItemId id, Vec2 pos) {
+  RCAST_REQUIRE(contains(id));
+  Slot& s = slots_[id];
+  const std::uint32_t nc = cell_of(pos);
+  if (nc == s.cell) {
+    s.pos = pos;
+    return;
+  }
+  unlink(id);
+  link(id, pos);
+}
+
+void GridIndex::remove(ItemId id) {
+  RCAST_REQUIRE(contains(id));
+  unlink(id);
+  --live_count_;
+}
+
+Vec2 GridIndex::position(ItemId id) const {
+  RCAST_REQUIRE(contains(id));
+  return slots_[id].pos;
+}
+
+bool GridIndex::contains(ItemId id) const {
+  return id < slots_.size() && slots_[id].live;
+}
+
+void GridIndex::query(Vec2 center, double radius, ItemId exclude,
+                      std::vector<ItemId>& out) const {
+  RCAST_REQUIRE(radius >= 0.0);
+  const double r2 = radius * radius;
+  const auto col_lo = static_cast<std::int64_t>(
+      std::floor((center.x - radius) / cell_size_));
+  const auto col_hi = static_cast<std::int64_t>(
+      std::floor((center.x + radius) / cell_size_));
+  const auto row_lo = static_cast<std::int64_t>(
+      std::floor((center.y - radius) / cell_size_));
+  const auto row_hi = static_cast<std::int64_t>(
+      std::floor((center.y + radius) / cell_size_));
+  for (std::int64_t row = std::max<std::int64_t>(0, row_lo);
+       row <= std::min<std::int64_t>(rows_ - 1, row_hi); ++row) {
+    for (std::int64_t col = std::max<std::int64_t>(0, col_lo);
+         col <= std::min<std::int64_t>(cols_ - 1, col_hi); ++col) {
+      for (ItemId id : cells_[static_cast<std::size_t>(row) * cols_ + col]) {
+        if (id == exclude) continue;
+        if (distance_sq(slots_[id].pos, center) <= r2) out.push_back(id);
+      }
+    }
+  }
+}
+
+std::size_t GridIndex::count_within(ItemId id, double radius) const {
+  RCAST_REQUIRE(contains(id));
+  std::vector<ItemId> tmp;
+  query(slots_[id].pos, radius, id, tmp);
+  return tmp.size();
+}
+
+}  // namespace rcast::geo

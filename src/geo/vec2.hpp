@@ -1,0 +1,39 @@
+// 2-D geometry primitives for node placement and mobility.
+#pragma once
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace rcast::geo {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  double norm() const { return std::sqrt(x * x + y * y); }
+  constexpr double norm_sq() const { return x * x + y * y; }
+};
+
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double distance_sq(Vec2 a, Vec2 b) {
+  return (a - b).norm_sq();
+}
+
+/// Axis-aligned world rectangle [0,width] x [0,height].
+struct Rect {
+  double width = 0.0;
+  double height = 0.0;
+
+  constexpr bool contains(Vec2 p) const {
+    return p.x >= 0.0 && p.x <= width && p.y >= 0.0 && p.y <= height;
+  }
+  constexpr double area() const { return width * height; }
+};
+
+}  // namespace rcast::geo

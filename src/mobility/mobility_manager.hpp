@@ -1,0 +1,59 @@
+// Tracks all nodes' positions and answers exact range queries.
+//
+// A uniform grid holds positions refreshed on a fixed period; between
+// refreshes nodes can drift by at most max_speed * refresh_period, so range
+// queries over-approximate with that slack against the grid and then filter
+// with exact model positions. Queries are therefore exact while staying
+// O(candidates) instead of O(n).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "geo/grid_index.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace rcast::mobility {
+
+using NodeId = geo::ItemId;
+
+class MobilityManager {
+ public:
+  /// `refresh_period` bounds grid staleness (and thus query slack).
+  MobilityManager(sim::Simulator& simulator, geo::Rect world,
+                  double grid_cell_size,
+                  sim::Time refresh_period = 100 * sim::kMillisecond);
+
+  /// Registers a node with its mobility model; ids must be dense from 0.
+  void add_node(NodeId id, std::unique_ptr<MobilityModel> model);
+
+  std::size_t node_count() const { return models_.size(); }
+
+  /// Exact position now.
+  geo::Vec2 position(NodeId id) const;
+
+  /// Exact set of nodes within `radius` of node `id` (excluding id) now.
+  std::vector<NodeId> neighbors_within(NodeId id, double radius) const;
+
+  /// Exact set of nodes within `radius` of a point.
+  std::vector<NodeId> nodes_within(geo::Vec2 center, double radius,
+                                   NodeId exclude) const;
+
+  /// True if the two nodes are within `radius` of each other now.
+  bool in_range(NodeId a, NodeId b, double radius) const;
+
+ private:
+  void refresh_grid();
+
+  sim::Simulator& sim_;
+  geo::GridIndex grid_;
+  std::vector<std::unique_ptr<MobilityModel>> models_;
+  double max_speed_ = 0.0;
+  sim::Time refresh_period_;
+  sim::Time last_refresh_ = 0;
+  sim::PeriodicTimer refresh_timer_;
+  mutable std::vector<geo::ItemId> scratch_;
+};
+
+}  // namespace rcast::mobility

@@ -1,0 +1,36 @@
+// Per-node mobility models.
+//
+// Models are queried with monotonically non-decreasing simulation times (the
+// simulator clock), which lets them generate their trajectory lazily and
+// deterministically from a forked RNG stream.
+#pragma once
+
+#include "geo/vec2.hpp"
+#include "sim/time.hpp"
+
+namespace rcast::mobility {
+
+class MobilityModel {
+ public:
+  virtual ~MobilityModel() = default;
+
+  /// Exact position at time t. t must be >= any previously queried time.
+  virtual geo::Vec2 position_at(sim::Time t) = 0;
+
+  /// Maximum speed this model can ever move at (m/s); used by spatial
+  /// indexes to bound staleness slack. 0 for static models.
+  virtual double max_speed() const = 0;
+};
+
+/// A node that never moves.
+class StaticModel final : public MobilityModel {
+ public:
+  explicit StaticModel(geo::Vec2 pos) : pos_(pos) {}
+  geo::Vec2 position_at(sim::Time) override { return pos_; }
+  double max_speed() const override { return 0.0; }
+
+ private:
+  geo::Vec2 pos_;
+};
+
+}  // namespace rcast::mobility

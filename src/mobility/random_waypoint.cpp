@@ -1,0 +1,59 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <algorithm>
+
+namespace rcast::mobility {
+
+RandomWaypointModel::RandomWaypointModel(const RandomWaypointConfig& config,
+                                         Rng rng)
+    : cfg_(config), rng_(rng) {
+  RCAST_REQUIRE(cfg_.world.width > 0.0 && cfg_.world.height > 0.0);
+  RCAST_REQUIRE(cfg_.min_speed_mps > 0.0);
+  RCAST_REQUIRE(cfg_.max_speed_mps >= cfg_.min_speed_mps);
+  RCAST_REQUIRE(cfg_.pause >= 0);
+  from_ = to_ = {rng_.uniform(0.0, cfg_.world.width),
+                 rng_.uniform(0.0, cfg_.world.height)};
+  moving_ = false;
+  leg_start_ = leg_end_ = 0;
+  pause_end_ = cfg_.pause;
+}
+
+void RandomWaypointModel::start_next_leg() {
+  from_ = to_;
+  to_ = {rng_.uniform(0.0, cfg_.world.width),
+         rng_.uniform(0.0, cfg_.world.height)};
+  const double speed =
+      rng_.uniform(cfg_.min_speed_mps, cfg_.max_speed_mps);
+  const double dist = geo::distance(from_, to_);
+  leg_start_ = pause_end_;
+  leg_end_ = leg_start_ + sim::from_seconds(dist / speed);
+  pause_end_ = leg_end_ + cfg_.pause;
+  moving_ = true;
+}
+
+void RandomWaypointModel::advance_past(sim::Time t) {
+  RCAST_REQUIRE_MSG(t >= last_query_, "mobility queried backwards in time");
+  last_query_ = t;
+  while (t >= pause_end_) start_next_leg();
+  if (moving_ && t >= leg_end_) {
+    // Inside the pause that follows the current leg.
+    from_ = to_;
+    moving_ = false;
+  }
+}
+
+geo::Vec2 RandomWaypointModel::position_at(sim::Time t) {
+  advance_past(t);
+  if (!moving_ || t <= leg_start_) return from_;
+  if (leg_end_ <= leg_start_) return to_;  // zero-length leg (dest ~= origin)
+  const double frac = static_cast<double>(t - leg_start_) /
+                      static_cast<double>(leg_end_ - leg_start_);
+  return from_ + (to_ - from_) * std::min(frac, 1.0);
+}
+
+bool RandomWaypointModel::paused_at(sim::Time t) {
+  advance_past(t);
+  return !moving_ || t <= leg_start_;
+}
+
+}  // namespace rcast::mobility

@@ -1,0 +1,50 @@
+// Random waypoint mobility (Johnson & Maltz), the model used in the paper:
+// pick a uniform destination in the world, travel at a uniform random speed,
+// pause for T_pause, repeat. T_pause equal to the simulation length yields
+// the paper's "static scenario".
+#pragma once
+
+#include "geo/vec2.hpp"
+#include "mobility/mobility_model.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace rcast::mobility {
+
+struct RandomWaypointConfig {
+  geo::Rect world;
+  double min_speed_mps = 0.1;   // >0 avoids the well-known stuck-node artifact
+  double max_speed_mps = 20.0;  // paper's v_max
+  sim::Time pause = 0;          // paper's T_pause
+};
+
+class RandomWaypointModel final : public MobilityModel {
+ public:
+  /// Starts at a uniform random position, initially paused for `pause`
+  /// (ns-2 setdest semantics: nodes begin stationary, then move).
+  RandomWaypointModel(const RandomWaypointConfig& config, Rng rng);
+
+  geo::Vec2 position_at(sim::Time t) override;
+  double max_speed() const override { return cfg_.max_speed_mps; }
+
+  /// Current leg endpoints (for tests/visualization).
+  geo::Vec2 leg_from() const { return from_; }
+  geo::Vec2 leg_to() const { return to_; }
+  bool paused_at(sim::Time t);
+
+ private:
+  void advance_past(sim::Time t);
+  void start_next_leg();
+
+  RandomWaypointConfig cfg_;
+  Rng rng_;
+  geo::Vec2 from_;
+  geo::Vec2 to_;
+  sim::Time leg_start_ = 0;
+  sim::Time leg_end_ = 0;  // end of motion; pause follows until pause_end_
+  sim::Time pause_end_ = 0;
+  bool moving_ = false;
+  sim::Time last_query_ = 0;
+};
+
+}  // namespace rcast::mobility

@@ -1,0 +1,103 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+
+#include "phy/phy.hpp"
+#include "util/assert.hpp"
+
+namespace rcast::phy {
+
+namespace {
+
+// Propagation delay: distance / c. In nanoseconds, c ≈ 0.3 m/ns.
+sim::Time propagation_delay(double meters) {
+  return static_cast<sim::Time>(meters / 0.299792458);
+}
+
+// Arrival ids are globally unique and never 0 (0 is the "none" sentinel in
+// Phy's reception lock).
+std::uint64_t g_dummy;  // placate some linters about anonymous namespace
+
+}  // namespace
+
+Channel::Channel(sim::Simulator& simulator,
+                 mobility::MobilityManager& mobility,
+                 const ChannelConfig& config)
+    : sim_(simulator), mobility_(mobility), cfg_(config) {
+  RCAST_REQUIRE(cfg_.tx_range_m > 0.0);
+  RCAST_REQUIRE(cfg_.cs_range_m >= cfg_.tx_range_m);
+  RCAST_REQUIRE(cfg_.bitrate_bps > 0);
+  (void)g_dummy;
+}
+
+void Channel::attach(Phy* phy) {
+  RCAST_REQUIRE(phy != nullptr);
+  const NodeId id = phy->id();
+  if (id >= phys_.size()) phys_.resize(id + 1, nullptr);
+  RCAST_REQUIRE_MSG(phys_[id] == nullptr, "duplicate phy for node");
+  phys_[id] = phy;
+}
+
+void Channel::prune_in_flight() {
+  const sim::Time horizon = sim_.now() - 10 * sim::kMicrosecond;
+  std::erase_if(in_flight_,
+                [horizon](const InFlight& f) { return f.end < horizon; });
+}
+
+void Channel::transmit(FramePtr frame, sim::Time duration) {
+  RCAST_REQUIRE(frame != nullptr);
+  RCAST_REQUIRE(duration > 0);
+  static thread_local std::uint64_t next_arrival_id = 0;
+
+  const geo::Vec2 tx_pos = mobility_.position(frame->tx);
+  const sim::Time now = sim_.now();
+
+  ++stats_.frames_transmitted;
+  stats_.bits_transmitted += static_cast<std::uint64_t>(frame->bits);
+
+  prune_in_flight();
+  in_flight_.push_back(InFlight{tx_pos, now + duration});
+
+  const auto sensed =
+      mobility_.nodes_within(tx_pos, cfg_.cs_range_m, frame->tx);
+  const double rx2 = cfg_.tx_range_m * cfg_.tx_range_m;
+  for (NodeId r : sensed) {
+    if (r >= phys_.size() || phys_[r] == nullptr) continue;
+    Phy* phy = phys_[r];
+    const double d2 = geo::distance_sq(mobility_.position(r), tx_pos);
+    const bool in_rx_range = d2 <= rx2;
+    const double dist = std::sqrt(d2);
+    const sim::Time prop = propagation_delay(dist);
+    const std::uint64_t arrival_id = ++next_arrival_id;
+    const sim::Time start = now + prop;
+    const sim::Time end = start + duration;
+    sim_.at(start, [phy, arrival_id, frame, in_rx_range, dist, end] {
+      phy->arrival_start(arrival_id, frame, in_rx_range, dist, end);
+    });
+    sim_.at(end, [phy, arrival_id, frame, in_rx_range] {
+      phy->arrival_end(arrival_id, frame, in_rx_range);
+    });
+  }
+}
+
+sim::Time Channel::sensed_busy_until(geo::Vec2 pos) const {
+  sim::Time latest = 0;
+  const double cs2 = cfg_.cs_range_m * cfg_.cs_range_m;
+  for (const InFlight& f : in_flight_) {
+    const double d2 = geo::distance_sq(f.tx_pos, pos);
+    if (d2 > cs2) continue;
+    const sim::Time arrival_end = f.end + propagation_delay(std::sqrt(d2));
+    latest = std::max(latest, arrival_end);
+  }
+  return latest;
+}
+
+std::size_t Channel::neighbor_count(NodeId id) const {
+  return mobility_.neighbors_within(id, cfg_.tx_range_m).size();
+}
+
+geo::Vec2 Channel::position_of(NodeId id) const {
+  return mobility_.position(id);
+}
+
+}  // namespace rcast::phy

@@ -1,0 +1,88 @@
+// Shared wireless channel.
+//
+// Reception model (see DESIGN.md §2): with fixed transmit power, ns-2's
+// two-ray ground propagation reduces to two deterministic thresholds — a
+// reception range (250 m) and a carrier-sense/interference range (550 m).
+// A frame is decodable by an awake radio iff the radio is within reception
+// range and no other signal (within interference range) overlaps it in time
+// at that radio; there is no capture. Propagation delay is distance / c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mobility/mobility_manager.hpp"
+#include "phy/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace rcast::phy {
+
+struct ChannelConfig {
+  double tx_range_m = 250.0;  // reception threshold (two-ray, WaveLAN)
+  double cs_range_m = 550.0;  // carrier-sense / interference threshold
+  std::int64_t bitrate_bps = 2'000'000;
+  /// Capture threshold in dB (ns-2 CPThresh default: 10). A locked
+  /// reception survives an overlapping arrival whose signal is at least
+  /// this much weaker; under two-ray d^-4 path loss that means the
+  /// interferer is farther than 10^(dB/40) times the signal distance.
+  /// <= 0 disables capture (any overlap within cs range corrupts).
+  double capture_db = 10.0;
+};
+
+class Phy;
+
+/// Aggregate channel-level counters for a run.
+struct ChannelStats {
+  std::uint64_t frames_transmitted = 0;
+  std::uint64_t bits_transmitted = 0;
+};
+
+class Channel {
+ public:
+  Channel(sim::Simulator& simulator, mobility::MobilityManager& mobility,
+          const ChannelConfig& config);
+
+  const ChannelConfig& config() const { return cfg_; }
+  std::int64_t bitrate() const { return cfg_.bitrate_bps; }
+
+  /// Registers a radio; its node id indexes into the mobility manager.
+  void attach(Phy* phy);
+
+  /// Serialization time of a frame of `bits` on this channel.
+  sim::Time duration_of(std::int64_t bits) const {
+    return sim::tx_duration(bits, cfg_.bitrate_bps);
+  }
+
+  /// Called by a Phy to put a frame on the air. Computes the sensed set at
+  /// transmission start and schedules arrival start/end at each radio.
+  void transmit(FramePtr frame, sim::Time duration);
+
+  /// Latest end time (including propagation) of any in-flight transmission
+  /// whose signal reaches `pos`; used when a radio wakes mid-transmission.
+  sim::Time sensed_busy_until(geo::Vec2 pos) const;
+
+  /// Current neighbor count of a node within reception range (topology
+  /// truth; protocol code should prefer the passive NeighborTable).
+  std::size_t neighbor_count(NodeId id) const;
+
+  /// Current exact position of a node (forwarded from the mobility layer).
+  geo::Vec2 position_of(NodeId id) const;
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  struct InFlight {
+    geo::Vec2 tx_pos;
+    sim::Time end;  // end of serialization at the transmitter
+  };
+  void prune_in_flight();
+
+  sim::Simulator& sim_;
+  mobility::MobilityManager& mobility_;
+  ChannelConfig cfg_;
+  std::vector<Phy*> phys_;
+  std::vector<InFlight> in_flight_;
+  ChannelStats stats_;
+};
+
+}  // namespace rcast::phy

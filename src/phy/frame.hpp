@@ -1,0 +1,30 @@
+// The unit the channel moves between radios.
+//
+// The PHY is MAC-agnostic: it serializes `bits` on the air and delivers the
+// opaque payload to every radio that can decode it. The MAC layer derives its
+// frame types from `Payload`.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+namespace rcast::phy {
+
+using NodeId = std::uint32_t;
+inline constexpr NodeId kBroadcastId = 0xFFFFFFFFu;
+
+/// Base class for MAC-layer frame contents carried through the PHY.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+struct Frame {
+  NodeId tx = 0;               // transmitting node
+  NodeId rx = kBroadcastId;    // intended receiver, or broadcast
+  std::int64_t bits = 0;       // on-air size
+  std::shared_ptr<const Payload> payload;
+};
+
+using FramePtr = std::shared_ptr<const Frame>;
+
+}  // namespace rcast::phy

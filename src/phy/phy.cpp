@@ -1,0 +1,213 @@
+#include "phy/phy.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace rcast::phy {
+
+Phy::Phy(sim::Simulator& simulator, Channel& channel, NodeId id,
+         energy::EnergyMeter* meter)
+    : sim_(simulator), channel_(channel), id_(id), meter_(meter) {
+  channel.attach(this);
+}
+
+bool Phy::dead() const { return meter_ != nullptr && meter_->depleted(); }
+
+void Phy::update_energy_state() {
+  if (meter_ == nullptr) return;
+  energy::RadioState desired;
+  if (asleep_) {
+    desired = energy::RadioState::kSleep;
+  } else if (tx_busy_) {
+    desired = energy::RadioState::kTx;
+  } else if (locked_arrival_ != 0) {
+    desired = energy::RadioState::kRx;
+  } else {
+    desired = energy::RadioState::kIdle;
+  }
+  meter_->set_state(desired, sim_.now());
+}
+
+bool Phy::carrier_busy() const {
+  return tx_busy_ || sim_.now() < busy_until_;
+}
+
+void Phy::extend_busy(sim::Time until) {
+  if (until <= busy_until_) {
+    // Still need a busy-edge notification if we were idle (e.g. a short
+    // arrival inside an already-covered window cannot shrink it).
+    if (!carrier_was_busy_ && carrier_busy()) {
+      carrier_was_busy_ = true;
+      if (listener_ != nullptr) listener_->phy_carrier_busy();
+    }
+    return;
+  }
+  busy_until_ = until;
+  if (!carrier_was_busy_) {
+    carrier_was_busy_ = true;
+    if (listener_ != nullptr) listener_->phy_carrier_busy();
+  }
+  schedule_idle_check();
+}
+
+void Phy::schedule_idle_check() {
+  sim_.cancel(idle_check_);
+  idle_check_ = sim_.at(busy_until_, [this] {
+    if (sim_.now() < busy_until_) {
+      schedule_idle_check();  // extended meanwhile
+      return;
+    }
+    if (carrier_was_busy_ && !asleep_) {
+      carrier_was_busy_ = false;
+      if (listener_ != nullptr) listener_->phy_carrier_idle();
+    } else {
+      carrier_was_busy_ = false;
+    }
+  });
+}
+
+void Phy::start_tx(FramePtr frame) {
+  RCAST_REQUIRE(frame != nullptr);
+  RCAST_REQUIRE_MSG(!asleep_, "start_tx while asleep");
+  RCAST_REQUIRE_MSG(!tx_busy_, "start_tx while already transmitting");
+  RCAST_REQUIRE_MSG(frame->tx == id_, "frame tx id mismatch");
+  if (dead()) return;
+
+  // Transmitting deafens the radio: abort any in-progress reception.
+  if (locked_arrival_ != 0) {
+    auto it = arrivals_.find(locked_arrival_);
+    if (it != arrivals_.end()) it->second.corrupted = true;
+    locked_arrival_ = 0;
+    ++stats_.rx_missed_tx;
+  }
+
+  tx_busy_ = true;
+  ++stats_.tx_frames;
+  update_energy_state();
+  const sim::Time duration = channel_.duration_of(frame->bits);
+  channel_.transmit(frame, duration);
+  sim_.after(duration, [this] {
+    tx_busy_ = false;
+    update_energy_state();
+    if (listener_ != nullptr) listener_->phy_tx_done();
+  });
+}
+
+void Phy::sleep() {
+  if (asleep_ || dead()) return;
+  RCAST_REQUIRE_MSG(!tx_busy_, "cannot sleep mid-transmission");
+  asleep_ = true;
+  // A dozing radio hears nothing: drop all sensed arrivals and the lock.
+  arrivals_.clear();
+  locked_arrival_ = 0;
+  busy_until_ = sim_.now();
+  carrier_was_busy_ = false;
+  update_energy_state();
+}
+
+void Phy::wake() {
+  if (!asleep_) return;
+  asleep_ = false;
+  update_energy_state();
+  if (dead()) {
+    asleep_ = true;
+    return;
+  }
+  // Physical carrier sense picks up transmissions already on the air, but a
+  // partially-heard frame cannot be decoded.
+  const sim::Time busy = channel_.sensed_busy_until(channel_.position_of(id_));
+  if (busy > sim_.now()) extend_busy(busy);
+}
+
+bool Phy::interferes(double d_interferer, double d_signal) const {
+  const double capture_db = channel_.config().capture_db;
+  if (capture_db <= 0.0) return true;  // capture disabled: overlap corrupts
+  // Two-ray d^-4: SIR(dB) = 40*log10(d_i/d_s) >= capture_db to survive.
+  const double ratio = std::pow(10.0, capture_db / 40.0);
+  return d_interferer < ratio * d_signal;
+}
+
+void Phy::arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
+                        bool in_rx_range, double distance_m,
+                        sim::Time end_time) {
+  if (asleep_ || dead()) {
+    if (in_rx_range && (frame->rx == id_ || frame->rx == kBroadcastId)) {
+      ++stats_.rx_missed_sleep;
+    }
+    return;
+  }
+
+  Arrival a;
+  a.frame = frame;
+  a.distance_m = distance_m;
+
+  // Does this new arrival corrupt an ongoing locked reception?
+  if (locked_arrival_ != 0) {
+    auto it = arrivals_.find(locked_arrival_);
+    if (it != arrivals_.end() &&
+        interferes(distance_m, it->second.distance_m)) {
+      it->second.corrupted = true;
+    }
+  }
+
+  if (in_rx_range) {
+    if (tx_busy_) {
+      a.corrupted = true;
+      ++stats_.rx_missed_tx;
+    } else if (locked_arrival_ != 0) {
+      // Mid-decode of another frame: cannot re-lock (no preamble capture).
+      a.corrupted = true;
+      ++stats_.rx_missed_busy;
+    } else {
+      // Decodable iff every ongoing signal is weak enough to be captured
+      // over; energy from an unknown source (sensed while waking) counts
+      // as an unconditional interferer.
+      bool clean = arrivals_.empty() ? sim_.now() >= busy_until_ : true;
+      for (const auto& [oid, ongoing] : arrivals_) {
+        if (interferes(ongoing.distance_m, distance_m)) {
+          clean = false;
+          break;
+        }
+      }
+      if (clean) {
+        a.locked = true;
+      } else {
+        a.corrupted = true;
+        ++stats_.rx_missed_busy;
+      }
+    }
+  } else {
+    a.corrupted = true;  // carrier-sense-only signal, never decodable here
+  }
+
+  arrivals_.emplace(arrival_id, std::move(a));
+  if (arrivals_.at(arrival_id).locked) {
+    locked_arrival_ = arrival_id;
+  }
+  update_energy_state();
+  extend_busy(end_time);
+}
+
+void Phy::arrival_end(std::uint64_t arrival_id, const FramePtr& frame,
+                      bool in_rx_range) {
+  (void)in_rx_range;
+  auto it = arrivals_.find(arrival_id);
+  if (it == arrivals_.end()) return;  // slept (or was asleep) meanwhile
+  const bool was_locked = (arrival_id == locked_arrival_);
+  const bool corrupted = it->second.corrupted;
+  arrivals_.erase(it);
+  if (was_locked) {
+    locked_arrival_ = 0;
+    update_energy_state();
+    if (corrupted) {
+      ++stats_.rx_collisions;
+    } else {
+      ++stats_.rx_ok;
+      if (listener_ != nullptr) listener_->phy_rx_ok(frame);
+    }
+  }
+}
+
+}  // namespace rcast::phy

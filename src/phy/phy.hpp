@@ -1,0 +1,125 @@
+// Per-node radio.
+//
+// Tracks power state (idle/rx/tx/sleep), carrier sensing, reception locking
+// and collision corruption, and drives the node's EnergyMeter on every state
+// transition. The MAC observes the radio through PhyListener callbacks plus
+// carrier_busy()/busy_until() queries.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "energy/energy_model.hpp"
+#include "phy/channel.hpp"
+#include "phy/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace rcast::phy {
+
+/// MAC-side observer of radio events.
+class PhyListener {
+ public:
+  virtual ~PhyListener() = default;
+
+  /// A frame was fully and cleanly decoded (addressed to anyone). The MAC
+  /// decides whether this is a receive, an overhear, or to be dropped.
+  virtual void phy_rx_ok(const FramePtr& frame) = 0;
+
+  /// Our own transmission finished serializing.
+  virtual void phy_tx_done() = 0;
+
+  /// Carrier went busy (first sensed arrival after an idle period).
+  virtual void phy_carrier_busy() = 0;
+
+  /// Carrier went idle (all sensed arrivals ended).
+  virtual void phy_carrier_idle() = 0;
+};
+
+struct PhyStats {
+  std::uint64_t tx_frames = 0;
+  std::uint64_t rx_ok = 0;
+  std::uint64_t rx_collisions = 0;   // locked receptions corrupted
+  std::uint64_t rx_missed_busy = 0;  // in-range arrivals while already busy
+  std::uint64_t rx_missed_sleep = 0; // in-range arrivals while asleep
+  std::uint64_t rx_missed_tx = 0;    // in-range arrivals while transmitting
+};
+
+class Phy {
+ public:
+  /// `meter` may be null (no energy accounting, e.g. unit tests).
+  Phy(sim::Simulator& simulator, Channel& channel, NodeId id,
+      energy::EnergyMeter* meter);
+
+  NodeId id() const { return id_; }
+  void set_listener(PhyListener* l) { listener_ = l; }
+  const Channel& channel() const { return channel_; }
+
+  // --- MAC-facing control -------------------------------------------------
+
+  /// Begins transmitting. Requires the radio to be awake, not already
+  /// transmitting, and not depleted. Aborts any in-progress reception.
+  void start_tx(FramePtr frame);
+
+  bool transmitting() const { return tx_busy_; }
+  bool sleeping() const { return asleep_; }
+
+  /// True if energy is sensed on the medium now (own TX counts as busy).
+  bool carrier_busy() const;
+
+  /// Time until which the medium is known busy (may be in the past).
+  sim::Time busy_until() const { return busy_until_; }
+
+  /// Enters the low-power doze state: all receptions drop, carrier sensing
+  /// stops. No-op while transmitting (callers must not sleep a busy TX).
+  void sleep();
+
+  /// Wakes the radio; re-acquires carrier state from the channel (a radio
+  /// waking mid-frame senses energy but cannot decode the partial frame).
+  void wake();
+
+  /// True once the node's battery is depleted (radio permanently off).
+  bool dead() const;
+
+  const PhyStats& stats() const { return stats_; }
+
+  // --- Channel-facing (not for MAC use) ------------------------------------
+
+  void arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
+                     bool in_rx_range, double distance_m, sim::Time end_time);
+  void arrival_end(std::uint64_t arrival_id, const FramePtr& frame,
+                   bool in_rx_range);
+
+ private:
+  struct Arrival {
+    FramePtr frame;
+    double distance_m = 0.0;  // transmitter-to-us distance at frame start
+    bool corrupted = false;
+    bool locked = false;  // we are attempting to decode this one
+  };
+
+  /// True if an interferer at `d_interferer` corrupts a signal being decoded
+  /// from `d_signal` (pairwise SINR under two-ray d^-4 with the channel's
+  /// capture threshold).
+  bool interferes(double d_interferer, double d_signal) const;
+
+  void update_energy_state();
+  void extend_busy(sim::Time until);
+  void schedule_idle_check();
+
+  sim::Simulator& sim_;
+  Channel& channel_;
+  NodeId id_;
+  energy::EnergyMeter* meter_;
+  PhyListener* listener_ = nullptr;
+
+  bool asleep_ = false;
+  bool tx_busy_ = false;
+  std::unordered_map<std::uint64_t, Arrival> arrivals_;  // sensed, in flight
+  std::uint64_t locked_arrival_ = 0;  // key into arrivals_, 0 = none
+  sim::Time busy_until_ = 0;
+  bool carrier_was_busy_ = false;
+  sim::EventId idle_check_;
+  PhyStats stats_;
+};
+
+}  // namespace rcast::phy

@@ -1,0 +1,23 @@
+// Plain IEEE 802.11 without PSM: the paper's "802.11" baseline. The radio
+// never sleeps, every packet is transmitted immediately, and overhearing is
+// free (an always-awake radio decodes everything in range).
+#pragma once
+
+#include "mac/mac_types.hpp"
+
+namespace rcast::power {
+
+class AlwaysOnPolicy final : public mac::PowerPolicy {
+ public:
+  bool always_awake() const override { return true; }
+  bool ps_mode_now(sim::Time) override { return false; }
+  bool should_overhear(mac::NodeId, mac::OverhearingMode,
+                       sim::Time) override {
+    return true;  // never consulted: there are no ATIM windows
+  }
+  bool believes_awake(mac::NodeId, sim::Time) override {
+    return true;  // every neighbor is always awake too
+  }
+};
+
+}  // namespace rcast::power

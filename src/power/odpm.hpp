@@ -1,0 +1,95 @@
+// On-Demand Power Management (Zheng & Kravets, INFOCOM 2003), the paper's
+// main comparator.
+//
+// A node switches to AM for a timeout after communication events: 5 s after
+// receiving a RREP, 2 s after sending/receiving/forwarding a data packet
+// (the values used in the Rcast paper). Neighbor power-management modes are
+// learned passively from the PwrMgt bit of decoded frames, so beliefs can be
+// stale; a failed immediate transmission invalidates the belief and the MAC
+// falls back to the ATIM path (reproducing the paper's criticism of ODPM).
+#pragma once
+
+#include <unordered_map>
+
+#include "mac/mac_types.hpp"
+
+namespace rcast::power {
+
+struct OdpmConfig {
+  sim::Time rrep_am_timeout = 5 * sim::kSecond;
+  sim::Time data_am_timeout = 2 * sim::kSecond;
+  /// How long a heard PwrMgt=AM bit is trusted.
+  sim::Time belief_timeout = 2 * sim::kSecond;
+  /// An AM node overhearing a data packet refreshes its data timeout: AM is
+  /// "sticky" near traffic, the behaviour the Rcast paper's Figs. 5-6 show
+  /// (busy-region ODPM nodes pinned at always-on energy).
+  bool refresh_on_overhear = true;
+};
+
+class OdpmPolicy final : public mac::PowerPolicy {
+ public:
+  explicit OdpmPolicy(const OdpmConfig& config = {}) : cfg_(config) {}
+
+  bool always_awake() const override { return false; }
+
+  bool ps_mode_now(sim::Time now) override { return now >= am_until_; }
+
+  bool should_overhear(mac::NodeId, mac::OverhearingMode,
+                       sim::Time) override {
+    // ODPM does not randomize: a PS-mode ODPM node sleeps through other
+    // nodes' data. (AM-mode nodes overhear for free at the MAC tap.)
+    return false;
+  }
+
+  bool believes_awake(mac::NodeId neighbor, sim::Time now) override {
+    const auto it = beliefs_.find(neighbor);
+    if (it == beliefs_.end()) return false;
+    return it->second.am && now - it->second.heard <= cfg_.belief_timeout;
+  }
+
+  void on_immediate_send_failed(mac::NodeId neighbor) override {
+    const auto it = beliefs_.find(neighbor);
+    if (it != beliefs_.end()) it->second.am = false;
+  }
+
+  void on_frame_decoded(const mac::MacFrame& frame, sim::Time now) override {
+    auto& b = beliefs_[frame.src];
+    b.am = frame.pwr_mgt_am;
+    b.heard = now;
+  }
+
+  void on_routing_event(mac::RoutingEvent ev, sim::Time now) override {
+    sim::Time timeout = 0;
+    switch (ev) {
+      case mac::RoutingEvent::kRrepReceived:
+        timeout = cfg_.rrep_am_timeout;
+        break;
+      case mac::RoutingEvent::kDataReceived:
+      case mac::RoutingEvent::kDataForwarded:
+      case mac::RoutingEvent::kDataSent:
+        timeout = cfg_.data_am_timeout;
+        break;
+      case mac::RoutingEvent::kDataOverheard:
+        // Only refreshes an already-running AM period; a PS node is asleep
+        // during data transfers and cannot overhear in the first place.
+        if (!cfg_.refresh_on_overhear || now >= am_until_) return;
+        timeout = cfg_.data_am_timeout;
+        break;
+    }
+    if (now + timeout > am_until_) am_until_ = now + timeout;
+  }
+
+  sim::Time am_until() const { return am_until_; }
+
+ private:
+  struct Belief {
+    bool am = false;
+    sim::Time heard = 0;
+  };
+
+  OdpmConfig cfg_;
+  sim::Time am_until_ = 0;
+  std::unordered_map<mac::NodeId, Belief> beliefs_;
+};
+
+}  // namespace rcast::power

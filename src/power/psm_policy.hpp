@@ -1,0 +1,24 @@
+// Unmodified IEEE 802.11 PSM: nodes consistently operate in PS mode.
+//
+// The overhearing *level* of each packet is chosen by the sender (DSR's
+// OverhearingMap): with the standard ATIM subtype (kNone) neighbors sleep;
+// with kUnconditional they all stay awake. The receiver-side policy below
+// only answers the randomized case, which a plain-PSM node declines — it has
+// no Rcast logic.
+#pragma once
+
+#include "mac/mac_types.hpp"
+
+namespace rcast::power {
+
+class PsmPolicy final : public mac::PowerPolicy {
+ public:
+  bool always_awake() const override { return false; }
+  bool ps_mode_now(sim::Time) override { return true; }
+  bool should_overhear(mac::NodeId, mac::OverhearingMode,
+                       sim::Time) override {
+    return false;
+  }
+};
+
+}  // namespace rcast::power

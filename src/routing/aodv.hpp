@@ -1,0 +1,164 @@
+// Ad-hoc On-demand Distance Vector routing (Perkins & Royer, RFC 3561,
+// simplified).
+//
+// Included as the contrast protocol the paper discusses in §1: AODV keeps
+// hop-by-hop routing tables with destination sequence numbers, uses
+// *periodic hello broadcasts* for link sensing, forbids promiscuous
+// overhearing, and evicts routes by timeout. Under the IEEE 802.11 PSM this
+// design is expensive — every hello is a broadcast announcement that keeps
+// the whole neighborhood awake for a beacon interval — which is exactly the
+// paper's argument for building Rcast on DSR. bench_aodv_contrast
+// quantifies that claim.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "mac/mac.hpp"
+#include "routing/observer.hpp"
+#include "routing/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rcast::routing {
+
+struct AodvConfig {
+  sim::Time active_route_timeout = 3 * sim::kSecond;
+  sim::Time hello_interval = 1 * sim::kSecond;
+  int allowed_hello_loss = 2;  // missed hellos before the link is declared dead
+  /// Discovery: expanding TTLs per attempt, then network-wide retries.
+  int ttl_start = 1;
+  int ttl_increment = 2;
+  int ttl_threshold = 7;
+  int network_ttl = 64;
+  int max_rreq_attempts = 5;
+  sim::Time rreq_backoff_base = 500 * sim::kMillisecond;
+  sim::Time rreq_backoff_max = 10 * sim::kSecond;
+  sim::Time send_buffer_timeout = 30 * sim::kSecond;
+  std::size_t send_buffer_capacity = 64;
+  /// Reply from an intermediate node holding a fresh-enough route.
+  bool intermediate_rrep = true;
+  /// Send hellos only while the node has active routes (RFC behaviour) or
+  /// unconditionally.
+  bool hello_only_when_active = true;
+};
+
+struct AodvStats {
+  std::uint64_t data_originated = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t rreq_originated = 0;
+  std::uint64_t rreq_forwarded = 0;
+  std::uint64_t rreq_duplicates = 0;
+  std::uint64_t rrep_from_target = 0;
+  std::uint64_t rrep_from_intermediate = 0;
+  std::uint64_t rrep_forwarded = 0;
+  std::uint64_t rerr_sent = 0;
+  std::uint64_t hello_sent = 0;
+  std::uint64_t routes_expired = 0;
+  std::uint64_t link_breaks = 0;
+  std::uint64_t drops[static_cast<int>(DropReason::kCount)] = {};
+};
+
+class Aodv final : public mac::MacCallbacks, public RoutingAgent {
+ public:
+  Aodv(sim::Simulator& simulator, mac::Mac& mac_layer,
+       const AodvConfig& config, Rng rng,
+       mac::PowerPolicy* policy = nullptr);
+
+  Aodv(const Aodv&) = delete;
+  Aodv& operator=(const Aodv&) = delete;
+
+  NodeId id() const override { return mac_.id(); }
+  void set_observer(DsrObserver* obs) override { observer_ = obs; }
+
+  void send_data(NodeId dst, std::int64_t payload_bits, std::uint32_t flow_id,
+                 std::uint32_t app_seq) override;
+
+  const AodvStats& stats() const { return stats_; }
+
+  /// Routing-table introspection (tests).
+  bool has_route(NodeId dst) const;
+  NodeId next_hop(NodeId dst) const;
+  std::size_t route_count() const { return table_.size(); }
+  std::size_t send_buffer_depth() const { return buffer_.size(); }
+
+  // --- mac::MacCallbacks ---------------------------------------------------
+  void mac_deliver(const mac::NetDatagramPtr& pkt, NodeId from) override;
+  void mac_overhear(const mac::NetDatagramPtr& pkt, NodeId from,
+                    NodeId to) override;
+  void mac_tx_ok(const mac::NetDatagramPtr& pkt, NodeId next_hop) override;
+  void mac_tx_failed(const mac::NetDatagramPtr& pkt, NodeId next_hop) override;
+
+ private:
+  struct Route {
+    NodeId next_hop = 0;
+    std::uint32_t dest_seq = 0;
+    std::uint32_t hop_count = 0;
+    sim::Time expires = 0;
+    bool valid = false;
+  };
+
+  struct Discovery {
+    int attempts = 0;
+    sim::EventId retry_event;
+  };
+
+  struct Buffered {
+    DsrPacketPtr pkt;
+    sim::Time enqueued;
+  };
+
+  // Origination and forwarding.
+  void try_send(DsrPacketPtr pkt);
+  void forward_data(DsrPacketPtr pkt);
+  void start_discovery(NodeId dst);
+  void send_rreq(NodeId dst, int ttl);
+  void on_rreq_timeout(NodeId dst);
+  void drain_buffer(NodeId dst);
+  void drop(const DsrPacketPtr& pkt, DropReason reason);
+  void expire_buffer();
+
+  // Receive handlers.
+  void handle_rreq(const DsrPacket& pkt, NodeId from);
+  void handle_rrep(const DsrPacket& pkt, NodeId from);
+  void handle_rerr(const DsrPacket& pkt, NodeId from);
+  void handle_hello(const DsrPacket& pkt, NodeId from);
+  void handle_data(const DsrPacket& pkt, const DsrPacketPtr& shared,
+                   NodeId from);
+
+  // Table maintenance.
+  /// Installs/refreshes a route if it is fresher or shorter (RFC rules).
+  bool update_route(NodeId dst, NodeId via, std::uint32_t dest_seq,
+                    std::uint32_t hops, sim::Time lifetime);
+  void refresh_route(NodeId dst);
+  bool route_usable(NodeId dst) const;
+  void on_link_broken(NodeId neighbor);
+  void send_rerr(std::vector<std::pair<NodeId, std::uint32_t>> unreachable);
+
+  // Hello protocol.
+  void on_hello_timer();
+  void check_neighbors();
+  bool rreq_seen(NodeId origin, std::uint32_t rreq_id);
+
+  sim::Simulator& sim_;
+  mac::Mac& mac_;
+  AodvConfig cfg_;
+  Rng rng_;
+  mac::PowerPolicy* policy_;
+  DsrObserver* observer_ = nullptr;
+
+  std::unordered_map<NodeId, Route> table_;
+  std::unordered_map<NodeId, Discovery> discoveries_;
+  std::unordered_map<std::uint64_t, sim::Time> rreq_seen_;
+  std::unordered_map<NodeId, sim::Time> neighbors_last_heard_;
+  std::deque<Buffered> buffer_;
+  std::uint32_t my_seq_ = 0;
+  std::uint32_t next_rreq_id_ = 0;
+  sim::PeriodicTimer hello_timer_;
+  sim::PeriodicTimer buffer_expiry_;
+  AodvStats stats_;
+};
+
+}  // namespace rcast::routing

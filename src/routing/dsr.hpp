@@ -1,0 +1,135 @@
+// The DSR routing agent.
+//
+// Implements route discovery (expanding-ring RREQ flooding with exponential
+// retry backoff), route replies (from the target and, optionally, from
+// intermediate nodes' caches), source-routed data forwarding, route errors
+// with salvaging, and the promiscuous overhearing taps that feed the route
+// cache — the mechanism whose energy cost Rcast controls.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/overhearing_map.hpp"
+#include "mac/mac.hpp"
+#include "routing/observer.hpp"
+#include "routing/packet.hpp"
+#include "routing/route_cache.hpp"
+#include "routing/send_buffer.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rcast::routing {
+
+struct DsrConfig {
+  core::OverhearingMap oh_map = core::OverhearingMap::rcast();
+  RouteCacheConfig cache;
+  sim::Time send_buffer_timeout = 30 * sim::kSecond;
+  std::size_t send_buffer_capacity = 64;
+  bool reply_from_cache = true;
+  /// Expanding ring search: first RREQ with TTL 1, retries network-wide.
+  bool nonpropagating_first = true;
+  int max_rreq_attempts = 8;
+  sim::Time rreq_backoff_base = 500 * sim::kMillisecond;
+  sim::Time rreq_backoff_max = 10 * sim::kSecond;
+  int network_ttl = 64;
+  /// Also cache the reverse (toward-source) direction of overheard routes.
+  bool cache_reverse_overheard = true;
+  bool salvage = true;
+  int max_salvage = 2;
+};
+
+struct DsrStats {
+  std::uint64_t data_originated = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t data_salvaged = 0;
+  std::uint64_t rreq_originated = 0;
+  std::uint64_t rreq_forwarded = 0;
+  std::uint64_t rreq_duplicates = 0;
+  std::uint64_t rrep_from_target = 0;
+  std::uint64_t rrep_from_cache = 0;
+  std::uint64_t rrep_forwarded = 0;
+  std::uint64_t rerr_originated = 0;
+  std::uint64_t rerr_forwarded = 0;
+  std::uint64_t overheard = 0;
+  std::uint64_t cache_adds_overhear = 0;
+  std::uint64_t drops[static_cast<int>(DropReason::kCount)] = {};
+};
+
+class Dsr final : public mac::MacCallbacks, public RoutingAgent {
+ public:
+  Dsr(sim::Simulator& simulator, mac::Mac& mac_layer, const DsrConfig& config,
+      Rng rng, mac::PowerPolicy* policy = nullptr);
+
+  Dsr(const Dsr&) = delete;
+  Dsr& operator=(const Dsr&) = delete;
+
+  NodeId id() const override { return mac_.id(); }
+  void set_observer(DsrObserver* obs) override { observer_ = obs; }
+
+  /// Application entry point: send `payload_bits` of data to `dst`.
+  void send_data(NodeId dst, std::int64_t payload_bits, std::uint32_t flow_id,
+                 std::uint32_t app_seq) override;
+
+  RouteCache& cache() { return cache_; }
+  const RouteCache& cache() const { return cache_; }
+  const DsrStats& stats() const { return stats_; }
+  std::size_t send_buffer_depth() const { return buffer_.size(); }
+
+  // --- mac::MacCallbacks ---------------------------------------------------
+  void mac_deliver(const mac::NetDatagramPtr& pkt, NodeId from) override;
+  void mac_overhear(const mac::NetDatagramPtr& pkt, NodeId from,
+                    NodeId to) override;
+  void mac_tx_ok(const mac::NetDatagramPtr& pkt, NodeId next_hop) override;
+  void mac_tx_failed(const mac::NetDatagramPtr& pkt, NodeId next_hop) override;
+
+ private:
+  struct Discovery {
+    int attempts = 0;
+    sim::EventId retry_event;
+  };
+
+  // Origination and forwarding.
+  void try_send(DsrPacketPtr pkt);
+  void transmit_data(DsrPacketPtr pkt);
+  void start_discovery(NodeId dst);
+  void send_rreq(NodeId dst, int ttl);
+  void on_rreq_timeout(NodeId dst);
+  void cancel_discovery(NodeId dst);
+
+  // Receive handlers.
+  void handle_rreq(const DsrPacket& pkt);
+  void handle_rrep(const DsrPacket& pkt);
+  void handle_data(const DsrPacket& pkt, const DsrPacketPtr& shared);
+  void handle_rerr(const DsrPacket& pkt);
+
+  void send_rrep(std::vector<NodeId> route, std::size_t my_index);
+  void originate_rerr(const DsrPacket& data_pkt, NodeId broken_to);
+  void drain_buffer_via_cache();
+  void drop(const DsrPacketPtr& pkt, DropReason reason);
+  void expire_buffer();
+  bool rreq_seen(NodeId origin, std::uint32_t rreq_id);
+
+  /// Feeds the cache from a packet heard from transmitter `from` carrying
+  /// source route `route` with `from` at position `from_pos`.
+  void cache_from_overheard_route(const std::vector<NodeId>& route,
+                                  NodeId from);
+
+  sim::Simulator& sim_;
+  mac::Mac& mac_;
+  DsrConfig cfg_;
+  Rng rng_;
+  mac::PowerPolicy* policy_;
+  DsrObserver* observer_ = nullptr;
+
+  RouteCache cache_;
+  SendBuffer buffer_;
+  std::unordered_map<NodeId, Discovery> discoveries_;
+  std::unordered_map<std::uint64_t, sim::Time> rreq_seen_;
+  std::uint32_t next_rreq_id_ = 0;
+  sim::PeriodicTimer buffer_expiry_;
+  DsrStats stats_;
+};
+
+}  // namespace rcast::routing

@@ -1,0 +1,66 @@
+// Observation interface shared by the routing agents (DSR and AODV); the
+// metrics layer implements it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "routing/packet.hpp"
+#include "sim/time.hpp"
+
+namespace rcast::routing {
+
+enum class DropReason : std::uint8_t {
+  kNoRoute = 0,          // discovery exhausted its retries
+  kSendBufferOverflow = 1,
+  kSendBufferTimeout = 2,
+  kLinkFailure = 3,      // MAC retries exhausted and salvage failed
+  kMacQueueFull = 4,
+  kCount = 5,
+};
+
+constexpr const char* to_string(DropReason r) {
+  switch (r) {
+    case DropReason::kNoRoute:
+      return "no-route";
+    case DropReason::kSendBufferOverflow:
+      return "send-buffer-overflow";
+    case DropReason::kSendBufferTimeout:
+      return "send-buffer-timeout";
+    case DropReason::kLinkFailure:
+      return "link-failure";
+    case DropReason::kMacQueueFull:
+      return "mac-queue-full";
+    default:
+      return "?";
+  }
+}
+
+/// Hooks for the metrics layer; all methods have empty defaults.
+class DsrObserver {
+ public:
+  virtual ~DsrObserver() = default;
+  virtual void on_data_originated(const DsrPacket&, sim::Time) {}
+  virtual void on_data_delivered(const DsrPacket&, sim::Time) {}
+  virtual void on_data_dropped(const DsrPacket&, DropReason, sim::Time) {}
+  /// Each MAC transmission of a routing control packet (per hop).
+  virtual void on_control_transmit(DsrType, sim::Time) {}
+  /// A source route was attached to an originated data packet — DSR only
+  /// (the paper's role-number accounting input).
+  virtual void on_route_used(const std::vector<NodeId>&, sim::Time) {}
+  /// A node forwarded a data packet (both protocols; AODV's role measure).
+  virtual void on_data_forwarded(NodeId /*by*/, sim::Time) {}
+};
+
+/// Both routing agents implement this; traffic sources and the scenario
+/// builder talk to it.
+class RoutingAgent {
+ public:
+  virtual ~RoutingAgent() = default;
+  virtual NodeId id() const = 0;
+  virtual void send_data(NodeId dst, std::int64_t payload_bits,
+                         std::uint32_t flow_id, std::uint32_t app_seq) = 0;
+  virtual void set_observer(DsrObserver* obs) = 0;
+};
+
+}  // namespace rcast::routing

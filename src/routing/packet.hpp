@@ -1,0 +1,117 @@
+// MANET network-layer packets.
+//
+// One struct covers both routing protocols implemented here: DSR's four
+// packet types (with source routes) and AODV's five (hop-by-hop with
+// sequence numbers and hellos). The active fields depend on `type` and the
+// owning protocol. Packets are immutable once handed to the MAC (shared
+// between the transmitter, every receiver and the overhearing taps);
+// forwarding clones the packet and advances its position.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mac/mac_types.hpp"
+#include "sim/time.hpp"
+
+namespace rcast::routing {
+
+using mac::NodeId;
+
+enum class DsrType : std::uint8_t {
+  kData = 0,
+  kRreq = 1,
+  kRrep = 2,
+  kRerr = 3,
+  kHello = 4,  // AODV only
+};
+
+constexpr const char* to_string(DsrType t) {
+  switch (t) {
+    case DsrType::kData:
+      return "DATA";
+    case DsrType::kRreq:
+      return "RREQ";
+    case DsrType::kRrep:
+      return "RREP";
+    case DsrType::kRerr:
+      return "RERR";
+    case DsrType::kHello:
+      return "HELLO";
+  }
+  return "?";
+}
+
+struct DsrPacket final : mac::NetDatagram {
+  DsrType type = DsrType::kData;
+  NodeId src = 0;  // end-to-end originator
+  NodeId dst = 0;  // end-to-end destination
+
+  /// DATA / RREP: the complete discovered source route [src, ..., dst].
+  /// RERR: the path from the error detector back to the data source.
+  std::vector<NodeId> route;
+
+  /// Index in `route` of the node currently holding the packet. DATA and
+  /// RERR traverse `route` forward; RREP traverses it backward (it starts
+  /// at route.size()-1 and is delivered when it reaches index 0).
+  std::size_t hop_index = 0;
+
+  // DATA
+  std::int64_t payload_bits = 0;
+  std::uint32_t flow_id = 0;
+  std::uint32_t app_seq = 0;
+  sim::Time origin_time = 0;
+  /// First time the source handed this packet to its MAC (0 until then);
+  /// lets the metrics layer split end-to-end delay into route-acquisition
+  /// wait and network transit.
+  sim::Time first_tx_time = 0;
+  int salvage_count = 0;
+
+  // RREQ
+  std::uint32_t rreq_id = 0;
+  std::vector<NodeId> recorded;  // accumulated route, starts with src
+  int ttl = 0;
+
+  // RERR
+  NodeId broken_from = 0;
+  NodeId broken_to = 0;
+
+  // AODV fields (hop-by-hop routing; `route`/`recorded` stay empty).
+  std::uint32_t orig_seq = 0;  // originator's sequence number (RREQ)
+  std::uint32_t dest_seq = 0;  // destination sequence number (RREQ/RREP)
+  std::uint32_t hop_count = 0;
+  /// RERR: destinations that became unreachable, with their sequence nums.
+  std::vector<std::pair<NodeId, std::uint32_t>> unreachable;
+
+  /// On-air network-layer size: 20-byte IP header + 4-byte DSR fixed header
+  /// + per-type option (the DSR option sizes round the RFC 4728 encodings to
+  /// whole words) + payload.
+  std::int64_t size_bits() const override {
+    constexpr std::int64_t kIpDsrHeader = (20 + 4) * 8;
+    switch (type) {
+      case DsrType::kData:
+        return kIpDsrHeader +
+               (4 + 4 * static_cast<std::int64_t>(route.size())) * 8 +
+               payload_bits;
+      case DsrType::kRreq:
+        return kIpDsrHeader +
+               (8 + 4 * static_cast<std::int64_t>(recorded.size())) * 8;
+      case DsrType::kRrep:
+        return kIpDsrHeader +
+               (8 + 4 * static_cast<std::int64_t>(route.size())) * 8;
+      case DsrType::kRerr:
+        return kIpDsrHeader +
+               (12 + 4 * static_cast<std::int64_t>(route.size()) +
+                8 * static_cast<std::int64_t>(unreachable.size())) *
+                   8;
+      case DsrType::kHello:
+        return kIpDsrHeader + 12 * 8;  // AODV hello = minimal RREP
+    }
+    return kIpDsrHeader;
+  }
+};
+
+using DsrPacketPtr = std::shared_ptr<const DsrPacket>;
+
+}  // namespace rcast::routing

@@ -1,0 +1,124 @@
+#include "routing/route_cache.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/assert.hpp"
+
+namespace rcast::routing {
+
+RouteCache::RouteCache(NodeId owner, const RouteCacheConfig& config)
+    : owner_(owner), cfg_(config) {
+  RCAST_REQUIRE(cfg_.capacity > 0);
+}
+
+bool RouteCache::add(std::vector<NodeId> path, sim::Time now) {
+  if (path.size() < 2) return false;
+  if (path.front() != owner_) return false;
+  std::unordered_set<NodeId> seen;
+  for (NodeId n : path) {
+    if (!seen.insert(n).second) return false;  // loop
+  }
+  for (CachedRoute& r : routes_) {
+    if (r.path == path) {
+      r.added = now;
+      r.last_used = now;
+      ++stats_.refreshes;
+      return true;
+    }
+  }
+  routes_.push_back(CachedRoute{std::move(path), now, now});
+  ++stats_.adds;
+  evict_if_needed();
+  return true;
+}
+
+bool RouteCache::expired(const CachedRoute& r, sim::Time now) const {
+  return cfg_.route_ttl > 0 && now - r.added > cfg_.route_ttl;
+}
+
+void RouteCache::evict_if_needed() {
+  while (routes_.size() > cfg_.capacity) {
+    auto victim = std::min_element(
+        routes_.begin(), routes_.end(),
+        [](const CachedRoute& a, const CachedRoute& b) {
+          if (a.last_used != b.last_used) return a.last_used < b.last_used;
+          return a.added < b.added;
+        });
+    routes_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+std::optional<std::vector<NodeId>> RouteCache::find(NodeId dst,
+                                                    sim::Time now) {
+  // Drop stale entries lazily.
+  if (cfg_.route_ttl > 0) {
+    const std::size_t before = routes_.size();
+    std::erase_if(routes_,
+                  [&](const CachedRoute& r) { return expired(r, now); });
+    stats_.expired += before - routes_.size();
+  }
+
+  CachedRoute* best = nullptr;
+  std::size_t best_len = 0;
+  for (CachedRoute& r : routes_) {
+    const auto it = std::find(r.path.begin(), r.path.end(), dst);
+    if (it == r.path.end()) continue;
+    const auto len = static_cast<std::size_t>(it - r.path.begin()) + 1;
+    if (len < 2) continue;  // dst == owner
+    if (best == nullptr || len < best_len ||
+        (len == best_len && r.added > best->added)) {
+      best = &r;
+      best_len = len;
+    }
+  }
+  if (best == nullptr) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  best->last_used = now;
+  return std::vector<NodeId>(best->path.begin(),
+                             best->path.begin() +
+                                 static_cast<std::ptrdiff_t>(best_len));
+}
+
+bool RouteCache::has_route(NodeId dst, sim::Time now) const {
+  for (const CachedRoute& r : routes_) {
+    if (expired(r, now)) continue;
+    const auto it = std::find(r.path.begin(), r.path.end(), dst);
+    if (it != r.path.end() && it != r.path.begin()) return true;
+  }
+  return false;
+}
+
+void RouteCache::remove_link(NodeId a, NodeId b) {
+  bool truncated_any = false;
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    CachedRoute& r = it->path.empty() ? *it : *it;  // readability alias
+    std::size_t cut = r.path.size();
+    for (std::size_t i = 0; i + 1 < r.path.size(); ++i) {
+      const NodeId u = r.path[i];
+      const NodeId v = r.path[i + 1];
+      if ((u == a && v == b) || (u == b && v == a)) {
+        cut = i + 1;  // keep prefix up to and including u
+        break;
+      }
+    }
+    if (cut == r.path.size()) {
+      ++it;
+      continue;
+    }
+    truncated_any = true;
+    if (cut < 2) {
+      it = routes_.erase(it);
+    } else {
+      r.path.resize(cut);
+      ++it;
+    }
+  }
+  if (truncated_any) ++stats_.link_truncations;
+}
+
+}  // namespace rcast::routing

@@ -1,0 +1,76 @@
+// DSR path cache.
+//
+// Stores complete source routes beginning at the owning node, answers
+// shortest-route queries (truncating longer paths at the requested
+// destination), and truncates routes when link errors are learned. Capacity
+// is bounded with LRU eviction; an optional TTL implements the timeout-based
+// staleness eviction of Hu & Johnson (off by default, as in the paper's DSR).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "routing/packet.hpp"
+#include "sim/time.hpp"
+
+namespace rcast::routing {
+
+struct RouteCacheConfig {
+  std::size_t capacity = 64;   // maximum cached paths
+  sim::Time route_ttl = 0;     // 0 = no timeout (paper's DSR)
+};
+
+struct CachedRoute {
+  std::vector<NodeId> path;  // path[0] == owner
+  sim::Time added = 0;
+  sim::Time last_used = 0;
+};
+
+struct RouteCacheStats {
+  std::uint64_t adds = 0;
+  std::uint64_t refreshes = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t link_truncations = 0;
+  std::uint64_t expired = 0;
+};
+
+class RouteCache {
+ public:
+  RouteCache(NodeId owner, const RouteCacheConfig& config);
+
+  NodeId owner() const { return owner_; }
+
+  /// Inserts a loop-free path starting at the owner. Paths shorter than two
+  /// nodes, with loops, or not anchored at the owner are rejected (returns
+  /// false). Re-adding an existing path refreshes its timestamps.
+  bool add(std::vector<NodeId> path, sim::Time now);
+
+  /// Shortest (then freshest) cached route from the owner to `dst`,
+  /// truncated at `dst` if it appears inside a longer path. Updates LRU.
+  std::optional<std::vector<NodeId>> find(NodeId dst, sim::Time now);
+
+  /// True if find() would succeed, without touching LRU state.
+  bool has_route(NodeId dst, sim::Time now) const;
+
+  /// Handles a broken link (either direction): truncates every path at the
+  /// link, dropping paths that become trivial.
+  void remove_link(NodeId a, NodeId b);
+
+  std::size_t size() const { return routes_.size(); }
+  const std::vector<CachedRoute>& routes() const { return routes_; }
+  const RouteCacheStats& stats() const { return stats_; }
+
+ private:
+  bool expired(const CachedRoute& r, sim::Time now) const;
+  void evict_if_needed();
+
+  NodeId owner_;
+  RouteCacheConfig cfg_;
+  std::vector<CachedRoute> routes_;
+  RouteCacheStats stats_;
+};
+
+}  // namespace rcast::routing

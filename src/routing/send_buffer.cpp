@@ -1,0 +1,49 @@
+#include "routing/send_buffer.hpp"
+
+namespace rcast::routing {
+
+std::vector<DsrPacketPtr> SendBuffer::push(DsrPacketPtr pkt, sim::Time now) {
+  std::vector<DsrPacketPtr> dropped;
+  entries_.push_back(Entry{std::move(pkt), now});
+  while (entries_.size() > capacity_) {
+    dropped.push_back(std::move(entries_.front().pkt));
+    entries_.pop_front();
+  }
+  return dropped;
+}
+
+std::vector<DsrPacketPtr> SendBuffer::take_for(NodeId dst) {
+  std::vector<DsrPacketPtr> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->pkt->dst == dst) {
+      out.push_back(std::move(it->pkt));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+std::vector<DsrPacketPtr> SendBuffer::expire(sim::Time now,
+                                             sim::Time timeout) {
+  std::vector<DsrPacketPtr> out;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (now - it->enqueued > timeout) {
+      out.push_back(std::move(it->pkt));
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+bool SendBuffer::any_for(NodeId dst) const {
+  for (const Entry& e : entries_) {
+    if (e.pkt->dst == dst) return true;
+  }
+  return false;
+}
+
+}  // namespace rcast::routing

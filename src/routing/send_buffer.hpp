@@ -1,0 +1,39 @@
+// Holds data packets while route discovery runs (DSR send buffer).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "routing/packet.hpp"
+
+namespace rcast::routing {
+
+class SendBuffer {
+ public:
+  explicit SendBuffer(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Buffers a packet; if full, the oldest entry is dropped and returned so
+  /// the caller can account for it.
+  std::vector<DsrPacketPtr> push(DsrPacketPtr pkt, sim::Time now);
+
+  /// Removes and returns all packets destined to `dst`.
+  std::vector<DsrPacketPtr> take_for(NodeId dst);
+
+  /// Removes and returns all packets older than `timeout`.
+  std::vector<DsrPacketPtr> expire(sim::Time now, sim::Time timeout);
+
+  bool any_for(NodeId dst) const;
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    DsrPacketPtr pkt;
+    sim::Time enqueued;
+  };
+
+  std::size_t capacity_;
+  std::deque<Entry> entries_;
+};
+
+}  // namespace rcast::routing

@@ -1,0 +1,140 @@
+#include "scenario/experiment.hpp"
+
+#include <algorithm>
+#include <future>
+#include <iomanip>
+#include <sstream>
+#include <thread>
+
+#include "util/assert.hpp"
+#include "util/flags.hpp"
+
+namespace rcast::scenario {
+
+std::vector<RunResult> run_repetitions(const ScenarioConfig& cfg,
+                                       std::size_t repetitions,
+                                       std::size_t threads) {
+  RCAST_REQUIRE(repetitions > 0);
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+  threads = std::min(threads, repetitions);
+
+  std::vector<RunResult> results(repetitions);
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t w = 0; w < threads; ++w) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= repetitions) return;
+        ScenarioConfig c = cfg;
+        c.seed = cfg.seed + i;
+        results[i] = run_scenario(c);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  return results;
+}
+
+RunResult average(const std::vector<RunResult>& runs) {
+  RCAST_REQUIRE(!runs.empty());
+  RunResult avg = runs.front();
+  const double n = static_cast<double>(runs.size());
+
+  auto mean_of = [&](auto extract) {
+    double acc = 0.0;
+    for (const auto& r : runs) acc += extract(r);
+    return acc / n;
+  };
+
+  avg.total_energy_j = mean_of([](const RunResult& r) { return r.total_energy_j; });
+  avg.energy_variance = mean_of([](const RunResult& r) { return r.energy_variance; });
+  avg.energy_mean_j = mean_of([](const RunResult& r) { return r.energy_mean_j; });
+  avg.energy_min_j = mean_of([](const RunResult& r) { return r.energy_min_j; });
+  avg.energy_max_j = mean_of([](const RunResult& r) { return r.energy_max_j; });
+  avg.pdr_percent = mean_of([](const RunResult& r) { return r.pdr_percent; });
+  avg.avg_delay_s = mean_of([](const RunResult& r) { return r.avg_delay_s; });
+  avg.energy_per_bit_j = mean_of([](const RunResult& r) { return r.energy_per_bit_j; });
+  avg.normalized_overhead =
+      mean_of([](const RunResult& r) { return r.normalized_overhead; });
+  avg.first_death_s = mean_of([](const RunResult& r) { return r.first_death_s; });
+
+  auto mean_u64 = [&](auto extract) {
+    double acc = 0.0;
+    for (const auto& r : runs) acc += static_cast<double>(extract(r));
+    return static_cast<std::uint64_t>(acc / n);
+  };
+  avg.originated = mean_u64([](const RunResult& r) { return r.originated; });
+  avg.delivered = mean_u64([](const RunResult& r) { return r.delivered; });
+  avg.control_tx = mean_u64([](const RunResult& r) { return r.control_tx; });
+  avg.atim_tx = mean_u64([](const RunResult& r) { return r.atim_tx; });
+  avg.data_tx_attempts =
+      mean_u64([](const RunResult& r) { return r.data_tx_attempts; });
+  avg.overhear_commits =
+      mean_u64([](const RunResult& r) { return r.overhear_commits; });
+  avg.overhear_declines =
+      mean_u64([](const RunResult& r) { return r.overhear_declines; });
+  avg.mac_sleeps = mean_u64([](const RunResult& r) { return r.mac_sleeps; });
+  avg.rreq_tx = mean_u64([](const RunResult& r) { return r.rreq_tx; });
+  avg.rrep_tx = mean_u64([](const RunResult& r) { return r.rrep_tx; });
+  avg.rerr_tx = mean_u64([](const RunResult& r) { return r.rerr_tx; });
+  avg.dead_nodes = static_cast<std::size_t>(
+      mean_u64([](const RunResult& r) { return r.dead_nodes; }));
+
+  // Element-wise averages of the per-node vectors.
+  for (std::size_t i = 0; i < avg.per_node_energy_j.size(); ++i) {
+    double acc = 0.0;
+    for (const auto& r : runs) acc += r.per_node_energy_j[i];
+    avg.per_node_energy_j[i] = acc / n;
+  }
+  for (std::size_t i = 0; i < avg.role_numbers.size(); ++i) {
+    double acc = 0.0;
+    for (const auto& r : runs) acc += static_cast<double>(r.role_numbers[i]);
+    avg.role_numbers[i] = static_cast<std::uint64_t>(acc / n);
+  }
+  return avg;
+}
+
+BenchScale BenchScale::from_env() {
+  BenchScale s{};
+  s.full = Flags::env_flag("RCAST_FULL");
+  if (s.full) {
+    s.duration = 1125 * sim::kSecond;
+    s.num_nodes = 100;
+    s.num_flows = 20;
+    s.repetitions = 10;
+  } else {
+    s.duration = 150 * sim::kSecond;
+    s.num_nodes = 60;
+    s.num_flows = 12;
+    s.repetitions = 3;
+  }
+  const std::string d = Flags::env_or("RCAST_DURATION_S", "");
+  if (!d.empty()) s.duration = sim::from_seconds(std::stod(d));
+  const std::string r = Flags::env_or("RCAST_REPS", "");
+  if (!r.empty()) s.repetitions = static_cast<std::size_t>(std::stoul(r));
+  return s;
+}
+
+std::string fmt(double v, int width, int precision) {
+  std::ostringstream os;
+  os << std::setw(width) << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmt(std::uint64_t v, int width) {
+  std::ostringstream os;
+  os << std::setw(width) << v;
+  return os.str();
+}
+
+std::string fmt(const std::string& s, int width) {
+  std::ostringstream os;
+  os << std::setw(width) << s;
+  return os.str();
+}
+
+}  // namespace rcast::scenario

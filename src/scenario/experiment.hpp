@@ -1,0 +1,49 @@
+// Experiment runner: multi-seed repetitions (in parallel — each run owns an
+// independent Simulator), result averaging, and the table emitters the bench
+// binaries share.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace rcast::scenario {
+
+/// Runs `repetitions` independent seeds of `cfg` (seed, seed+1, ...) across
+/// up to `threads` worker threads (0 = hardware concurrency).
+std::vector<RunResult> run_repetitions(const ScenarioConfig& cfg,
+                                       std::size_t repetitions,
+                                       std::size_t threads = 0);
+
+/// Scalar means across repetitions (vectors averaged element-wise).
+RunResult average(const std::vector<RunResult>& runs);
+
+/// Scales the paper's full scenario down so a bench binary finishes in
+/// seconds. Honors RCAST_FULL=1 (paper scale: 1125 s, 100 nodes, 10 seeds).
+struct BenchScale {
+  sim::Time duration;
+  std::size_t num_nodes;
+  std::size_t num_flows;
+  std::size_t repetitions;
+  bool full;
+
+  /// Reads RCAST_FULL / RCAST_DURATION_S / RCAST_REPS from the environment.
+  static BenchScale from_env();
+
+  void apply(ScenarioConfig& cfg) const {
+    cfg.duration = duration;
+    cfg.num_nodes = num_nodes;
+    cfg.num_flows = num_flows;
+  }
+};
+
+/// Pause time meaning "static scenario" for a given duration.
+inline sim::Time static_pause(sim::Time duration) { return duration; }
+
+/// Fixed-width cell helpers for paper-style tables.
+std::string fmt(double v, int width = 10, int precision = 2);
+std::string fmt(std::uint64_t v, int width = 10);
+std::string fmt(const std::string& s, int width = 10);
+
+}  // namespace rcast::scenario

@@ -1,0 +1,234 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+
+#include "mobility/random_waypoint.hpp"
+#include "power/always_on.hpp"
+#include "power/psm_policy.hpp"
+#include "util/assert.hpp"
+
+namespace rcast::scenario {
+
+core::OverhearingMap oh_map_for(Scheme s) {
+  switch (s) {
+    case Scheme::k80211:
+    case Scheme::kPsmNone:
+    case Scheme::kOdpm:
+      return core::OverhearingMap::psm_none();
+    case Scheme::kPsmAll:
+      return core::OverhearingMap::psm_all();
+    case Scheme::kRcast:
+      return core::OverhearingMap::rcast();
+    case Scheme::kRcastBcast:
+      return core::OverhearingMap::rcast_with_broadcast();
+  }
+  return core::OverhearingMap::rcast();
+}
+
+bool scheme_uses_psm(Scheme s) { return s != Scheme::k80211; }
+
+// --------------------------------------------------------------------------
+// Node
+// --------------------------------------------------------------------------
+
+Node::Node(sim::Simulator& simulator, phy::Channel& channel,
+           mobility::MobilityManager& mobility, const ScenarioConfig& cfg,
+           phy::NodeId id, Rng rng) {
+  (void)mobility;
+  meter_ = std::make_unique<energy::EnergyMeter>(cfg.power, simulator.now(),
+                                                 cfg.battery_joules);
+  phy_ = std::make_unique<phy::Phy>(simulator, channel, id, meter_.get());
+
+  mac::MacConfig mac_cfg = cfg.mac;
+  mac_cfg.psm_enabled = scheme_uses_psm(cfg.scheme);
+  Rng mac_rng = rng.fork(0xAC);
+  if (cfg.sync_jitter > 0) {
+    mac_cfg.beacon_offset = static_cast<sim::Time>(
+        mac_rng.uniform(0.0, static_cast<double>(cfg.sync_jitter)));
+  }
+  mac_ = std::make_unique<mac::Mac>(simulator, *phy_, mac_cfg, mac_rng);
+
+  switch (cfg.scheme) {
+    case Scheme::k80211:
+      policy_ = std::make_unique<power::AlwaysOnPolicy>();
+      break;
+    case Scheme::kPsmNone:
+    case Scheme::kPsmAll:
+      policy_ = std::make_unique<power::PsmPolicy>();
+      break;
+    case Scheme::kOdpm:
+      policy_ = std::make_unique<power::OdpmPolicy>(cfg.odpm);
+      break;
+    case Scheme::kRcast:
+    case Scheme::kRcastBcast: {
+      core::RcastConfig rc = cfg.rcast;
+      if (cfg.rcast_oracle_neighbors && !rc.neighbor_count_fn) {
+        rc.neighbor_count_fn = [&channel, id] {
+          return channel.neighbor_count(id);
+        };
+      }
+      policy_ = std::make_unique<core::RcastPolicy>(rc, rng.fork(0x5C),
+                                                    meter_.get());
+      break;
+    }
+  }
+  mac_->set_power_policy(policy_.get());
+
+  if (cfg.routing == RoutingProtocol::kDsr) {
+    routing::DsrConfig dsr_cfg = cfg.dsr;
+    if (!cfg.override_oh_map) dsr_cfg.oh_map = oh_map_for(cfg.scheme);
+    dsr_ = std::make_unique<routing::Dsr>(simulator, *mac_, dsr_cfg,
+                                          rng.fork(0xD5), policy_.get());
+  } else {
+    aodv_ = std::make_unique<routing::Aodv>(simulator, *mac_, cfg.aodv,
+                                            rng.fork(0xA0), policy_.get());
+  }
+  mac_->start();
+}
+
+routing::RoutingAgent& Node::agent() {
+  if (dsr_ != nullptr) return *dsr_;
+  return *aodv_;
+}
+
+routing::Dsr& Node::dsr() {
+  RCAST_REQUIRE_MSG(dsr_ != nullptr, "node runs AODV, not DSR");
+  return *dsr_;
+}
+
+routing::Aodv& Node::aodv() {
+  RCAST_REQUIRE_MSG(aodv_ != nullptr, "node runs DSR, not AODV");
+  return *aodv_;
+}
+
+// --------------------------------------------------------------------------
+// Network
+// --------------------------------------------------------------------------
+
+Network::Network(const ScenarioConfig& cfg)
+    : cfg_(cfg),
+      mobility_(sim_, cfg.world, std::max(cfg.cs_range_m, 1.0)),
+      channel_(sim_, mobility_,
+               phy::ChannelConfig{cfg.tx_range_m, cfg.cs_range_m,
+                                  cfg.bitrate_bps}),
+      metrics_(cfg.num_nodes) {
+  RCAST_REQUIRE(cfg.num_nodes >= 2);
+  Rng root(cfg.seed);
+
+  // Mobility models. A pause >= duration makes the node effectively static
+  // (the paper's T_pause = 1125 s scenario).
+  Rng mob_rng = root.fork(0x30B);
+  for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
+    mobility::RandomWaypointConfig m;
+    m.world = cfg.world;
+    m.max_speed_mps = std::max(cfg.max_speed_mps, 0.2);
+    m.min_speed_mps = std::min(0.1, m.max_speed_mps / 2.0);
+    m.pause = cfg.pause;
+    mobility_.add_node(static_cast<phy::NodeId>(i),
+                       std::make_unique<mobility::RandomWaypointModel>(
+                           m, mob_rng.fork(i)));
+  }
+
+  // Nodes.
+  Rng node_rng = root.fork(0x40DE);
+  for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
+    nodes_.push_back(std::make_unique<Node>(sim_, channel_, mobility_, cfg,
+                                            static_cast<phy::NodeId>(i),
+                                            node_rng.fork(i)));
+    nodes_.back()->agent().set_observer(&metrics_);
+    fleet_.add(&nodes_.back()->meter());
+  }
+
+  // Traffic.
+  Rng traffic_rng = root.fork(0x7AF1C);
+  auto flows = traffic::make_flow_matrix(cfg.num_nodes, cfg.num_flows,
+                                         cfg.rate_pps, cfg.payload_bits,
+                                         traffic_rng);
+  for (const auto& f : flows) {
+    sources_.push_back(std::make_unique<traffic::CbrSource>(
+        sim_, nodes_[f.src]->agent(), f, traffic_rng.fork(f.flow_id)));
+  }
+}
+
+void Network::set_secondary_observer(routing::DsrObserver* obs) {
+  RCAST_REQUIRE(obs != nullptr);
+  tee_ = std::make_unique<stats::TeeObserver>(metrics_, *obs);
+  for (auto& n : nodes_) n->agent().set_observer(tee_.get());
+}
+
+RunResult Network::run() {
+  sim_.run_until(cfg_.duration);
+  return summarize();
+}
+
+RunResult Network::summarize() {
+  RunResult r;
+  r.scheme = cfg_.scheme;
+  r.duration_s = sim::to_seconds(cfg_.duration);
+
+  const sim::Time now = sim_.now();
+  r.per_node_energy_j = fleet_.per_node_joules(now);
+  const RunningStats es = fleet_.stats(now);
+  r.total_energy_j = es.sum();
+  r.energy_variance = es.variance();
+  r.energy_mean_j = es.mean();
+  r.energy_min_j = es.min();
+  r.energy_max_j = es.max();
+
+  r.originated = metrics_.originated();
+  r.delivered = metrics_.delivered();
+  r.pdr_percent = metrics_.pdr_percent();
+  r.avg_delay_s = metrics_.avg_delay_s();
+  r.delay_p50_s = metrics_.delay_quantile(0.5);
+  r.delay_p90_s = metrics_.delay_quantile(0.9);
+  r.avg_route_wait_s = metrics_.route_wait_stats().mean();
+  r.avg_transit_s = metrics_.transit_stats().mean();
+  const auto bits = metrics_.delivered_payload_bits();
+  r.energy_per_bit_j = bits > 0 ? r.total_energy_j / static_cast<double>(bits)
+                                : 0.0;
+  r.control_tx = metrics_.control_transmissions();
+  r.normalized_overhead = metrics_.normalized_overhead();
+  r.role_numbers = metrics_.role_numbers();
+
+  for (const auto& n : nodes_) {
+    const mac::MacStats& ms = n->mac().stats();
+    r.atim_tx += ms.atim_tx;
+    r.data_tx_attempts += ms.data_tx_attempts;
+    r.overhear_commits += ms.overhear_commits;
+    r.overhear_declines += ms.overhear_declines;
+    r.mac_sleeps += ms.sleeps;
+    r.data_tx_failed += ms.data_tx_failed;
+    if (cfg_.routing == RoutingProtocol::kDsr) {
+      const routing::DsrStats& ds = n->dsr().stats();
+      r.data_salvaged += ds.data_salvaged;
+      r.rreq_tx += ds.rreq_originated + ds.rreq_forwarded;
+      r.rrep_tx +=
+          ds.rrep_from_target + ds.rrep_from_cache + ds.rrep_forwarded;
+      r.rerr_tx += ds.rerr_originated + ds.rerr_forwarded;
+    } else {
+      const routing::AodvStats& as = n->aodv().stats();
+      r.rreq_tx += as.rreq_originated + as.rreq_forwarded;
+      r.rrep_tx += as.rrep_from_target + as.rrep_from_intermediate +
+                   as.rrep_forwarded;
+      r.rerr_tx += as.rerr_sent;
+      r.hello_tx += as.hello_sent;
+    }
+  }
+
+  for (int d = 0; d < static_cast<int>(routing::DropReason::kCount); ++d) {
+    r.drops[static_cast<std::size_t>(d)] =
+        metrics_.drops(static_cast<routing::DropReason>(d));
+  }
+
+  r.dead_nodes = fleet_.dead_count();
+  if (auto fd = fleet_.first_death()) r.first_death_s = sim::to_seconds(*fd);
+  r.events_executed = sim_.executed_events();
+  return r;
+}
+
+RunResult run_scenario(const ScenarioConfig& cfg) {
+  Network net(cfg);
+  return net.run();
+}
+
+}  // namespace rcast::scenario

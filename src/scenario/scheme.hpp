@@ -1,0 +1,51 @@
+// The communication schemes compared in the paper (plus the two PSM
+// overhearing extremes used as ablation baselines).
+#pragma once
+
+#include <string_view>
+
+namespace rcast::scenario {
+
+enum class Scheme {
+  k80211 = 0,     // plain IEEE 802.11, no PSM — always awake
+  kPsmNone = 1,   // IEEE 802.11 PSM, no overhearing (the "naive solution")
+  kPsmAll = 2,    // IEEE 802.11 PSM, unconditional overhearing
+  kOdpm = 3,      // On-Demand Power Management (Zheng & Kravets)
+  kRcast = 4,     // RandomCast (the paper's contribution)
+  kRcastBcast = 5,  // Rcast + randomized broadcast receiving (paper §5)
+};
+
+constexpr std::string_view to_string(Scheme s) {
+  switch (s) {
+    case Scheme::k80211:
+      return "80211";
+    case Scheme::kPsmNone:
+      return "PSM-NONE";
+    case Scheme::kPsmAll:
+      return "PSM-ALL";
+    case Scheme::kOdpm:
+      return "ODPM";
+    case Scheme::kRcast:
+      return "RCAST";
+    case Scheme::kRcastBcast:
+      return "RCAST-BC";
+  }
+  return "?";
+}
+
+enum class RoutingProtocol {
+  kDsr = 0,   // Dynamic Source Routing (the paper's substrate)
+  kAodv = 1,  // Ad-hoc On-demand Distance Vector (contrast, paper §1)
+};
+
+constexpr std::string_view to_string(RoutingProtocol p) {
+  switch (p) {
+    case RoutingProtocol::kDsr:
+      return "DSR";
+    case RoutingProtocol::kAodv:
+      return "AODV";
+  }
+  return "?";
+}
+
+}  // namespace rcast::scenario

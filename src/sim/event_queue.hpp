@@ -1,0 +1,100 @@
+// Cancellable priority queue of timestamped events.
+//
+// Ties at the same timestamp fire in scheduling order (FIFO), which keeps
+// protocol traces deterministic and intuitive. Cancellation is O(1) via
+// tombstoning: the heap entry stays, the handler is dropped, and the entry is
+// skipped at pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "util/assert.hpp"
+
+namespace rcast::sim {
+
+/// Opaque handle to a scheduled event; valid until the event fires or is
+/// cancelled. Default-constructed handles are null.
+class EventId {
+ public:
+  EventId() = default;
+  bool valid() const { return seq_ != 0; }
+  bool operator==(const EventId&) const = default;
+
+ private:
+  friend class EventQueue;
+  explicit EventId(std::uint64_t seq) : seq_(seq) {}
+  std::uint64_t seq_ = 0;
+};
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `h` at absolute time `t` (must not be in the past relative to
+  /// the last popped event).
+  EventId push(Time t, Handler h) {
+    RCAST_REQUIRE_MSG(t >= last_popped_, "scheduling into the past");
+    const std::uint64_t seq = ++next_seq_;
+    heap_.push(Entry{t, seq});
+    handlers_.emplace(seq, std::move(h));
+    return EventId(seq);
+  }
+
+  /// Cancels a pending event; no-op if it already fired or was cancelled.
+  /// Returns true if an event was actually cancelled.
+  bool cancel(EventId id) { return handlers_.erase(id.seq_) > 0; }
+
+  bool empty() const { return handlers_.empty(); }
+  std::size_t size() const { return handlers_.size(); }
+
+  /// Earliest pending event time. Requires !empty().
+  Time next_time() {
+    skip_tombstones();
+    RCAST_REQUIRE(!heap_.empty());
+    return heap_.top().time;
+  }
+
+  /// Pops and returns the earliest event. Requires !empty().
+  std::pair<Time, Handler> pop() {
+    skip_tombstones();
+    RCAST_REQUIRE(!heap_.empty());
+    const Entry e = heap_.top();
+    heap_.pop();
+    auto it = handlers_.find(e.seq);
+    RCAST_DCHECK(it != handlers_.end());
+    Handler h = std::move(it->second);
+    handlers_.erase(it);
+    last_popped_ = e.time;
+    return {e.time, std::move(h)};
+  }
+
+  /// Total events ever scheduled (monotone; for bench instrumentation).
+  std::uint64_t scheduled_count() const { return next_seq_; }
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;
+    // Min-heap by (time, seq): std::priority_queue is a max-heap so invert.
+    bool operator<(const Entry& o) const {
+      if (time != o.time) return time > o.time;
+      return seq > o.seq;
+    }
+  };
+
+  void skip_tombstones() {
+    while (!heap_.empty() && !handlers_.count(heap_.top().seq)) heap_.pop();
+  }
+
+  std::priority_queue<Entry> heap_;
+  std::unordered_map<std::uint64_t, Handler> handlers_;
+  std::uint64_t next_seq_ = 0;
+  Time last_popped_ = 0;
+};
+
+}  // namespace rcast::sim

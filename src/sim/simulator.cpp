@@ -1,0 +1,33 @@
+#include "sim/simulator.hpp"
+
+namespace rcast::sim {
+
+void Simulator::run_until(Time end) {
+  while (!queue_.empty() && queue_.next_time() <= end) {
+    auto [t, h] = queue_.pop();
+    now_ = t;
+    ++executed_;
+    h();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    auto [t, h] = queue_.pop();
+    now_ = t;
+    ++executed_;
+    h();
+  }
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [t, h] = queue_.pop();
+  now_ = t;
+  ++executed_;
+  h();
+  return true;
+}
+
+}  // namespace rcast::sim

@@ -1,0 +1,140 @@
+// The simulation run loop: a clock plus the event queue.
+//
+// All protocol modules hold a Simulator& and schedule callbacks; nothing in
+// the codebase reads wall-clock time. One Simulator per scenario run; runs
+// are independent, so experiment sweeps parallelize across threads with one
+// Simulator each.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace rcast::sim {
+
+class Simulator {
+ public:
+  using Handler = EventQueue::Handler;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+
+  /// Schedules at an absolute simulation time (>= now).
+  EventId at(Time t, Handler h) {
+    RCAST_REQUIRE(t >= now_);
+    return queue_.push(t, std::move(h));
+  }
+
+  /// Schedules `delay` nanoseconds from now (delay >= 0).
+  EventId after(Time delay, Handler h) {
+    RCAST_REQUIRE(delay >= 0);
+    return queue_.push(now_ + delay, std::move(h));
+  }
+
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs events until the queue drains or the clock passes `end`.
+  /// Events scheduled exactly at `end` are executed.
+  void run_until(Time end);
+
+  /// Runs until the queue is empty.
+  void run_all();
+
+  /// Executes at most one pending event; returns false if none remain.
+  bool step();
+
+  std::uint64_t executed_events() const { return executed_; }
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  Time now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+/// Repeating timer bound to a Simulator. Owns its pending event; destroying
+/// or stopping the timer cancels it (safe against firing after teardown).
+class PeriodicTimer {
+ public:
+  /// `callback` runs every `period` starting at `start` (absolute time).
+  PeriodicTimer(Simulator& simulator, std::function<void()> callback)
+      : sim_(simulator), callback_(std::move(callback)) {}
+
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start(Time first_fire, Time period) {
+    RCAST_REQUIRE(period > 0);
+    stop();
+    period_ = period;
+    running_ = true;
+    pending_ = sim_.at(first_fire, [this] { fire(); });
+  }
+
+  void stop() {
+    if (running_) {
+      sim_.cancel(pending_);
+      running_ = false;
+    }
+  }
+
+  bool running() const { return running_; }
+
+ private:
+  void fire() {
+    // Re-arm before the callback so the callback may stop() the timer.
+    pending_ = sim_.after(period_, [this] { fire(); });
+    callback_();
+  }
+
+  Simulator& sim_;
+  std::function<void()> callback_;
+  Time period_ = 0;
+  EventId pending_;
+  bool running_ = false;
+};
+
+/// One-shot timer whose deadline can be re-armed or cancelled; used for MAC
+/// timeouts, DSR send-buffer expiry, ODPM mode timeouts, etc.
+class OneShotTimer {
+ public:
+  OneShotTimer(Simulator& simulator, std::function<void()> callback)
+      : sim_(simulator), callback_(std::move(callback)) {}
+
+  ~OneShotTimer() { cancel(); }
+  OneShotTimer(const OneShotTimer&) = delete;
+  OneShotTimer& operator=(const OneShotTimer&) = delete;
+
+  /// (Re)arms the timer to fire `delay` from now.
+  void arm(Time delay) {
+    cancel();
+    armed_ = true;
+    pending_ = sim_.after(delay, [this] {
+      armed_ = false;
+      callback_();
+    });
+  }
+
+  void cancel() {
+    if (armed_) {
+      sim_.cancel(pending_);
+      armed_ = false;
+    }
+  }
+
+  bool armed() const { return armed_; }
+
+ private:
+  Simulator& sim_;
+  std::function<void()> callback_;
+  EventId pending_;
+  bool armed_ = false;
+};
+
+}  // namespace rcast::sim

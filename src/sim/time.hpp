@@ -1,0 +1,43 @@
+// Simulation time: signed 64-bit nanoseconds since simulation start.
+//
+// Integer time makes event ordering exact and replayable (no floating-point
+// accumulation drift across 10^9 events). 2^63 ns ≈ 292 years, far beyond any
+// scenario. Helpers convert from the human units used by the paper.
+#pragma once
+
+#include <cstdint>
+
+namespace rcast::sim {
+
+using Time = std::int64_t;  // nanoseconds
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond));
+}
+constexpr Time from_millis(double ms) {
+  return static_cast<Time>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Time from_micros(double us) {
+  return static_cast<Time>(us * static_cast<double>(kMicrosecond));
+}
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+constexpr double to_millis(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Serialization time of `bits` at `bits_per_second`, rounded up to a whole
+/// nanosecond so a frame never "finishes early".
+constexpr Time tx_duration(std::int64_t bits, std::int64_t bits_per_second) {
+  // ceil(bits * 1e9 / rate) without overflow for realistic frame sizes.
+  const std::int64_t num = bits * kSecond;
+  return (num + bits_per_second - 1) / bits_per_second;
+}
+
+}  // namespace rcast::sim

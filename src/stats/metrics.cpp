@@ -1,0 +1,66 @@
+#include "stats/metrics.hpp"
+
+#include <numeric>
+
+namespace rcast::stats {
+
+void MetricsCollector::on_data_originated(const routing::DsrPacket&,
+                                          sim::Time) {
+  ++originated_;
+}
+
+void MetricsCollector::on_data_delivered(const routing::DsrPacket& pkt,
+                                         sim::Time now) {
+  if (!delivered_keys_.insert(key_of(pkt)).second) return;  // duplicate path
+  ++delivered_;
+  delivered_bits_ += static_cast<std::uint64_t>(pkt.payload_bits);
+  const double delay_s = sim::to_seconds(now - pkt.origin_time);
+  delay_.add(delay_s);
+  delay_samples_.add(delay_s);
+  if (pkt.first_tx_time != 0) {
+    route_wait_.add(sim::to_seconds(pkt.first_tx_time - pkt.origin_time));
+    transit_.add(sim::to_seconds(now - pkt.first_tx_time));
+  }
+}
+
+void MetricsCollector::on_data_dropped(const routing::DsrPacket&,
+                                       routing::DropReason reason,
+                                       sim::Time) {
+  ++drops_[static_cast<int>(reason)];
+}
+
+void MetricsCollector::on_control_transmit(routing::DsrType type, sim::Time) {
+  ++control_tx_[static_cast<int>(type)];
+}
+
+void MetricsCollector::on_route_used(
+    const std::vector<routing::NodeId>& route, sim::Time) {
+  for (std::size_t i = 1; i + 1 < route.size(); ++i) {
+    if (route[i] < role_.size()) ++role_[route[i]];
+  }
+}
+
+double MetricsCollector::pdr_percent() const {
+  if (originated_ == 0) return 0.0;
+  return 100.0 * static_cast<double>(delivered_) /
+         static_cast<double>(originated_);
+}
+
+std::uint64_t MetricsCollector::control_transmissions() const {
+  return control_tx_[static_cast<int>(routing::DsrType::kRreq)] +
+         control_tx_[static_cast<int>(routing::DsrType::kRrep)] +
+         control_tx_[static_cast<int>(routing::DsrType::kRerr)] +
+         control_tx_[static_cast<int>(routing::DsrType::kHello)];
+}
+
+double MetricsCollector::normalized_overhead() const {
+  if (delivered_ == 0) return 0.0;
+  return static_cast<double>(control_transmissions()) /
+         static_cast<double>(delivered_);
+}
+
+std::uint64_t MetricsCollector::total_drops() const {
+  return std::accumulate(drops_.begin(), drops_.end(), std::uint64_t{0});
+}
+
+}  // namespace rcast::stats

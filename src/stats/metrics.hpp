@@ -1,0 +1,95 @@
+// Network-wide metrics collection: one collector observes every node's DSR
+// agent and computes the quantities the paper's figures report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "routing/dsr.hpp"
+#include "util/stats.hpp"
+
+namespace rcast::stats {
+
+class MetricsCollector final : public routing::DsrObserver {
+ public:
+  explicit MetricsCollector(std::size_t n_nodes) : role_(n_nodes, 0) {}
+
+  // --- routing::DsrObserver ------------------------------------------------
+  void on_data_originated(const routing::DsrPacket& pkt,
+                          sim::Time now) override;
+  void on_data_delivered(const routing::DsrPacket& pkt,
+                         sim::Time now) override;
+  void on_data_dropped(const routing::DsrPacket& pkt,
+                       routing::DropReason reason, sim::Time now) override;
+  void on_control_transmit(routing::DsrType type, sim::Time now) override;
+  void on_route_used(const std::vector<routing::NodeId>& route,
+                     sim::Time now) override;
+
+  // --- figure-level metrics ------------------------------------------------
+
+  std::uint64_t originated() const { return originated_; }
+  /// Unique application packets delivered (duplicates from salvage paths
+  /// are counted once).
+  std::uint64_t delivered() const { return delivered_; }
+
+  /// Packet delivery ratio in percent (Fig. 7b/e).
+  double pdr_percent() const;
+
+  /// Mean end-to-end delay in seconds (Fig. 8a/c).
+  double avg_delay_s() const { return delay_.mean(); }
+  const RunningStats& delay_stats() const { return delay_; }
+
+  /// Delay decomposition: time waiting for a route at the source vs time
+  /// in flight once first transmitted.
+  const RunningStats& route_wait_stats() const { return route_wait_; }
+  const RunningStats& transit_stats() const { return transit_; }
+
+  /// Exact delay quantile over all delivered packets; q in [0,1].
+  double delay_quantile(double q) const {
+    return delay_samples_.empty() ? 0.0 : delay_samples_.quantile(q);
+  }
+
+  /// Total routing control transmissions per hop (RREQ+RREP+RERR, plus
+  /// HELLOs for AODV).
+  std::uint64_t control_transmissions() const;
+  std::uint64_t control_transmissions(routing::DsrType t) const {
+    return control_tx_[static_cast<int>(t)];
+  }
+
+  /// Control packets per delivered data packet (Fig. 8b/d).
+  double normalized_overhead() const;
+
+  /// Application payload bits successfully delivered (for energy-per-bit).
+  std::uint64_t delivered_payload_bits() const { return delivered_bits_; }
+
+  /// Per-node role numbers (Fig. 9): how often each node appeared as an
+  /// intermediate hop on the source route of an originated data packet.
+  const std::vector<std::uint64_t>& role_numbers() const { return role_; }
+
+  std::uint64_t drops(routing::DropReason r) const {
+    return drops_[static_cast<int>(r)];
+  }
+  std::uint64_t total_drops() const;
+
+ private:
+  static std::uint64_t key_of(const routing::DsrPacket& pkt) {
+    return (static_cast<std::uint64_t>(pkt.flow_id) << 32) | pkt.app_seq;
+  }
+
+  std::uint64_t originated_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t delivered_bits_ = 0;
+  std::unordered_set<std::uint64_t> delivered_keys_;
+  RunningStats delay_;
+  RunningStats route_wait_;
+  RunningStats transit_;
+  SampleSet delay_samples_;
+  std::array<std::uint64_t, 5> control_tx_{};  // indexed by DsrType
+  std::array<std::uint64_t, static_cast<int>(routing::DropReason::kCount)>
+      drops_{};
+  std::vector<std::uint64_t> role_;
+};
+
+}  // namespace rcast::stats

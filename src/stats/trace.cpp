@@ -1,0 +1,62 @@
+#include "stats/trace.hpp"
+
+#include <sstream>
+
+namespace rcast::stats {
+
+EventTracer::EventTracer(std::ostream& out) : out_(out) {
+  out_ << "time_s,event,detail\n";
+}
+
+void EventTracer::line(sim::Time now, const char* event,
+                       const std::string& detail) {
+  out_ << sim::to_seconds(now) << ',' << event << ',' << detail << '\n';
+  ++lines_;
+}
+
+void EventTracer::on_data_originated(const routing::DsrPacket& pkt,
+                                     sim::Time now) {
+  std::ostringstream os;
+  os << "flow=" << pkt.flow_id << " seq=" << pkt.app_seq << " src=" << pkt.src
+     << " dst=" << pkt.dst;
+  line(now, "originate", os.str());
+}
+
+void EventTracer::on_data_delivered(const routing::DsrPacket& pkt,
+                                    sim::Time now) {
+  std::ostringstream os;
+  os << "flow=" << pkt.flow_id << " seq=" << pkt.app_seq
+     << " delay=" << sim::to_seconds(now - pkt.origin_time);
+  line(now, "deliver", os.str());
+}
+
+void EventTracer::on_data_dropped(const routing::DsrPacket& pkt,
+                                  routing::DropReason reason, sim::Time now) {
+  std::ostringstream os;
+  os << "flow=" << pkt.flow_id << " seq=" << pkt.app_seq << " reason="
+     << to_string(reason);
+  line(now, "drop", os.str());
+}
+
+void EventTracer::on_control_transmit(routing::DsrType type, sim::Time now) {
+  line(now, "control", to_string(type));
+}
+
+void EventTracer::on_route_used(const std::vector<routing::NodeId>& route,
+                                sim::Time now) {
+  std::ostringstream os;
+  os << "len=" << route.size() << " path=";
+  for (std::size_t i = 0; i < route.size(); ++i) {
+    if (i) os << '-';
+    os << route[i];
+  }
+  line(now, "route", os.str());
+}
+
+void EventTracer::on_data_forwarded(routing::NodeId by, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << by;
+  line(now, "forward", os.str());
+}
+
+}  // namespace rcast::stats

@@ -1,0 +1,57 @@
+#include "traffic/cbr.hpp"
+
+#include "util/assert.hpp"
+
+namespace rcast::traffic {
+
+CbrSource::CbrSource(sim::Simulator& simulator, routing::RoutingAgent& agent,
+                     const CbrFlowConfig& config, Rng rng)
+    : sim_(simulator),
+      agent_(agent),
+      cfg_(config),
+      period_(sim::from_seconds(1.0 / config.rate_pps)),
+      timer_(simulator, [this] { emit(); }) {
+  RCAST_REQUIRE(cfg_.rate_pps > 0.0);
+  RCAST_REQUIRE(cfg_.src == agent.id());
+  RCAST_REQUIRE(cfg_.src != cfg_.dst);
+  const sim::Time phase =
+      static_cast<sim::Time>(rng.uniform01() * static_cast<double>(period_));
+  timer_.start(cfg_.start + phase, period_);
+}
+
+void CbrSource::emit() {
+  if (cfg_.stop != 0 && sim_.now() >= cfg_.stop) {
+    timer_.stop();
+    return;
+  }
+  agent_.send_data(cfg_.dst, cfg_.payload_bits, cfg_.flow_id, ++seq_);
+}
+
+std::vector<CbrFlowConfig> make_flow_matrix(std::size_t n_nodes,
+                                            std::size_t n_flows,
+                                            double rate_pps,
+                                            std::int64_t payload_bits,
+                                            Rng& rng) {
+  RCAST_REQUIRE(n_nodes >= 2);
+  RCAST_REQUIRE(n_flows <= n_nodes);
+  std::vector<NodeId> ids(n_nodes);
+  for (std::size_t i = 0; i < n_nodes; ++i) ids[i] = static_cast<NodeId>(i);
+  rng.shuffle(ids);  // distinct sources
+
+  std::vector<CbrFlowConfig> flows;
+  flows.reserve(n_flows);
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    CbrFlowConfig f;
+    f.src = ids[i];
+    do {
+      f.dst = static_cast<NodeId>(rng.uniform_u64(n_nodes));
+    } while (f.dst == f.src);
+    f.flow_id = static_cast<std::uint32_t>(i);
+    f.rate_pps = rate_pps;
+    f.payload_bits = payload_bits;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace rcast::traffic

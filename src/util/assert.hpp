@@ -1,0 +1,69 @@
+// Lightweight contract checking used across the rcast libraries.
+//
+// RCAST_REQUIRE  -- precondition on public API boundaries (always on).
+// RCAST_ENSURE   -- postcondition / invariant check (always on).
+// RCAST_DCHECK   -- debug-only internal consistency check.
+//
+// Violations throw rcast::ContractViolation so tests can assert on them and
+// long experiment sweeps fail loudly instead of corrupting results.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rcast {
+
+/// Thrown when a RCAST_REQUIRE / RCAST_ENSURE contract fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+}  // namespace rcast
+
+#define RCAST_REQUIRE(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::rcast::detail::contract_fail("precondition", #expr, __FILE__,        \
+                                     __LINE__, "");                          \
+  } while (false)
+
+#define RCAST_REQUIRE_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::rcast::detail::contract_fail("precondition", #expr, __FILE__,        \
+                                     __LINE__, (msg));                       \
+  } while (false)
+
+#define RCAST_ENSURE(expr)                                                   \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::rcast::detail::contract_fail("invariant", #expr, __FILE__, __LINE__, \
+                                     "");                                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define RCAST_DCHECK(expr) \
+  do {                     \
+  } while (false)
+#else
+#define RCAST_DCHECK(expr)                                                \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::rcast::detail::contract_fail("dcheck", #expr, __FILE__, __LINE__, \
+                                     "");                                 \
+  } while (false)
+#endif

@@ -1,0 +1,82 @@
+#include "util/flags.hpp"
+
+#include <cstdlib>
+
+#include "util/assert.hpp"
+
+namespace rcast {
+
+Flags::Flags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Flags::has(const std::string& name) const { return raw(name).has_value(); }
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  return raw(name).value_or(fallback);
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const auto v = raw(name);
+  if (!v) return fallback;
+  return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> Flags::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [k, _] : values_) {
+    if (!queried_.count(k)) out.push_back(k);
+  }
+  return out;
+}
+
+std::string Flags::env_or(const std::string& name,
+                          const std::string& fallback) {
+  const char* v = std::getenv(name.c_str());
+  return v ? std::string(v) : fallback;
+}
+
+bool Flags::env_flag(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (!v) return false;
+  const std::string s = v;
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+}  // namespace rcast

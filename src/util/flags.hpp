@@ -1,0 +1,48 @@
+// Tiny command-line / environment flag helper for bench and example binaries.
+//
+// Supported syntax: --name=value, --name value, and bare --name (bool true).
+// Unrecognized flags are kept and can be listed, so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace rcast {
+
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// True if --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were never queried via get_*/has; call after parsing all
+  /// known flags to report typos.
+  std::vector<std::string> unknown() const;
+
+  /// Environment helper: returns $name if set, else fallback.
+  static std::string env_or(const std::string& name,
+                            const std::string& fallback);
+  static bool env_flag(const std::string& name);
+
+ private:
+  std::optional<std::string> raw(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace rcast

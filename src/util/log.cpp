@@ -1,0 +1,40 @@
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace rcast {
+
+LogLevel parse_log_level(const std::string& s) {
+  std::string t = s;
+  std::transform(t.begin(), t.end(), t.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (t == "debug") return LogLevel::kDebug;
+  if (t == "info") return LogLevel::kInfo;
+  if (t == "warn" || t == "warning") return LogLevel::kWarn;
+  if (t == "error") return LogLevel::kError;
+  if (t == "off" || t == "none") return LogLevel::kOff;
+  return LogLevel::kWarn;
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() : level_(LogLevel::kWarn) {
+  if (const char* env = std::getenv("RCAST_LOG")) {
+    level_ = parse_log_level(env);
+  }
+}
+
+void Logger::write(LogLevel lvl, const std::string& msg) {
+  if (!enabled(lvl)) return;
+  static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << "[rcast:" << names[static_cast<int>(lvl)] << "] " << msg
+            << '\n';
+}
+
+}  // namespace rcast

@@ -1,0 +1,62 @@
+// Minimal leveled logger. Simulations are silent by default; raise the level
+// (e.g. via RCAST_LOG=debug or Logger::set_level) to trace protocol events.
+#pragma once
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace rcast {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive); defaults to
+/// kWarn on unrecognized input.
+LogLevel parse_log_level(const std::string& s);
+
+/// Process-wide logger; thread-safe sink, per-call formatting.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel lvl) { level_ = lvl; }
+  LogLevel level() const { return level_; }
+  bool enabled(LogLevel lvl) const { return lvl >= level_ && level_ != LogLevel::kOff; }
+
+  void write(LogLevel lvl, const std::string& msg);
+
+ private:
+  Logger();
+  LogLevel level_;
+  std::mutex mu_;
+};
+
+namespace detail {
+class LogLine {
+ public:
+  LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { Logger::instance().write(lvl_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace rcast
+
+#define RCAST_LOG(lvl)                               \
+  if (!::rcast::Logger::instance().enabled(lvl)) {   \
+  } else                                             \
+    ::rcast::detail::LogLine(lvl)
+
+#define RCAST_DEBUG RCAST_LOG(::rcast::LogLevel::kDebug)
+#define RCAST_INFO RCAST_LOG(::rcast::LogLevel::kInfo)
+#define RCAST_WARN RCAST_LOG(::rcast::LogLevel::kWarn)
+#define RCAST_ERROR RCAST_LOG(::rcast::LogLevel::kError)

@@ -1,0 +1,13 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace rcast {
+
+double Rng::exponential(double mean) {
+  RCAST_REQUIRE(mean > 0.0);
+  // Inverse-CDF; 1 - uniform01() is in (0, 1] so log() is finite.
+  return -mean * std::log(1.0 - uniform01());
+}
+
+}  // namespace rcast

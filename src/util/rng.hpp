@@ -1,0 +1,124 @@
+// Deterministic, platform-independent pseudo-random number generation.
+//
+// The simulator must replay identically for a given seed on any platform, so
+// we implement xoshiro256** (public-domain algorithm by Blackman & Vigna)
+// seeded through splitmix64, instead of relying on unspecified standard
+// library distribution implementations. All distribution sampling (uniform,
+// exponential, bernoulli, shuffles) is written out explicitly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rcast {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless 64-bit mix of a single value (e.g. for hashing sender IDs).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  std::uint64_t s = x;
+  return splitmix64(s);
+}
+
+/// xoshiro256** deterministic PRNG with explicit distribution sampling.
+///
+/// Each simulated node / subsystem should own its own stream created via
+/// `fork()`, so adding a random draw in one subsystem does not perturb the
+/// sequence seen by another (critical for comparing schemes seed-by-seed).
+class Rng {
+ public:
+  /// Seeds the four-word state via splitmix64 as recommended by the authors.
+  explicit Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& w : state_) w = splitmix64(sm);
+  }
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53-bit resolution.
+  double uniform01() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) {
+    RCAST_REQUIRE(lo <= hi);
+    return lo + (hi - lo) * uniform01();
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's rejection method.
+  /// Requires bound > 0.
+  std::uint64_t uniform_u64(std::uint64_t bound) {
+    RCAST_REQUIRE(bound > 0);
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    RCAST_REQUIRE(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    // span == 0 means the full 64-bit range; next_u64 is already uniform.
+    if (span == 0) return static_cast<std::int64_t>(next_u64());
+    return lo + static_cast<std::int64_t>(uniform_u64(span));
+  }
+
+  /// Bernoulli trial: true with probability p (clamped to [0,1]).
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Exponentially distributed sample with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_u64(i);
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child stream. Deterministic in (parent state
+  /// consumed so far, salt), so a fixed fork order yields fixed streams.
+  Rng fork(std::uint64_t salt) {
+    return Rng(next_u64() ^ mix64(salt));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace rcast

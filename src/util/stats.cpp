@@ -1,0 +1,104 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace rcast {
+
+void RunningStats::merge(const RunningStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  const double delta = o.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + o.n_);
+  m2_ += o.m2_ + delta * delta * static_cast<double>(n_) *
+                     static_cast<double>(o.n_) / n;
+  mean_ += delta * static_cast<double>(o.n_) / n;
+  n_ += o.n_;
+  sum_ += o.sum_;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double SampleSet::sum() const {
+  return std::accumulate(xs_.begin(), xs_.end(), 0.0);
+}
+
+double SampleSet::mean() const {
+  return xs_.empty() ? 0.0 : sum() / static_cast<double>(xs_.size());
+}
+
+double SampleSet::variance() const {
+  if (xs_.empty()) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double x : xs_) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs_.size());
+}
+
+double SampleSet::min() const {
+  return xs_.empty() ? 0.0 : *std::min_element(xs_.begin(), xs_.end());
+}
+
+double SampleSet::max() const {
+  return xs_.empty() ? 0.0 : *std::max_element(xs_.begin(), xs_.end());
+}
+
+double SampleSet::quantile(double q) const {
+  RCAST_REQUIRE(!xs_.empty());
+  RCAST_REQUIRE(q >= 0.0 && q <= 1.0);
+  std::sort(xs_.begin(), xs_.end());
+  const double pos = q * static_cast<double>(xs_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs_[lo] + frac * (xs_[hi] - xs_[lo]);
+}
+
+std::vector<double> SampleSet::sorted() const {
+  std::vector<double> out = xs_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  RCAST_REQUIRE(hi > lo);
+  RCAST_REQUIRE(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::bucket(std::size_t i) const {
+  RCAST_REQUIRE(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  RCAST_REQUIRE(i < counts_.size());
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+std::string Histogram::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os << bucket_lo(i) << ".." << (bucket_lo(i) + width_) << ": "
+       << counts_[i] << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace rcast

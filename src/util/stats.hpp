@@ -1,0 +1,102 @@
+// Streaming statistics accumulators used by the metrics layer and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace rcast {
+
+/// Single-pass accumulator of count/mean/variance/min/max (Welford's method).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  /// Merges another accumulator (parallel Welford / Chan et al.).
+  void merge(const RunningStats& o);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n). Matches the paper's "variance of
+  /// energy consumption between nodes" over the full node population.
+  double variance() const {
+    return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  /// Sample variance (divides by n-1); 0 when fewer than two samples.
+  double sample_variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores every sample; supports exact quantiles. Use for modest sample
+/// counts (per-node metrics, per-packet delays in scaled runs).
+class SampleSet {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  void reserve(std::size_t n) { xs_.reserve(n); }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double sum() const;
+  double mean() const;
+  /// Population variance; 0 when empty.
+  double variance() const;
+  double min() const;
+  double max() const;
+  /// Exact quantile with linear interpolation; q in [0,1]. Requires samples.
+  double quantile(double q) const;
+  /// Samples sorted ascending (e.g. Fig. 5's sorted per-node energy curve).
+  std::vector<double> sorted() const;
+  const std::vector<double>& raw() const { return xs_; }
+
+ private:
+  mutable std::vector<double> xs_;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// first/last bucket so mass is never lost.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const;
+  /// Inclusive lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+  /// Renders "lo..hi: count" lines; convenient for bench output.
+  std::string to_string() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace rcast

@@ -1,0 +1,403 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+#include "mobility/mobility_manager.hpp"
+#include "phy/channel.hpp"
+#include "phy/phy.hpp"
+#include "power/always_on.hpp"
+#include "routing/aodv.hpp"
+#include "scenario/scenario.hpp"
+
+namespace rcast::routing {
+namespace {
+
+class Recorder : public DsrObserver {
+ public:
+  void on_data_originated(const DsrPacket&, sim::Time) override {
+    ++originated;
+  }
+  void on_data_delivered(const DsrPacket& p, sim::Time now) override {
+    deliveries.push_back({p.src, p.dst, now - p.origin_time});
+  }
+  void on_data_dropped(const DsrPacket&, DropReason r, sim::Time) override {
+    drops.push_back(r);
+  }
+  void on_control_transmit(DsrType t, sim::Time) override {
+    ++control[static_cast<int>(t)];
+  }
+  void on_data_forwarded(NodeId by, sim::Time) override {
+    forwards.push_back(by);
+  }
+
+  struct Delivery {
+    NodeId src, dst;
+    sim::Time delay;
+  };
+  int originated = 0;
+  std::vector<Delivery> deliveries;
+  std::vector<DropReason> drops;
+  int control[5] = {0, 0, 0, 0, 0};
+  std::vector<NodeId> forwards;
+};
+
+// A line of nodes 200 m apart with teleportable positions, plain 802.11 MAC.
+class AodvTest : public ::testing::Test {
+ protected:
+  class Teleport : public mobility::MobilityModel {
+   public:
+    explicit Teleport(geo::Vec2 p) : pos_(p) {}
+    geo::Vec2 position_at(sim::Time) override { return pos_; }
+    double max_speed() const override { return 10000.0; }
+    void set(geo::Vec2 p) { pos_ = p; }
+
+   private:
+    geo::Vec2 pos_;
+  };
+
+  void build(std::size_t n, AodvConfig cfg = AodvConfig{}, bool psm = false) {
+    mobility_ = std::make_unique<mobility::MobilityManager>(
+        sim_, geo::Rect{20000.0, 100.0}, 550.0, 10 * sim::kMillisecond);
+    channel_ = std::make_unique<phy::Channel>(sim_, *mobility_,
+                                              phy::ChannelConfig{});
+    mac::MacConfig mc;
+    mc.psm_enabled = psm;
+    for (std::size_t i = 0; i < n; ++i) {
+      auto model = std::make_unique<Teleport>(
+          geo::Vec2{static_cast<double>(i) * 200.0, 50.0});
+      models_.push_back(model.get());
+      mobility_->add_node(static_cast<NodeId>(i), std::move(model));
+      meters_.push_back(std::make_unique<energy::EnergyMeter>(
+          energy::PowerTable::wavelan2(), sim_.now()));
+      phys_.push_back(std::make_unique<phy::Phy>(
+          sim_, *channel_, static_cast<NodeId>(i), meters_.back().get()));
+      macs_.push_back(
+          std::make_unique<mac::Mac>(sim_, *phys_.back(), mc, Rng(70 + i)));
+      policies_.push_back(std::make_unique<power::AlwaysOnPolicy>());
+      macs_.back()->set_power_policy(policies_.back().get());
+      aodvs_.push_back(std::make_unique<Aodv>(sim_, *macs_.back(), cfg,
+                                              Rng(170 + i),
+                                              policies_.back().get()));
+      aodvs_.back()->set_observer(&recorder_);
+      macs_.back()->start();
+    }
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<mobility::MobilityManager> mobility_;
+  std::unique_ptr<phy::Channel> channel_;
+  std::vector<Teleport*> models_;
+  std::vector<std::unique_ptr<energy::EnergyMeter>> meters_;
+  std::vector<std::unique_ptr<phy::Phy>> phys_;
+  std::vector<std::unique_ptr<mac::Mac>> macs_;
+  std::vector<std::unique_ptr<power::AlwaysOnPolicy>> policies_;
+  std::vector<std::unique_ptr<Aodv>> aodvs_;
+  Recorder recorder_;
+};
+
+TEST_F(AodvTest, SingleHopDiscoveryAndDelivery) {
+  build(2);
+  aodvs_[0]->send_data(1, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(2));
+  ASSERT_EQ(recorder_.deliveries.size(), 1u);
+  EXPECT_EQ(recorder_.deliveries[0].dst, 1u);
+  EXPECT_GE(aodvs_[0]->stats().rreq_originated, 1u);
+  EXPECT_GE(aodvs_[1]->stats().rrep_from_target, 1u);
+}
+
+TEST_F(AodvTest, MultiHopDeliveryAndForwardCounts) {
+  build(5);
+  aodvs_[0]->send_data(4, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(5));
+  ASSERT_EQ(recorder_.deliveries.size(), 1u);
+  // Intermediates 1, 2, 3 each forwarded once.
+  EXPECT_EQ(recorder_.forwards, (std::vector<NodeId>{1, 2, 3}));
+}
+
+TEST_F(AodvTest, RoutingTablePopulatedAlongPath) {
+  build(4);
+  aodvs_[0]->send_data(3, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(3));
+  EXPECT_TRUE(aodvs_[0]->has_route(3));
+  EXPECT_EQ(aodvs_[0]->next_hop(3), 1u);
+  EXPECT_TRUE(aodvs_[1]->has_route(3));
+  EXPECT_EQ(aodvs_[1]->next_hop(3), 2u);
+  // Reverse routes toward the originator exist too.
+  EXPECT_TRUE(aodvs_[3]->has_route(0));
+  EXPECT_EQ(aodvs_[3]->next_hop(0), 2u);
+}
+
+TEST_F(AodvTest, SecondPacketNeedsNoDiscovery) {
+  build(3);
+  aodvs_[0]->send_data(2, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(2));
+  const auto rreqs = aodvs_[0]->stats().rreq_originated;
+  aodvs_[0]->send_data(2, 512, 0, 2);
+  sim_.run_until(sim::from_seconds(3));
+  EXPECT_EQ(recorder_.deliveries.size(), 2u);
+  EXPECT_EQ(aodvs_[0]->stats().rreq_originated, rreqs);
+}
+
+TEST_F(AodvTest, ExpandingRingGrowsTtl) {
+  build(6);
+  aodvs_[0]->send_data(5, 512, 0, 1);
+  // TTL 1 cannot reach node 5 (five hops); retries expand.
+  sim_.run_until(sim::from_millis(100));
+  EXPECT_TRUE(recorder_.deliveries.empty());
+  sim_.run_until(sim::from_seconds(10));
+  EXPECT_EQ(recorder_.deliveries.size(), 1u);
+  EXPECT_GE(aodvs_[0]->stats().rreq_originated, 2u);
+}
+
+TEST_F(AodvTest, IntermediateNodeReplies) {
+  build(4);
+  // Prime node 1 with a fresh route to 3.
+  aodvs_[1]->send_data(3, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(2));
+  ASSERT_TRUE(aodvs_[1]->has_route(3));
+  // Node 0's TTL-1 RREQ reaches node 1, which replies from its table.
+  aodvs_[0]->send_data(3, 512, 1, 1);
+  sim_.run_until(sim::from_seconds(4));
+  EXPECT_EQ(recorder_.deliveries.size(), 2u);
+  EXPECT_GE(aodvs_[1]->stats().rrep_from_intermediate, 1u);
+  EXPECT_EQ(aodvs_[0]->stats().rreq_originated, 1u);
+}
+
+TEST_F(AodvTest, IntermediateRrepCanBeDisabled) {
+  AodvConfig cfg;
+  cfg.intermediate_rrep = false;
+  build(4, cfg);
+  aodvs_[1]->send_data(3, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(2));
+  aodvs_[0]->send_data(3, 512, 1, 1);
+  sim_.run_until(sim::from_seconds(6));
+  EXPECT_EQ(recorder_.deliveries.size(), 2u);
+  EXPECT_EQ(aodvs_[1]->stats().rrep_from_intermediate, 0u);
+}
+
+TEST_F(AodvTest, RoutesExpireWithoutUse) {
+  AodvConfig cfg;
+  cfg.active_route_timeout = 2 * sim::kSecond;
+  build(3, cfg);
+  aodvs_[0]->send_data(2, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(2));
+  ASSERT_TRUE(aodvs_[0]->has_route(2));
+  sim_.run_until(sim::from_seconds(10));
+  EXPECT_FALSE(aodvs_[0]->has_route(2));
+}
+
+TEST_F(AodvTest, ActiveTrafficKeepsRouteAlive) {
+  AodvConfig cfg;
+  cfg.active_route_timeout = 2 * sim::kSecond;
+  build(3, cfg);
+  for (int i = 1; i <= 8; ++i) {
+    sim_.at(sim::from_seconds(i), [this, i] {
+      aodvs_[0]->send_data(2, 512, 0, static_cast<std::uint32_t>(i));
+    });
+  }
+  sim_.run_until(sim::from_seconds(9));
+  EXPECT_TRUE(aodvs_[0]->has_route(2));
+  EXPECT_EQ(recorder_.deliveries.size(), 8u);
+  // One discovery: the TTL-1 ring probe plus one expanded retry. Refreshes
+  // from the steady traffic must prevent any further discovery.
+  EXPECT_LE(aodvs_[0]->stats().rreq_originated, 2u);
+}
+
+TEST_F(AodvTest, HelloOnlyWhenActive) {
+  build(2);
+  sim_.run_until(sim::from_seconds(5));
+  EXPECT_EQ(aodvs_[0]->stats().hello_sent, 0u);  // no routes, no hellos
+  aodvs_[0]->send_data(1, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(8));
+  EXPECT_GE(aodvs_[0]->stats().hello_sent, 1u);
+}
+
+TEST_F(AodvTest, HelloUnconditionalOption) {
+  AodvConfig cfg;
+  cfg.hello_only_when_active = false;
+  build(2, cfg);
+  sim_.run_until(sim::from_seconds(5));
+  EXPECT_GE(aodvs_[0]->stats().hello_sent, 3u);
+}
+
+TEST_F(AodvTest, DuplicateRreqsSuppressed) {
+  build(4);
+  aodvs_[0]->send_data(3, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(5));
+  std::uint64_t dups = 0;
+  for (const auto& a : aodvs_) dups += a->stats().rreq_duplicates;
+  EXPECT_GE(dups, 1u);
+  EXPECT_EQ(recorder_.deliveries.size(), 1u);
+}
+
+TEST_F(AodvTest, LinkBreakTriggersRerrAndRecovery) {
+  build(4);
+  aodvs_[0]->send_data(3, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(2));
+  ASSERT_EQ(recorder_.deliveries.size(), 1u);
+  // Node 3 teleports next to node 0: the old route dies, a new one works.
+  models_[3]->set({0.0, 90.0});
+  sim_.run_until(sim::from_seconds(2.1));
+  // This packet rides the stale route and is dropped mid-path (AODV has no
+  // salvaging); the failure produces a RERR that purges the route.
+  aodvs_[0]->send_data(3, 512, 0, 2);
+  sim_.run_until(sim::from_seconds(15));
+  std::uint64_t rerrs = 0;
+  for (const auto& a : aodvs_) rerrs += a->stats().rerr_sent;
+  EXPECT_GE(rerrs, 1u);
+  // After the RERR settles, fresh traffic discovers the one-hop route.
+  aodvs_[0]->send_data(3, 512, 0, 3);
+  sim_.run_until(sim::from_seconds(30));
+  EXPECT_EQ(recorder_.deliveries.size(), 2u);  // packets 1 and 3
+  EXPECT_EQ(aodvs_[0]->next_hop(3), 3u);
+}
+
+TEST_F(AodvTest, RerrInvalidatesDownstreamRoutes) {
+  build(5);
+  aodvs_[0]->send_data(4, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(3));
+  ASSERT_TRUE(aodvs_[0]->has_route(4));
+  // Break link 3-4 and send more traffic: RERR propagates back to 0.
+  models_[4]->set({15000.0, 50.0});
+  sim_.run_until(sim::from_seconds(3.1));
+  aodvs_[0]->send_data(4, 512, 0, 2);
+  sim_.run_until(sim::from_seconds(20));
+  EXPECT_FALSE(aodvs_[0]->has_route(4));
+}
+
+TEST_F(AodvTest, NoPromiscuousRouteLearning) {
+  build(4);
+  // Route 1 -> 2; bystander node 0 hears node 1's transmissions but AODV
+  // must not learn a route to 2 from them.
+  aodvs_[1]->send_data(2, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(3));
+  ASSERT_EQ(recorder_.deliveries.size(), 1u);
+  EXPECT_FALSE(aodvs_[0]->has_route(2));
+}
+
+TEST_F(AodvTest, NoRouteDropsAfterRetries) {
+  AodvConfig cfg;
+  cfg.max_rreq_attempts = 2;
+  cfg.rreq_backoff_base = 100 * sim::kMillisecond;
+  build(1, cfg);
+  aodvs_[0]->send_data(42, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(10));
+  ASSERT_EQ(recorder_.drops.size(), 1u);
+  EXPECT_EQ(recorder_.drops[0], DropReason::kNoRoute);
+}
+
+TEST_F(AodvTest, SendBufferOverflowDropsOldest) {
+  AodvConfig cfg;
+  cfg.send_buffer_capacity = 4;
+  build(1, cfg);
+  for (std::uint32_t i = 1; i <= 8; ++i) aodvs_[0]->send_data(42, 512, 0, i);
+  EXPECT_EQ(aodvs_[0]->send_buffer_depth(), 4u);
+  EXPECT_EQ(recorder_.drops.size(), 4u);
+  EXPECT_EQ(recorder_.drops[0], DropReason::kSendBufferOverflow);
+}
+
+TEST_F(AodvTest, SendToSelfRejected) {
+  build(2);
+  EXPECT_THROW(aodvs_[0]->send_data(0, 512, 0, 1), ContractViolation);
+}
+
+TEST_F(AodvTest, SequenceFreshnessPreferred) {
+  build(3);
+  aodvs_[0]->send_data(2, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(2));
+  ASSERT_TRUE(aodvs_[0]->has_route(2));
+  const NodeId nh = aodvs_[0]->next_hop(2);
+  EXPECT_EQ(nh, 1u);
+  // A later discovery (fresher seq) after topology change must win: move 2
+  // adjacent to 0 and rediscover.
+  models_[2]->set({0.0, 90.0});
+  sim_.run_until(sim::from_seconds(2.1));
+  // Force expiry of the stale route, then resend.
+  sim_.run_until(sim::from_seconds(8));
+  aodvs_[0]->send_data(2, 512, 0, 2);
+  sim_.run_until(sim::from_seconds(15));
+  ASSERT_TRUE(aodvs_[0]->has_route(2));
+  EXPECT_EQ(aodvs_[0]->next_hop(2), 2u);  // now a direct neighbor
+  EXPECT_EQ(recorder_.deliveries.size(), 2u);
+}
+
+TEST_F(AodvTest, ControlTransmissionsTracked) {
+  build(4);
+  aodvs_[0]->send_data(3, 512, 0, 1);
+  sim_.run_until(sim::from_seconds(5));
+  EXPECT_GT(recorder_.control[static_cast<int>(DsrType::kRreq)], 0);
+  EXPECT_GT(recorder_.control[static_cast<int>(DsrType::kRrep)], 0);
+}
+
+// --- Scenario-level AODV ------------------------------------------------------
+
+TEST(AodvScenario, RunsUnderAllSchemes) {
+  for (auto s : {scenario::Scheme::k80211, scenario::Scheme::kOdpm,
+                 scenario::Scheme::kRcast}) {
+    scenario::ScenarioConfig cfg;
+    cfg.num_nodes = 20;
+    cfg.num_flows = 5;
+    cfg.world = {800.0, 300.0};
+    cfg.duration = 30 * sim::kSecond;
+    cfg.pause = 30 * sim::kSecond;
+    cfg.routing = scenario::RoutingProtocol::kAodv;
+    cfg.scheme = s;
+    const auto r = scenario::run_scenario(cfg);
+    EXPECT_GT(r.pdr_percent, 60.0) << to_string(s);
+    EXPECT_GT(r.delivered, 0u);
+  }
+}
+
+TEST(AodvScenario, DeterministicReplay) {
+  scenario::ScenarioConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.num_flows = 5;
+  cfg.world = {800.0, 300.0};
+  cfg.duration = 20 * sim::kSecond;
+  cfg.routing = scenario::RoutingProtocol::kAodv;
+  cfg.seed = 9;
+  const auto a = scenario::run_scenario(cfg);
+  const auto b = scenario::run_scenario(cfg);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+}
+
+TEST(AodvScenario, HellosForfeitPsmSavings) {
+  // The §1 claim behind choosing DSR: under PSM, AODV's periodic hello
+  // broadcasts keep neighborhoods awake and erase most of the savings.
+  scenario::ScenarioConfig base;
+  base.num_nodes = 30;
+  base.num_flows = 8;
+  base.world = {1000.0, 300.0};
+  base.duration = 60 * sim::kSecond;
+  base.pause = 60 * sim::kSecond;
+  base.scheme = scenario::Scheme::kRcast;
+
+  auto dsr_cfg = base;
+  dsr_cfg.routing = scenario::RoutingProtocol::kDsr;
+  auto aodv_cfg = base;
+  aodv_cfg.routing = scenario::RoutingProtocol::kAodv;
+
+  const auto dsr = scenario::run_scenario(dsr_cfg);
+  const auto aodv = scenario::run_scenario(aodv_cfg);
+  EXPECT_GT(aodv.total_energy_j, 1.3 * dsr.total_energy_j);
+  EXPECT_GT(aodv.hello_tx, 0u);
+  EXPECT_EQ(dsr.hello_tx, 0u);
+}
+
+TEST(AodvScenario, DsrAccessorGuardsProtocol) {
+  scenario::ScenarioConfig cfg;
+  cfg.num_nodes = 5;
+  cfg.num_flows = 0;
+  cfg.world = {500.0, 300.0};
+  cfg.routing = scenario::RoutingProtocol::kAodv;
+  scenario::Network net(cfg);
+  EXPECT_THROW(net.node(0).dsr(), ContractViolation);
+  EXPECT_NO_THROW(net.node(0).aodv());
+  EXPECT_EQ(net.node(0).agent().id(), 0u);
+}
+
+}  // namespace
+}  // namespace rcast::routing

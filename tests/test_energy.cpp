@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hpp"
+#include "energy/fleet_accountant.hpp"
+
+namespace rcast::energy {
+namespace {
+
+using sim::from_seconds;
+
+TEST(PowerTable, WaveLan2Defaults) {
+  const PowerTable t = PowerTable::wavelan2();
+  EXPECT_DOUBLE_EQ(t.watts(RadioState::kIdle), 1.15);
+  EXPECT_DOUBLE_EQ(t.watts(RadioState::kRx), 1.15);
+  EXPECT_DOUBLE_EQ(t.watts(RadioState::kTx), 1.15);
+  EXPECT_DOUBLE_EQ(t.watts(RadioState::kSleep), 0.045);
+  EXPECT_DOUBLE_EQ(t.watts(RadioState::kOff), 0.0);
+}
+
+TEST(RadioState, AwakeClassification) {
+  EXPECT_TRUE(is_awake(RadioState::kIdle));
+  EXPECT_TRUE(is_awake(RadioState::kRx));
+  EXPECT_TRUE(is_awake(RadioState::kTx));
+  EXPECT_FALSE(is_awake(RadioState::kSleep));
+  EXPECT_FALSE(is_awake(RadioState::kOff));
+  EXPECT_EQ(to_string(RadioState::kSleep), "sleep");
+}
+
+TEST(EnergyMeter, AlwaysIdleMatchesPaperArithmetic) {
+  // The paper: a node awake for the whole 1125 s run consumes
+  // 1.15 W x 1125 s = 1293.75 J (Fig. 5 discussion).
+  EnergyMeter m(PowerTable::wavelan2(), 0);
+  EXPECT_NEAR(m.consumed_joules(from_seconds(1125)), 1293.75, 1e-6);
+}
+
+TEST(EnergyMeter, PsmIdleNodeMatchesPaperArithmetic) {
+  // The paper: an idle PSM node is awake for the ATIM window (1/5 of each
+  // 250 ms beacon interval) and dozes the rest:
+  // 1.15 x 225 + 0.045 x 900 = 299.25 J over 1125 s.
+  EnergyMeter m(PowerTable::wavelan2(), 0);
+  const sim::Time bi = 250 * sim::kMillisecond;
+  const sim::Time win = 50 * sim::kMillisecond;
+  for (sim::Time t = 0; t < from_seconds(1125); t += bi) {
+    m.set_state(RadioState::kIdle, t);
+    m.set_state(RadioState::kSleep, t + win);
+  }
+  EXPECT_NEAR(m.consumed_joules(from_seconds(1125)), 299.25, 1e-6);
+}
+
+TEST(EnergyMeter, StateResidencyTracked) {
+  EnergyMeter m(PowerTable::wavelan2(), 0);
+  m.set_state(RadioState::kSleep, from_seconds(10));
+  m.set_state(RadioState::kIdle, from_seconds(30));
+  EXPECT_DOUBLE_EQ(m.seconds_in(RadioState::kIdle, from_seconds(40)), 20.0);
+  EXPECT_DOUBLE_EQ(m.seconds_in(RadioState::kSleep, from_seconds(40)), 20.0);
+}
+
+TEST(EnergyMeter, TimeMustBeMonotone) {
+  EnergyMeter m(PowerTable::wavelan2(), 0);
+  m.set_state(RadioState::kSleep, from_seconds(10));
+  EXPECT_THROW(m.set_state(RadioState::kIdle, from_seconds(5)),
+               ContractViolation);
+}
+
+TEST(EnergyMeter, InfiniteBatteryNeverDepletes) {
+  EnergyMeter m(PowerTable::wavelan2(), 0);
+  m.consumed_joules(from_seconds(1e6));
+  EXPECT_FALSE(m.depleted());
+  EXPECT_DOUBLE_EQ(m.battery_fraction(from_seconds(1e6)), 1.0);
+}
+
+TEST(EnergyMeter, FiniteBatteryDepletesAtExactInstant) {
+  // 11.5 J at 1.15 W -> dead at exactly t = 10 s.
+  EnergyMeter m(PowerTable::wavelan2(), 0, 11.5);
+  EXPECT_NEAR(m.consumed_joules(from_seconds(20)), 11.5, 1e-9);
+  EXPECT_TRUE(m.depleted());
+  EXPECT_NEAR(sim::to_seconds(m.depletion_time()), 10.0, 1e-9);
+  EXPECT_EQ(m.state(), RadioState::kOff);
+}
+
+TEST(EnergyMeter, DepletedMeterIgnoresStateChanges) {
+  EnergyMeter m(PowerTable::wavelan2(), 0, 1.15);  // dead at t=1s
+  m.consumed_joules(from_seconds(5));
+  EXPECT_EQ(m.set_state(RadioState::kIdle, from_seconds(6)),
+            RadioState::kOff);
+  EXPECT_NEAR(m.consumed_joules(from_seconds(100)), 1.15, 1e-9);
+}
+
+TEST(EnergyMeter, BatteryFractionDecreases) {
+  EnergyMeter m(PowerTable::wavelan2(), 0, 115.0);  // 100 s of idle
+  EXPECT_NEAR(m.battery_fraction(from_seconds(50)), 0.5, 1e-9);
+  EXPECT_NEAR(m.battery_fraction(from_seconds(100)), 0.0, 1e-9);
+}
+
+TEST(EnergyMeter, SleepExtendsBattery) {
+  // The paper's motivation: the 1.15 W / 0.045 W gap is a ~25.6x lifetime
+  // difference on the same battery.
+  EnergyMeter awake(PowerTable::wavelan2(), 0, 45.0);
+  EnergyMeter dozing(PowerTable::wavelan2(), 0, 45.0);
+  dozing.set_state(RadioState::kSleep, 0);
+  awake.consumed_joules(from_seconds(2000));
+  dozing.consumed_joules(from_seconds(2000));
+  EXPECT_TRUE(awake.depleted());
+  EXPECT_TRUE(dozing.depleted());  // 45 J / 0.045 W = 1000 s < 2000 s
+  EXPECT_NEAR(sim::to_seconds(awake.depletion_time()), 45.0 / 1.15, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(dozing.depletion_time()), 1000.0, 1e-6);
+  EXPECT_NEAR(sim::to_seconds(dozing.depletion_time()) /
+                  sim::to_seconds(awake.depletion_time()),
+              1.15 / 0.045, 1e-6);
+}
+
+TEST(FleetAccountant, AggregatesAndSorts) {
+  EnergyMeter a(PowerTable::wavelan2(), 0);
+  EnergyMeter b(PowerTable::wavelan2(), 0);
+  b.set_state(RadioState::kSleep, 0);
+  FleetAccountant fleet;
+  fleet.add(&a);
+  fleet.add(&b);
+  const sim::Time t = from_seconds(100);
+  EXPECT_NEAR(fleet.total_joules(t), 115.0 + 4.5, 1e-9);
+  const auto sorted = fleet.sorted_joules(t);
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_LT(sorted[0], sorted[1]);
+  EXPECT_NEAR(sorted[0], 4.5, 1e-9);
+}
+
+TEST(FleetAccountant, VarianceZeroForIdenticalNodes) {
+  EnergyMeter a(PowerTable::wavelan2(), 0);
+  EnergyMeter b(PowerTable::wavelan2(), 0);
+  FleetAccountant fleet;
+  fleet.add(&a);
+  fleet.add(&b);
+  EXPECT_DOUBLE_EQ(fleet.variance(from_seconds(50)), 0.0);
+}
+
+TEST(FleetAccountant, VariancePositiveForSkew) {
+  EnergyMeter a(PowerTable::wavelan2(), 0);
+  EnergyMeter b(PowerTable::wavelan2(), 0);
+  b.set_state(RadioState::kSleep, 0);
+  FleetAccountant fleet;
+  fleet.add(&a);
+  fleet.add(&b);
+  EXPECT_GT(fleet.variance(from_seconds(50)), 0.0);
+}
+
+TEST(FleetAccountant, DeathTracking) {
+  EnergyMeter a(PowerTable::wavelan2(), 0, 11.5);   // dies at 10 s
+  EnergyMeter b(PowerTable::wavelan2(), 0, 115.0);  // dies at 100 s
+  EnergyMeter c(PowerTable::wavelan2(), 0);         // never
+  FleetAccountant fleet;
+  fleet.add(&a);
+  fleet.add(&b);
+  fleet.add(&c);
+  fleet.total_joules(from_seconds(50));
+  EXPECT_EQ(fleet.dead_count(), 1u);
+  ASSERT_TRUE(fleet.first_death().has_value());
+  EXPECT_NEAR(sim::to_seconds(*fleet.first_death()), 10.0, 1e-9);
+  fleet.total_joules(from_seconds(200));
+  EXPECT_EQ(fleet.dead_count(), 2u);
+}
+
+TEST(FleetAccountant, NoDeathsReturnsNullopt) {
+  EnergyMeter a(PowerTable::wavelan2(), 0);
+  FleetAccountant fleet;
+  fleet.add(&a);
+  EXPECT_FALSE(fleet.first_death().has_value());
+}
+
+}  // namespace
+}  // namespace rcast::energy

@@ -1,0 +1,132 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rcast::sim {
+namespace {
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.push(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, PopReturnsTimestamp) {
+  EventQueue q;
+  q.push(77, [] {});
+  auto [t, h] = q.pop();
+  EXPECT_EQ(t, 77);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(10, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.push(10, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NullEventIdIsInvalid) {
+  EventId id;
+  EXPECT_FALSE(id.valid());
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(1, [&] { order.push_back(1); });
+  const EventId mid = q.push(2, [&] { order.push_back(2); });
+  q.push(3, [&] { order.push_back(3); });
+  q.cancel(mid);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId e1 = q.push(5, [] {});
+  q.push(9, [] {});
+  q.cancel(e1);
+  EXPECT_EQ(q.next_time(), 9);
+}
+
+TEST(EventQueue, RejectsSchedulingIntoPast) {
+  EventQueue q;
+  q.push(100, [] {});
+  q.pop().second();
+  EXPECT_THROW(q.push(50, [] {}), ContractViolation);
+  EXPECT_NO_THROW(q.push(100, [] {}));  // same time is fine
+}
+
+TEST(EventQueue, SizeTracksCancellations) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  std::vector<Time> times;
+  // Insert in a scrambled deterministic order.
+  for (int i = 0; i < 1000; ++i) {
+    const Time t = (i * 7919) % 1000;
+    q.push(t, [&times, t] { times.push_back(t); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
+  EXPECT_EQ(times.size(), 1000u);
+}
+
+TEST(EventQueue, ScheduledCountMonotone) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.scheduled_count(), 2u);
+  q.pop().second();
+  EXPECT_EQ(q.scheduled_count(), 2u);
+}
+
+}  // namespace
+}  // namespace rcast::sim

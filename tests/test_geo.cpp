@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "geo/grid_index.hpp"
+#include "geo/vec2.hpp"
+#include "util/rng.hpp"
+
+namespace rcast::geo {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  Vec2 a{1.0, 2.0}, b{3.0, -1.0};
+  EXPECT_EQ((a + b), (Vec2{4.0, 1.0}));
+  EXPECT_EQ((a - b), (Vec2{-2.0, 3.0}));
+  EXPECT_EQ((a * 2.0), (Vec2{2.0, 4.0}));
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec2{3.0, 4.0}).norm_sq(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance_sq({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Rect, Contains) {
+  Rect r{10.0, 5.0};
+  EXPECT_TRUE(r.contains({0.0, 0.0}));
+  EXPECT_TRUE(r.contains({10.0, 5.0}));
+  EXPECT_TRUE(r.contains({5.0, 2.5}));
+  EXPECT_FALSE(r.contains({-0.1, 2.0}));
+  EXPECT_FALSE(r.contains({5.0, 5.1}));
+  EXPECT_DOUBLE_EQ(r.area(), 50.0);
+}
+
+class GridIndexTest : public ::testing::Test {
+ protected:
+  GridIndex grid_{Rect{1500.0, 300.0}, 250.0};
+};
+
+TEST_F(GridIndexTest, InsertAndQueryBasic) {
+  grid_.insert(0, {100.0, 100.0});
+  grid_.insert(1, {150.0, 100.0});
+  grid_.insert(2, {1000.0, 100.0});
+  std::vector<ItemId> out;
+  grid_.query({100.0, 100.0}, 100.0, GridIndex::npos, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<ItemId>{0, 1}));
+}
+
+TEST_F(GridIndexTest, QueryExcludesSelf) {
+  grid_.insert(0, {100.0, 100.0});
+  grid_.insert(1, {110.0, 100.0});
+  std::vector<ItemId> out;
+  grid_.query({100.0, 100.0}, 50.0, 0, out);
+  EXPECT_EQ(out, std::vector<ItemId>{1});
+}
+
+TEST_F(GridIndexTest, RadiusIsInclusive) {
+  grid_.insert(0, {0.0, 0.0});
+  grid_.insert(1, {100.0, 0.0});
+  std::vector<ItemId> out;
+  grid_.query({0.0, 0.0}, 100.0, 0, out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  grid_.query({0.0, 0.0}, 99.9, 0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(GridIndexTest, MoveUpdatesCell) {
+  grid_.insert(0, {0.0, 0.0});
+  grid_.move(0, {1400.0, 290.0});
+  EXPECT_EQ(grid_.position(0), (Vec2{1400.0, 290.0}));
+  std::vector<ItemId> out;
+  grid_.query({0.0, 0.0}, 200.0, GridIndex::npos, out);
+  EXPECT_TRUE(out.empty());
+  grid_.query({1400.0, 290.0}, 50.0, GridIndex::npos, out);
+  EXPECT_EQ(out, std::vector<ItemId>{0});
+}
+
+TEST_F(GridIndexTest, MoveWithinCellKeepsPosition) {
+  grid_.insert(0, {10.0, 10.0});
+  grid_.move(0, {20.0, 20.0});
+  EXPECT_EQ(grid_.position(0), (Vec2{20.0, 20.0}));
+}
+
+TEST_F(GridIndexTest, RemoveDropsItem) {
+  grid_.insert(0, {10.0, 10.0});
+  EXPECT_TRUE(grid_.contains(0));
+  grid_.remove(0);
+  EXPECT_FALSE(grid_.contains(0));
+  EXPECT_EQ(grid_.size(), 0u);
+  std::vector<ItemId> out;
+  grid_.query({10.0, 10.0}, 100.0, GridIndex::npos, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(GridIndexTest, DuplicateInsertThrows) {
+  grid_.insert(0, {1.0, 1.0});
+  EXPECT_THROW(grid_.insert(0, {2.0, 2.0}), ContractViolation);
+}
+
+TEST_F(GridIndexTest, OperationsOnMissingItemThrow) {
+  EXPECT_THROW(grid_.move(5, {1.0, 1.0}), ContractViolation);
+  EXPECT_THROW(grid_.remove(5), ContractViolation);
+  EXPECT_THROW(grid_.position(5), ContractViolation);
+  EXPECT_THROW(grid_.count_within(5, 10.0), ContractViolation);
+}
+
+TEST_F(GridIndexTest, CountWithin) {
+  grid_.insert(0, {100.0, 100.0});
+  grid_.insert(1, {150.0, 100.0});
+  grid_.insert(2, {190.0, 100.0});
+  grid_.insert(3, {900.0, 100.0});
+  EXPECT_EQ(grid_.count_within(0, 100.0), 2u);
+  EXPECT_EQ(grid_.count_within(3, 100.0), 0u);
+}
+
+TEST_F(GridIndexTest, PositionsOutsideWorldClampToEdgeCells) {
+  // Items slightly outside the rect (mobility endpoints) must still be
+  // indexed and findable.
+  grid_.insert(0, {1500.0, 300.0});
+  std::vector<ItemId> out;
+  grid_.query({1490.0, 295.0}, 20.0, GridIndex::npos, out);
+  EXPECT_EQ(out, std::vector<ItemId>{0});
+}
+
+TEST_F(GridIndexTest, LargeQueryRadiusCoversWholeWorld) {
+  for (ItemId i = 0; i < 20; ++i) {
+    grid_.insert(i, {i * 70.0, (i % 4) * 70.0});
+  }
+  std::vector<ItemId> out;
+  grid_.query({750.0, 150.0}, 5000.0, GridIndex::npos, out);
+  EXPECT_EQ(out.size(), 20u);
+}
+
+TEST(GridIndexRandomized, AgreesWithBruteForce) {
+  Rng rng(77);
+  const Rect world{1500.0, 300.0};
+  GridIndex grid(world, 250.0);
+  std::vector<Vec2> pos(200);
+  for (ItemId i = 0; i < 200; ++i) {
+    pos[i] = {rng.uniform(0.0, world.width), rng.uniform(0.0, world.height)};
+    grid.insert(i, pos[i]);
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const Vec2 c{rng.uniform(0.0, world.width),
+                 rng.uniform(0.0, world.height)};
+    const double r = rng.uniform(0.0, 600.0);
+    std::vector<ItemId> got;
+    grid.query(c, r, GridIndex::npos, got);
+    std::sort(got.begin(), got.end());
+    std::vector<ItemId> want;
+    for (ItemId i = 0; i < 200; ++i) {
+      if (distance_sq(pos[i], c) <= r * r) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << "trial " << trial;
+  }
+}
+
+TEST(GridIndexRandomized, AgreesAfterMoves) {
+  Rng rng(78);
+  const Rect world{1000.0, 1000.0};
+  GridIndex grid(world, 100.0);
+  std::vector<Vec2> pos(100);
+  for (ItemId i = 0; i < 100; ++i) {
+    pos[i] = {rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    grid.insert(i, pos[i]);
+  }
+  for (int round = 0; round < 20; ++round) {
+    for (ItemId i = 0; i < 100; ++i) {
+      if (rng.bernoulli(0.3)) {
+        pos[i] = {rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+        grid.move(i, pos[i]);
+      }
+    }
+    const Vec2 c{rng.uniform(0.0, 1000.0), rng.uniform(0.0, 1000.0)};
+    std::vector<ItemId> got;
+    grid.query(c, 150.0, GridIndex::npos, got);
+    std::sort(got.begin(), got.end());
+    std::vector<ItemId> want;
+    for (ItemId i = 0; i < 100; ++i) {
+      if (distance_sq(pos[i], c) <= 150.0 * 150.0) want.push_back(i);
+    }
+    EXPECT_EQ(got, want) << "round " << round;
+  }
+}
+
+TEST(GridIndexConstruction, RejectsBadArguments) {
+  EXPECT_THROW(GridIndex(Rect{0.0, 10.0}, 5.0), ContractViolation);
+  EXPECT_THROW(GridIndex(Rect{10.0, 10.0}, 0.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace rcast::geo

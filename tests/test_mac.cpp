@@ -1,0 +1,532 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+#include "mac/mac.hpp"
+#include "mobility/mobility_manager.hpp"
+#include "phy/channel.hpp"
+#include "phy/phy.hpp"
+#include "power/always_on.hpp"
+#include "power/psm_policy.hpp"
+
+namespace rcast::mac {
+namespace {
+
+struct TestDatagram final : NetDatagram {
+  std::int64_t bits;
+  int tag;
+  TestDatagram(std::int64_t b, int t) : bits(b), tag(t) {}
+  std::int64_t size_bits() const override { return bits; }
+};
+
+NetDatagramPtr dgram(std::int64_t bits = 512, int tag = 0) {
+  return std::make_shared<TestDatagram>(bits, tag);
+}
+
+int tag_of(const NetDatagramPtr& d) {
+  return static_cast<const TestDatagram*>(d.get())->tag;
+}
+
+class Callbacks : public MacCallbacks {
+ public:
+  struct Rx {
+    NetDatagramPtr pkt;
+    NodeId from;
+  };
+  struct Oh {
+    NetDatagramPtr pkt;
+    NodeId from, to;
+  };
+  void mac_deliver(const NetDatagramPtr& pkt, NodeId from) override {
+    delivered.push_back({pkt, from});
+  }
+  void mac_overhear(const NetDatagramPtr& pkt, NodeId from,
+                    NodeId to) override {
+    overheard.push_back({pkt, from, to});
+  }
+  void mac_tx_ok(const NetDatagramPtr& pkt, NodeId next) override {
+    ok.push_back({pkt, next});
+  }
+  void mac_tx_failed(const NetDatagramPtr& pkt, NodeId next) override {
+    failed.push_back({pkt, next});
+  }
+  std::vector<Rx> delivered;
+  std::vector<Oh> overheard;
+  std::vector<Rx> ok;
+  std::vector<Rx> failed;
+};
+
+/// A scriptable policy for testing MAC <-> policy interplay.
+class ScriptPolicy : public PowerPolicy {
+ public:
+  bool always_awake_v = false;
+  bool ps_mode_v = true;
+  bool overhear_v = false;
+  bool bcast_v = true;
+  std::vector<NodeId> believed_awake;
+  int overhear_calls = 0;
+  int immediate_failures = 0;
+  bool drop_belief_on_failure = true;
+
+  bool always_awake() const override { return always_awake_v; }
+  bool ps_mode_now(sim::Time) override { return ps_mode_v; }
+  bool should_overhear(NodeId, OverhearingMode, sim::Time) override {
+    ++overhear_calls;
+    return overhear_v;
+  }
+  bool should_receive_broadcast(NodeId, sim::Time) override { return bcast_v; }
+  bool believes_awake(NodeId n, sim::Time) override {
+    return std::find(believed_awake.begin(), believed_awake.end(), n) !=
+           believed_awake.end();
+  }
+  void on_immediate_send_failed(NodeId n) override {
+    ++immediate_failures;
+    if (drop_belief_on_failure) {
+      std::erase(believed_awake, n);
+    }
+  }
+};
+
+// Fixture: nodes on a line, 200 m apart, all mutually in RX range pairwise
+// with their neighbors (200 m), and CS covers two hops.
+class MacTest : public ::testing::Test {
+ protected:
+  void build(std::size_t n, bool psm, double spacing = 200.0) {
+    mobility_ = std::make_unique<mobility::MobilityManager>(
+        sim_, geo::Rect{10000.0, 100.0}, 550.0);
+    channel_ = std::make_unique<phy::Channel>(sim_, *mobility_,
+                                              phy::ChannelConfig{});
+    cfg_.psm_enabled = psm;
+    for (std::size_t i = 0; i < n; ++i) {
+      mobility_->add_node(
+          static_cast<NodeId>(i),
+          std::make_unique<mobility::StaticModel>(
+              geo::Vec2{static_cast<double>(i) * spacing, 50.0}));
+      meters_.push_back(std::make_unique<energy::EnergyMeter>(
+          energy::PowerTable::wavelan2(), sim_.now()));
+      phys_.push_back(std::make_unique<phy::Phy>(
+          sim_, *channel_, static_cast<NodeId>(i), meters_.back().get()));
+      macs_.push_back(std::make_unique<Mac>(sim_, *phys_.back(), cfg_,
+                                            Rng(1000 + i)));
+      callbacks_.push_back(std::make_unique<Callbacks>());
+      policies_.push_back(std::make_unique<ScriptPolicy>());
+      macs_.back()->set_callbacks(callbacks_.back().get());
+      macs_.back()->set_power_policy(policies_.back().get());
+    }
+    for (auto& m : macs_) m->start();
+  }
+
+  sim::Time bi() const { return cfg_.beacon_interval; }
+
+  sim::Simulator sim_;
+  MacConfig cfg_;
+  std::unique_ptr<mobility::MobilityManager> mobility_;
+  std::unique_ptr<phy::Channel> channel_;
+  std::vector<std::unique_ptr<energy::EnergyMeter>> meters_;
+  std::vector<std::unique_ptr<phy::Phy>> phys_;
+  std::vector<std::unique_ptr<Mac>> macs_;
+  std::vector<std::unique_ptr<Callbacks>> callbacks_;
+  std::vector<std::unique_ptr<ScriptPolicy>> policies_;
+};
+
+// --- Non-PSM (plain 802.11) ------------------------------------------------
+
+TEST_F(MacTest, NonPsmUnicastDelivers) {
+  build(2, /*psm=*/false);
+  macs_[0]->send(1, dgram(512, 42), OverhearingMode::kNone);
+  sim_.run_until(sim::from_millis(50));
+  ASSERT_EQ(callbacks_[1]->delivered.size(), 1u);
+  EXPECT_EQ(tag_of(callbacks_[1]->delivered[0].pkt), 42);
+  EXPECT_EQ(callbacks_[1]->delivered[0].from, 0u);
+  ASSERT_EQ(callbacks_[0]->ok.size(), 1u);
+  EXPECT_EQ(macs_[0]->stats().data_tx_ok, 1u);
+}
+
+TEST_F(MacTest, NonPsmDeliveryIsFast) {
+  build(2, false);
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(sim::from_millis(5));
+  EXPECT_EQ(callbacks_[1]->delivered.size(), 1u);  // well under a beacon
+}
+
+TEST_F(MacTest, NonPsmBroadcastReachesAllInRange) {
+  build(3, false);
+  macs_[1]->send(kBroadcastId, dgram(512, 9), OverhearingMode::kNone);
+  sim_.run_until(sim::from_millis(50));
+  EXPECT_EQ(callbacks_[0]->delivered.size(), 1u);
+  EXPECT_EQ(callbacks_[2]->delivered.size(), 1u);
+}
+
+TEST_F(MacTest, NonPsmOverhearingTapFires) {
+  build(3, false);  // node 1 between 0 and 2; 0->... 0-1 in range
+  macs_[0]->send(1, dgram(512, 5), OverhearingMode::kNone);
+  sim_.run_until(sim::from_millis(50));
+  // Node 2 is 400 m from 0: senses but cannot decode. Use 1->2 instead.
+  callbacks_[1]->delivered.clear();
+  macs_[1]->send(2, dgram(512, 6), OverhearingMode::kNone);
+  sim_.run_until(sim::from_millis(100));
+  ASSERT_EQ(callbacks_[2]->delivered.size(), 1u);
+  // Node 0 is 200 m from 1: decodes 1's transmission addressed to 2.
+  ASSERT_EQ(callbacks_[0]->overheard.size(), 1u);
+  EXPECT_EQ(callbacks_[0]->overheard[0].from, 1u);
+  EXPECT_EQ(callbacks_[0]->overheard[0].to, 2u);
+}
+
+TEST_F(MacTest, NonPsmRetriesExhaustToFailure) {
+  build(2, false, /*spacing=*/800.0);  // out of range: no ACK ever
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(sim::from_seconds(2));
+  ASSERT_EQ(callbacks_[0]->failed.size(), 1u);
+  EXPECT_EQ(macs_[0]->stats().data_tx_failed, 1u);
+  EXPECT_EQ(macs_[0]->stats().data_tx_attempts,
+            static_cast<std::uint64_t>(cfg_.retry_limit + 1));
+}
+
+TEST_F(MacTest, NonPsmQueueOverflowDrops) {
+  build(2, false);
+  bool all_accepted = true;
+  // One packet is immediately dequeued into the in-flight DCF operation, so
+  // capacity is queue_limit + 1 before drops start.
+  for (std::size_t i = 0; i < cfg_.queue_limit + 20; ++i) {
+    all_accepted &= macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  }
+  EXPECT_FALSE(all_accepted);
+  EXPECT_GE(macs_[0]->stats().queue_drops, 19u);
+}
+
+TEST_F(MacTest, NonPsmManyPacketsAllDelivered) {
+  build(2, false);
+  for (int i = 0; i < 20; ++i) {
+    macs_[0]->send(1, dgram(512, i), OverhearingMode::kNone);
+  }
+  sim_.run_until(sim::from_seconds(1));
+  EXPECT_EQ(callbacks_[1]->delivered.size(), 20u);
+  // In order.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(tag_of(callbacks_[1]->delivered[i].pkt), i);
+  }
+}
+
+TEST_F(MacTest, NonPsmNodesNeverSleep) {
+  build(2, false);
+  policies_[0]->always_awake_v = true;
+  sim_.run_until(sim::from_seconds(2));
+  EXPECT_TRUE(macs_[0]->awake());
+  EXPECT_EQ(macs_[0]->stats().sleeps, 0u);
+}
+
+// --- PSM -------------------------------------------------------------------
+
+TEST_F(MacTest, PsmIdleNodesSleepOutsideAtimWindow) {
+  build(2, true);
+  sim_.run_until(cfg_.atim_window + sim::kMillisecond);
+  EXPECT_FALSE(macs_[0]->awake());
+  EXPECT_FALSE(macs_[1]->awake());
+  sim_.run_until(bi() + sim::kMillisecond);  // next beacon: awake again
+  EXPECT_TRUE(macs_[0]->awake());
+}
+
+TEST_F(MacTest, PsmIdleEnergyMatchesDutyCycle) {
+  build(1, true);
+  sim_.run_until(sim::from_seconds(100));
+  // 1/5 awake at 1.15 W + 4/5 asleep at 0.045 W = 0.266 W average.
+  EXPECT_NEAR(meters_[0]->consumed_joules(sim_.now()), 26.6, 0.2);
+}
+
+TEST_F(MacTest, PsmUnicastDeliversViaAtim) {
+  build(2, true);
+  macs_[0]->send(1, dgram(512, 3), OverhearingMode::kNone);
+  sim_.run_until(bi());
+  ASSERT_EQ(callbacks_[1]->delivered.size(), 1u);
+  EXPECT_GE(macs_[0]->stats().atim_tx, 1u);
+  EXPECT_GE(macs_[0]->stats().atim_acked, 1u);
+}
+
+TEST_F(MacTest, PsmReceiverStaysAwakeAfterAtim) {
+  build(3, true);
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(cfg_.atim_window + 5 * sim::kMillisecond);
+  EXPECT_TRUE(macs_[0]->awake());   // sender
+  EXPECT_TRUE(macs_[1]->awake());   // addressed receiver
+  EXPECT_FALSE(macs_[2]->awake());  // bystander sleeps (kNone)
+}
+
+TEST_F(MacTest, PsmNoneModeBystanderSleeps) {
+  build(3, true);
+  macs_[1]->send(2, dgram(), OverhearingMode::kNone);
+  sim_.run_until(bi());
+  EXPECT_TRUE(callbacks_[0]->overheard.empty());
+  EXPECT_EQ(policies_[0]->overhear_calls, 0);  // kNone never consults
+}
+
+TEST_F(MacTest, PsmUnconditionalModeBystanderOverhears) {
+  build(3, true);
+  macs_[1]->send(2, dgram(512, 8), OverhearingMode::kUnconditional);
+  sim_.run_until(bi());
+  ASSERT_EQ(callbacks_[2]->delivered.size(), 1u);
+  ASSERT_EQ(callbacks_[0]->overheard.size(), 1u);
+  EXPECT_EQ(tag_of(callbacks_[0]->overheard[0].pkt), 8);
+  EXPECT_GE(macs_[0]->stats().overhear_commits, 1u);
+}
+
+TEST_F(MacTest, PsmRandomizedModeConsultsPolicyCommit) {
+  build(3, true);
+  policies_[0]->overhear_v = true;
+  macs_[1]->send(2, dgram(512, 4), OverhearingMode::kRandomized);
+  sim_.run_until(bi());
+  EXPECT_GE(policies_[0]->overhear_calls, 1);
+  ASSERT_EQ(callbacks_[0]->overheard.size(), 1u);
+}
+
+TEST_F(MacTest, PsmRandomizedModeConsultsPolicyDecline) {
+  build(3, true);
+  policies_[0]->overhear_v = false;
+  macs_[1]->send(2, dgram(), OverhearingMode::kRandomized);
+  sim_.run_until(bi());
+  EXPECT_GE(policies_[0]->overhear_calls, 1);
+  EXPECT_TRUE(callbacks_[0]->overheard.empty());
+  EXPECT_GE(macs_[0]->stats().overhear_declines, 1u);
+}
+
+TEST_F(MacTest, PsmOneOverhearDecisionPerSenderPerBeacon) {
+  build(3, true);
+  policies_[0]->overhear_v = false;
+  // Two packets to the same destination in the same BI: one ATIM, and even
+  // with multiple ATIMs from node 1, node 0 must decide only once per BI.
+  macs_[1]->send(2, dgram(), OverhearingMode::kRandomized);
+  macs_[1]->send(2, dgram(), OverhearingMode::kRandomized);
+  sim_.run_until(bi());
+  EXPECT_LE(policies_[0]->overhear_calls, 1);
+}
+
+TEST_F(MacTest, PsmBroadcastKeepsEveryoneAwake) {
+  build(3, true);
+  macs_[1]->send(kBroadcastId, dgram(512, 2), OverhearingMode::kNone);
+  sim_.run_until(cfg_.atim_window + 5 * sim::kMillisecond);
+  EXPECT_TRUE(macs_[0]->awake());
+  EXPECT_TRUE(macs_[2]->awake());
+  sim_.run_until(bi());
+  EXPECT_EQ(callbacks_[0]->delivered.size(), 1u);
+  EXPECT_EQ(callbacks_[2]->delivered.size(), 1u);
+}
+
+TEST_F(MacTest, PsmDataDeferredToNextBeaconWhenLate) {
+  build(2, true);
+  // Enqueue after the ATIM window has closed: no announcement possible
+  // this interval, so delivery waits for the next one.
+  sim_.run_until(cfg_.atim_window + 10 * sim::kMillisecond);
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(bi() - sim::kMillisecond);
+  EXPECT_TRUE(callbacks_[1]->delivered.empty());
+  sim_.run_until(2 * bi());
+  EXPECT_EQ(callbacks_[1]->delivered.size(), 1u);
+}
+
+TEST_F(MacTest, PsmMultiplePacketsSameBeaconIntervalOneAtim) {
+  build(2, true);
+  for (int i = 0; i < 5; ++i) {
+    macs_[0]->send(1, dgram(512, i), OverhearingMode::kNone);
+  }
+  sim_.run_until(bi());
+  EXPECT_EQ(callbacks_[1]->delivered.size(), 5u);
+  EXPECT_EQ(macs_[0]->stats().atim_acked, 1u);  // one announcement suffices
+}
+
+TEST_F(MacTest, PsmAtimToUnreachableFailsAndRetriesNextBi) {
+  build(2, true, /*spacing=*/800.0);
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(2 * bi());
+  EXPECT_GE(macs_[0]->stats().atim_failed, 2u);  // one per interval so far
+  EXPECT_TRUE(callbacks_[1]->delivered.empty());
+  EXPECT_TRUE(callbacks_[0]->failed.empty());  // ATIM failure != link failure
+}
+
+TEST_F(MacTest, PsmSenderWithTrafficStaysAwake) {
+  build(2, true);
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(cfg_.atim_window + 5 * sim::kMillisecond);
+  EXPECT_TRUE(macs_[0]->awake());
+}
+
+TEST_F(MacTest, PsmAmPolicyKeepsNodeAwake) {
+  build(2, true);
+  policies_[0]->ps_mode_v = false;  // e.g. ODPM AM timeout running
+  sim_.run_until(cfg_.atim_window + 10 * sim::kMillisecond);
+  EXPECT_TRUE(macs_[0]->awake());
+  EXPECT_FALSE(macs_[1]->awake());
+}
+
+TEST_F(MacTest, PsmImmediateSendToBelievedAwakeNeighbor) {
+  build(2, true);
+  policies_[0]->believed_awake = {1};
+  policies_[1]->ps_mode_v = false;  // actually awake
+  sim_.run_until(cfg_.atim_window + 10 * sim::kMillisecond);
+  macs_[0]->send(1, dgram(512, 11), OverhearingMode::kNone);
+  sim_.run_until(cfg_.atim_window + 60 * sim::kMillisecond);
+  // Delivered mid-interval without waiting for the next ATIM window.
+  ASSERT_EQ(callbacks_[1]->delivered.size(), 1u);
+  EXPECT_EQ(macs_[0]->stats().atim_tx, 0u);
+}
+
+TEST_F(MacTest, PsmStaleBeliefFallsBackToAtim) {
+  build(2, true);
+  policies_[0]->believed_awake = {1};  // wrong: node 1 is in PS and asleep
+  sim_.run_until(cfg_.atim_window + 10 * sim::kMillisecond);
+  macs_[0]->send(1, dgram(512, 12), OverhearingMode::kNone);
+  sim_.run_until(3 * bi());
+  // The immediate attempt failed, the policy was told, and the packet was
+  // re-sent via the announcement path in a later beacon interval.
+  EXPECT_GE(policies_[0]->immediate_failures, 1);
+  EXPECT_GE(macs_[0]->stats().immediate_fallbacks, 1u);
+  ASSERT_EQ(callbacks_[1]->delivered.size(), 1u);
+  EXPECT_TRUE(callbacks_[0]->failed.empty());
+}
+
+TEST_F(MacTest, PsmOverhearerStaysAwakeWholeInterval) {
+  build(3, true);
+  policies_[0]->overhear_v = true;
+  macs_[1]->send(2, dgram(), OverhearingMode::kRandomized);
+  sim_.run_until(cfg_.atim_window + 20 * sim::kMillisecond);
+  EXPECT_TRUE(macs_[0]->awake());
+  // And asleep again after the next interval starts with no traffic.
+  sim_.run_until(bi() + cfg_.atim_window + 5 * sim::kMillisecond);
+  EXPECT_FALSE(macs_[0]->awake());
+}
+
+TEST_F(MacTest, PsmStatsCountSleeps) {
+  build(1, true);
+  // Windows end at 50 ms + k*250 ms; ten of them complete before 2.499 s.
+  sim_.run_until(10 * bi() - sim::kMillisecond);
+  EXPECT_EQ(macs_[0]->stats().sleeps, 10u);
+}
+
+TEST_F(MacTest, InAtimWindowReflectsPhase) {
+  build(1, true);
+  sim_.run_until(sim::kMillisecond);
+  EXPECT_TRUE(macs_[0]->in_atim_window());
+  sim_.run_until(cfg_.atim_window + sim::kMillisecond);
+  EXPECT_FALSE(macs_[0]->in_atim_window());
+  sim_.run_until(bi() + sim::kMillisecond);
+  EXPECT_TRUE(macs_[0]->in_atim_window());
+}
+
+TEST_F(MacTest, DuplicateFilterSuppressesRetransmission) {
+  // Force an ACK loss scenario: receiver gets the frame but the ACK
+  // collides... hard to stage deterministically; instead verify the filter
+  // directly through stats after a clean exchange (no duplicates).
+  build(2, true);
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(bi());
+  EXPECT_EQ(macs_[1]->stats().data_duplicates, 0u);
+  EXPECT_EQ(callbacks_[1]->delivered.size(), 1u);
+}
+
+TEST_F(MacTest, QueueDepthVisible) {
+  build(2, true);
+  EXPECT_EQ(macs_[0]->queue_depth(), 0u);
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  EXPECT_EQ(macs_[0]->queue_depth(), 1u);
+  sim_.run_until(bi());
+  EXPECT_EQ(macs_[0]->queue_depth(), 0u);
+}
+
+TEST_F(MacTest, StartTwiceThrows) {
+  build(1, true);
+  EXPECT_THROW(macs_[0]->start(), ContractViolation);
+}
+
+class RecordingPolicy : public ScriptPolicy {
+ public:
+  std::vector<bool> heard_am_bits;
+  void on_frame_decoded(const MacFrame& f, sim::Time) override {
+    heard_am_bits.push_back(f.pwr_mgt_am);
+  }
+};
+
+TEST_F(MacTest, PwrMgtBitReflectsPolicyMode) {
+  build(2, true);
+  policies_[0]->ps_mode_v = false;  // node 0 advertises AM
+  auto recorder = std::make_unique<RecordingPolicy>();
+  macs_[1]->set_power_policy(recorder.get());
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(bi());
+  ASSERT_FALSE(recorder->heard_am_bits.empty());
+  for (bool am : recorder->heard_am_bits) EXPECT_TRUE(am);
+}
+
+TEST_F(MacTest, PwrMgtBitPsMode) {
+  build(2, true);  // node 0 stays in PS mode
+  auto recorder = std::make_unique<RecordingPolicy>();
+  macs_[1]->set_power_policy(recorder.get());
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(bi());
+  ASSERT_FALSE(recorder->heard_am_bits.empty());
+  for (bool am : recorder->heard_am_bits) EXPECT_FALSE(am);
+}
+
+}  // namespace
+}  // namespace rcast::mac
+
+namespace rcast::mac {
+namespace {
+
+// --- Dead-neighbor detection via ATIM failure streaks ------------------------
+
+class AtimFailureTest : public MacTest {};
+
+TEST_F(AtimFailureTest, VanishedNeighborTriggersLinkFailure) {
+  build(2, /*psm=*/true, /*spacing=*/800.0);  // never in range
+  macs_[0]->send(1, dgram(512, 1), OverhearingMode::kNone);
+  // After atim_fail_limit beacon intervals of failed announcements the
+  // queued packet must surface as a link failure.
+  sim_.run_until((cfg_.atim_fail_limit + 2) * bi());
+  ASSERT_EQ(callbacks_[0]->failed.size(), 1u);
+  EXPECT_EQ(callbacks_[0]->failed[0].from, 1u);  // next hop
+  EXPECT_EQ(macs_[0]->queue_depth(), 0u);
+}
+
+TEST_F(AtimFailureTest, AllQueuedPacketsToDeadNeighborPurged) {
+  build(2, true, 800.0);
+  for (int i = 0; i < 5; ++i) {
+    macs_[0]->send(1, dgram(512, i), OverhearingMode::kNone);
+  }
+  sim_.run_until((cfg_.atim_fail_limit + 2) * bi());
+  EXPECT_EQ(callbacks_[0]->failed.size(), 5u);
+  EXPECT_EQ(macs_[0]->queue_depth(), 0u);
+}
+
+TEST_F(AtimFailureTest, SuccessfulAtimResetsStreak) {
+  build(2, true);  // in range: ATIMs succeed
+  for (int round = 0; round < 6; ++round) {
+    macs_[0]->send(1, dgram(512, round), OverhearingMode::kNone);
+    sim_.run_until((round + 1) * bi());
+  }
+  EXPECT_TRUE(callbacks_[0]->failed.empty());
+  EXPECT_EQ(callbacks_[1]->delivered.size(), 6u);
+}
+
+TEST_F(AtimFailureTest, PacketsToOtherDestinationsSurvivePurge) {
+  build(3, true);
+  // Node 1 (200 m) reachable; "node 9" does not exist -> its ATIMs fail.
+  macs_[0]->send(9, dgram(512, 1), OverhearingMode::kNone);
+  macs_[0]->send(1, dgram(512, 2), OverhearingMode::kNone);
+  sim_.run_until((cfg_.atim_fail_limit + 2) * bi());
+  ASSERT_EQ(callbacks_[0]->failed.size(), 1u);
+  EXPECT_EQ(callbacks_[0]->failed[0].from, 9u);
+  EXPECT_EQ(callbacks_[1]->delivered.size(), 1u);  // the good one arrived
+}
+
+TEST_F(AtimFailureTest, MaxQueueResidencyBounded) {
+  build(2, true, 800.0);
+  macs_[0]->send(1, dgram(), OverhearingMode::kNone);
+  sim_.run_until(10 * bi());
+  // The stuck packet was purged within ~atim_fail_limit+1 intervals, never
+  // the hundreds of seconds of the pre-fix starvation bug.
+  EXPECT_LE(macs_[0]->stats().max_queue_residency,
+            (cfg_.atim_fail_limit + 2) * bi());
+}
+
+}  // namespace
+}  // namespace rcast::mac

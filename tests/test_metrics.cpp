@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "stats/metrics.hpp"
+
+namespace rcast::stats {
+namespace {
+
+using routing::DropReason;
+using routing::DsrPacket;
+using routing::DsrType;
+using sim::from_seconds;
+
+DsrPacket data_pkt(std::uint32_t flow, std::uint32_t seq,
+                   sim::Time origin = 0, std::int64_t bits = 512) {
+  DsrPacket p;
+  p.type = DsrType::kData;
+  p.flow_id = flow;
+  p.app_seq = seq;
+  p.origin_time = origin;
+  p.payload_bits = bits;
+  return p;
+}
+
+TEST(Metrics, PdrCountsUniqueDeliveries) {
+  MetricsCollector m(10);
+  for (std::uint32_t i = 1; i <= 4; ++i) {
+    m.on_data_originated(data_pkt(0, i), 0);
+  }
+  m.on_data_delivered(data_pkt(0, 1), from_seconds(1));
+  m.on_data_delivered(data_pkt(0, 2), from_seconds(1));
+  m.on_data_delivered(data_pkt(0, 2), from_seconds(2));  // duplicate path
+  EXPECT_EQ(m.originated(), 4u);
+  EXPECT_EQ(m.delivered(), 2u);
+  EXPECT_DOUBLE_EQ(m.pdr_percent(), 50.0);
+}
+
+TEST(Metrics, SameSeqDifferentFlowsAreDistinct) {
+  MetricsCollector m(10);
+  m.on_data_delivered(data_pkt(0, 1), 0);
+  m.on_data_delivered(data_pkt(1, 1), 0);
+  EXPECT_EQ(m.delivered(), 2u);
+}
+
+TEST(Metrics, DelayAveragesFromOriginTime) {
+  MetricsCollector m(10);
+  m.on_data_delivered(data_pkt(0, 1, from_seconds(10)), from_seconds(11));
+  m.on_data_delivered(data_pkt(0, 2, from_seconds(10)), from_seconds(13));
+  EXPECT_DOUBLE_EQ(m.avg_delay_s(), 2.0);
+  EXPECT_EQ(m.delay_stats().count(), 2u);
+}
+
+TEST(Metrics, EmptyCollectorSafe) {
+  MetricsCollector m(5);
+  EXPECT_DOUBLE_EQ(m.pdr_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(m.avg_delay_s(), 0.0);
+  EXPECT_DOUBLE_EQ(m.normalized_overhead(), 0.0);
+  EXPECT_EQ(m.control_transmissions(), 0u);
+}
+
+TEST(Metrics, ControlTransmissionsByType) {
+  MetricsCollector m(5);
+  m.on_control_transmit(DsrType::kRreq, 0);
+  m.on_control_transmit(DsrType::kRreq, 0);
+  m.on_control_transmit(DsrType::kRrep, 0);
+  m.on_control_transmit(DsrType::kRerr, 0);
+  EXPECT_EQ(m.control_transmissions(), 4u);
+  EXPECT_EQ(m.control_transmissions(DsrType::kRreq), 2u);
+  EXPECT_EQ(m.control_transmissions(DsrType::kRrep), 1u);
+  EXPECT_EQ(m.control_transmissions(DsrType::kRerr), 1u);
+}
+
+TEST(Metrics, NormalizedOverheadPerDelivered) {
+  MetricsCollector m(5);
+  for (int i = 0; i < 6; ++i) m.on_control_transmit(DsrType::kRreq, 0);
+  m.on_data_originated(data_pkt(0, 1), 0);
+  m.on_data_originated(data_pkt(0, 2), 0);
+  m.on_data_delivered(data_pkt(0, 1), 0);
+  m.on_data_delivered(data_pkt(0, 2), 0);
+  EXPECT_DOUBLE_EQ(m.normalized_overhead(), 3.0);
+}
+
+TEST(Metrics, RoleNumbersCountIntermediatesOnly) {
+  MetricsCollector m(6);
+  m.on_route_used({0, 1, 2, 3}, 0);
+  m.on_route_used({0, 1, 5}, 0);
+  const auto& roles = m.role_numbers();
+  EXPECT_EQ(roles[0], 0u);  // endpoints never counted
+  EXPECT_EQ(roles[1], 2u);
+  EXPECT_EQ(roles[2], 1u);
+  EXPECT_EQ(roles[3], 0u);
+  EXPECT_EQ(roles[5], 0u);
+}
+
+TEST(Metrics, RoleNumbersIgnoreOutOfRangeIds) {
+  MetricsCollector m(2);
+  m.on_route_used({0, 7, 1}, 0);  // id 7 outside the 2-node network
+  EXPECT_EQ(m.role_numbers().size(), 2u);
+}
+
+TEST(Metrics, DeliveredPayloadBitsAccumulate) {
+  MetricsCollector m(5);
+  m.on_data_delivered(data_pkt(0, 1, 0, 512), 0);
+  m.on_data_delivered(data_pkt(0, 2, 0, 256), 0);
+  m.on_data_delivered(data_pkt(0, 2, 0, 256), 0);  // dup ignored
+  EXPECT_EQ(m.delivered_payload_bits(), 768u);
+}
+
+TEST(Metrics, DropsByReason) {
+  MetricsCollector m(5);
+  m.on_data_dropped(data_pkt(0, 1), DropReason::kNoRoute, 0);
+  m.on_data_dropped(data_pkt(0, 2), DropReason::kNoRoute, 0);
+  m.on_data_dropped(data_pkt(0, 3), DropReason::kLinkFailure, 0);
+  EXPECT_EQ(m.drops(DropReason::kNoRoute), 2u);
+  EXPECT_EQ(m.drops(DropReason::kLinkFailure), 1u);
+  EXPECT_EQ(m.total_drops(), 3u);
+}
+
+}  // namespace
+}  // namespace rcast::stats

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "mobility/mobility_manager.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "util/rng.hpp"
+
+namespace rcast::mobility {
+namespace {
+
+RandomWaypointConfig base_cfg() {
+  RandomWaypointConfig c;
+  c.world = {1500.0, 300.0};
+  c.min_speed_mps = 1.0;
+  c.max_speed_mps = 20.0;
+  c.pause = 0;
+  return c;
+}
+
+TEST(StaticModel, NeverMoves) {
+  StaticModel m({10.0, 20.0});
+  EXPECT_EQ(m.position_at(0), (geo::Vec2{10.0, 20.0}));
+  EXPECT_EQ(m.position_at(sim::from_seconds(1000)), (geo::Vec2{10.0, 20.0}));
+  EXPECT_DOUBLE_EQ(m.max_speed(), 0.0);
+}
+
+TEST(RandomWaypoint, StartsInsideWorld) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    RandomWaypointModel m(base_cfg(), Rng(seed));
+    EXPECT_TRUE(base_cfg().world.contains(m.position_at(0)));
+  }
+}
+
+TEST(RandomWaypoint, StaysInsideWorldOverTime) {
+  RandomWaypointModel m(base_cfg(), Rng(3));
+  for (int s = 0; s <= 2000; s += 7) {
+    const auto p = m.position_at(sim::from_seconds(s));
+    EXPECT_TRUE(base_cfg().world.contains(p)) << "t=" << s;
+  }
+}
+
+TEST(RandomWaypoint, SpeedNeverExceedsMax) {
+  auto cfg = base_cfg();
+  RandomWaypointModel m(cfg, Rng(4));
+  geo::Vec2 prev = m.position_at(0);
+  for (int ms = 100; ms <= 500000; ms += 100) {
+    const auto p = m.position_at(sim::from_millis(ms));
+    const double v = geo::distance(prev, p) / 0.1;
+    EXPECT_LE(v, cfg.max_speed_mps * 1.01) << "t=" << ms << "ms";
+    prev = p;
+  }
+}
+
+TEST(RandomWaypoint, MovesWhenPauseZero) {
+  RandomWaypointModel m(base_cfg(), Rng(5));
+  const auto p0 = m.position_at(0);
+  const auto p1 = m.position_at(sim::from_seconds(30));
+  EXPECT_GT(geo::distance(p0, p1), 0.0);
+}
+
+TEST(RandomWaypoint, LargePauseMeansStatic) {
+  auto cfg = base_cfg();
+  cfg.pause = sim::from_seconds(10000);
+  RandomWaypointModel m(cfg, Rng(6));
+  const auto p0 = m.position_at(0);
+  const auto p1 = m.position_at(sim::from_seconds(9999));
+  EXPECT_EQ(p0, p1);  // the paper's T_pause = sim-length static scenario
+}
+
+TEST(RandomWaypoint, PausesAtWaypoints) {
+  auto cfg = base_cfg();
+  cfg.pause = sim::from_seconds(5);
+  RandomWaypointModel m(cfg, Rng(7));
+  // Initially paused (ns-2 semantics).
+  EXPECT_TRUE(m.paused_at(0));
+  EXPECT_TRUE(m.paused_at(sim::from_seconds(4.9)));
+  EXPECT_FALSE(m.paused_at(sim::from_seconds(5.5)));
+}
+
+TEST(RandomWaypoint, MonotonicQueriesRequired) {
+  RandomWaypointModel m(base_cfg(), Rng(8));
+  m.position_at(sim::from_seconds(100));
+  EXPECT_THROW(m.position_at(sim::from_seconds(50)), ContractViolation);
+}
+
+TEST(RandomWaypoint, DeterministicGivenSeed) {
+  RandomWaypointModel a(base_cfg(), Rng(9));
+  RandomWaypointModel b(base_cfg(), Rng(9));
+  for (int s = 0; s < 500; s += 13) {
+    EXPECT_EQ(a.position_at(sim::from_seconds(s)),
+              b.position_at(sim::from_seconds(s)));
+  }
+}
+
+TEST(RandomWaypoint, RejectsBadConfig) {
+  auto c = base_cfg();
+  c.min_speed_mps = 0.0;
+  EXPECT_THROW(RandomWaypointModel(c, Rng(1)), ContractViolation);
+  c = base_cfg();
+  c.max_speed_mps = 0.5;  // < min
+  EXPECT_THROW(RandomWaypointModel(c, Rng(1)), ContractViolation);
+  c = base_cfg();
+  c.pause = -1;
+  EXPECT_THROW(RandomWaypointModel(c, Rng(1)), ContractViolation);
+}
+
+// --- MobilityManager -------------------------------------------------------
+
+class ManagerTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  mobility::MobilityManager mgr_{sim_, geo::Rect{1500.0, 300.0}, 550.0};
+};
+
+TEST_F(ManagerTest, StaticNeighborsExact) {
+  mgr_.add_node(0, std::make_unique<StaticModel>(geo::Vec2{0.0, 0.0}));
+  mgr_.add_node(1, std::make_unique<StaticModel>(geo::Vec2{200.0, 0.0}));
+  mgr_.add_node(2, std::make_unique<StaticModel>(geo::Vec2{600.0, 0.0}));
+  auto n = mgr_.neighbors_within(0, 250.0);
+  EXPECT_EQ(n, std::vector<NodeId>{1});
+  EXPECT_TRUE(mgr_.in_range(0, 1, 250.0));
+  EXPECT_FALSE(mgr_.in_range(0, 2, 250.0));
+}
+
+TEST_F(ManagerTest, NodeIdsMustBeDense) {
+  mgr_.add_node(0, std::make_unique<StaticModel>(geo::Vec2{0.0, 0.0}));
+  EXPECT_THROW(
+      mgr_.add_node(5, std::make_unique<StaticModel>(geo::Vec2{0.0, 0.0})),
+      ContractViolation);
+}
+
+TEST_F(ManagerTest, QueriesExactBetweenRefreshes) {
+  // A mover whose grid entry is stale must still be found via the slack.
+  RandomWaypointConfig c;
+  c.world = {1500.0, 300.0};
+  c.min_speed_mps = 19.9;
+  c.max_speed_mps = 20.0;
+  c.pause = 0;
+  mgr_.add_node(0, std::make_unique<StaticModel>(geo::Vec2{750.0, 150.0}));
+  mgr_.add_node(1, std::make_unique<RandomWaypointModel>(c, Rng(10)));
+  for (int ms = 0; ms < 5000; ms += 37) {  // between 100ms grid refreshes
+    sim_.run_until(sim::from_millis(ms));
+    const auto got = mgr_.neighbors_within(0, 250.0);
+    const bool in = geo::distance(mgr_.position(0), mgr_.position(1)) <= 250.0;
+    EXPECT_EQ(got.size(), in ? 1u : 0u) << "t=" << ms;
+  }
+}
+
+TEST_F(ManagerTest, NodesWithinPoint) {
+  mgr_.add_node(0, std::make_unique<StaticModel>(geo::Vec2{100.0, 100.0}));
+  mgr_.add_node(1, std::make_unique<StaticModel>(geo::Vec2{120.0, 100.0}));
+  auto all = mgr_.nodes_within({110.0, 100.0}, 50.0, geo::GridIndex::npos);
+  EXPECT_EQ(all.size(), 2u);
+  auto excl = mgr_.nodes_within({110.0, 100.0}, 50.0, 0);
+  EXPECT_EQ(excl, std::vector<NodeId>{1});
+}
+
+}  // namespace
+}  // namespace rcast::mobility

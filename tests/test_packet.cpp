@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "routing/packet.hpp"
+#include "sim/time.hpp"
+
+namespace rcast::routing {
+namespace {
+
+// On-air sizes drive every energy and airtime number; pin them down.
+
+TEST(PacketSize, DataGrowsWithRouteLength) {
+  DsrPacket p;
+  p.type = DsrType::kData;
+  p.payload_bits = 64 * 8;
+  p.route = {0, 1};
+  const auto two_hop = p.size_bits();
+  p.route = {0, 1, 2, 3, 4};
+  const auto five_hop = p.size_bits();
+  EXPECT_EQ(five_hop - two_hop, 3 * 4 * 8);  // 4 bytes per extra address
+  // 24B IP+DSR + 4B option + 2*4B addresses + 64B payload.
+  EXPECT_EQ(two_hop, (24 + 4 + 8 + 64) * 8);
+}
+
+TEST(PacketSize, RreqGrowsWithRecordedRoute) {
+  DsrPacket p;
+  p.type = DsrType::kRreq;
+  p.recorded = {0};
+  const auto one = p.size_bits();
+  p.recorded = {0, 1, 2};
+  EXPECT_EQ(p.size_bits() - one, 2 * 4 * 8);
+  EXPECT_EQ(one, (24 + 8 + 4) * 8);
+}
+
+TEST(PacketSize, RrepCarriesFullRoute) {
+  DsrPacket p;
+  p.type = DsrType::kRrep;
+  p.route = {0, 1, 2, 3};
+  EXPECT_EQ(p.size_bits(), (24 + 8 + 16) * 8);
+}
+
+TEST(PacketSize, RerrIncludesUnreachableList) {
+  DsrPacket p;
+  p.type = DsrType::kRerr;
+  p.route = {2, 1, 0};
+  const auto base = p.size_bits();
+  p.unreachable = {{7, 1}, {9, 2}};
+  EXPECT_EQ(p.size_bits() - base, 2 * 8 * 8);  // 8 bytes per entry
+}
+
+TEST(PacketSize, HelloIsSmall) {
+  DsrPacket p;
+  p.type = DsrType::kHello;
+  EXPECT_EQ(p.size_bits(), (24 + 12) * 8);
+  // A hello must be far cheaper than a data packet on air.
+  DsrPacket d;
+  d.type = DsrType::kData;
+  d.payload_bits = 64 * 8;
+  d.route = {0, 1, 2};
+  EXPECT_LT(p.size_bits(), d.size_bits());
+}
+
+TEST(PacketSize, ZeroPayloadDataStillHasHeaders) {
+  DsrPacket p;
+  p.type = DsrType::kData;
+  p.route = {0, 1};
+  EXPECT_GT(p.size_bits(), 0);
+}
+
+TEST(PacketTypeNames, Stable) {
+  EXPECT_STREQ(to_string(DsrType::kData), "DATA");
+  EXPECT_STREQ(to_string(DsrType::kRreq), "RREQ");
+  EXPECT_STREQ(to_string(DsrType::kRrep), "RREP");
+  EXPECT_STREQ(to_string(DsrType::kRerr), "RERR");
+  EXPECT_STREQ(to_string(DsrType::kHello), "HELLO");
+}
+
+// --- sim::time helpers (airtime math used by the MAC) ------------------------
+
+TEST(TimeMath, TxDurationAtTwoMbps) {
+  // 1000 bits at 2 Mbps = 500 us.
+  EXPECT_EQ(sim::tx_duration(1000, 2'000'000), 500 * sim::kMicrosecond);
+}
+
+TEST(TimeMath, TxDurationRoundsUp) {
+  // 1 bit at 3 bps = 333333333.3... ns -> rounds up.
+  EXPECT_EQ(sim::tx_duration(1, 3), 333333334);
+}
+
+TEST(TimeMath, UnitConversionsRoundTrip) {
+  EXPECT_EQ(sim::from_seconds(1.5), 1'500'000'000);
+  EXPECT_EQ(sim::from_millis(250), 250 * sim::kMillisecond);
+  EXPECT_EQ(sim::from_micros(20), 20 * sim::kMicrosecond);
+  EXPECT_DOUBLE_EQ(sim::to_seconds(sim::from_seconds(123.25)), 123.25);
+  EXPECT_DOUBLE_EQ(sim::to_millis(sim::from_millis(0.5)), 0.5);
+}
+
+TEST(TimeMath, PaperFrameAirtimes) {
+  // The paper's setting: 2 Mbps. An ATIM (28 B + 192 us preamble at MAC
+  // level = 224 + 384 bits) takes 304 us; a 64-byte CBR data packet with
+  // a 3-hop DSR source route ((24+4+12+64) B network + 28 B MAC + preamble)
+  // comes to ~720 us — both fit hundreds of times into the 50 ms window /
+  // 200 ms data phase, as the protocol requires.
+  EXPECT_EQ(sim::tx_duration(224 + 384, 2'000'000), 304 * sim::kMicrosecond);
+  const std::int64_t data_bits = (24 + 4 + 12 + 64 + 28) * 8 + 384;
+  EXPECT_LT(sim::tx_duration(data_bits, 2'000'000),
+            sim::kMillisecond);
+}
+
+}  // namespace
+}  // namespace rcast::routing

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "power/always_on.hpp"
+#include "power/odpm.hpp"
+#include "power/psm_policy.hpp"
+
+namespace rcast::power {
+namespace {
+
+using mac::MacFrame;
+using mac::OverhearingMode;
+using mac::RoutingEvent;
+using sim::from_seconds;
+
+MacFrame frame_from(mac::NodeId src, bool am) {
+  MacFrame f;
+  f.src = src;
+  f.pwr_mgt_am = am;
+  return f;
+}
+
+TEST(AlwaysOnPolicy, NeverSleeps) {
+  AlwaysOnPolicy p;
+  EXPECT_TRUE(p.always_awake());
+  EXPECT_FALSE(p.ps_mode_now(0));
+  EXPECT_FALSE(p.ps_mode_now(from_seconds(1000)));
+  EXPECT_TRUE(p.believes_awake(7, 0));
+}
+
+TEST(PsmPolicy, ConsistentPsMode) {
+  PsmPolicy p;
+  EXPECT_FALSE(p.always_awake());
+  EXPECT_TRUE(p.ps_mode_now(0));
+  EXPECT_TRUE(p.ps_mode_now(from_seconds(1000)));
+  EXPECT_FALSE(p.should_overhear(3, OverhearingMode::kRandomized, 0));
+  EXPECT_FALSE(p.believes_awake(3, 0));
+}
+
+TEST(OdpmPolicy, StartsInPsMode) {
+  OdpmPolicy p;
+  EXPECT_TRUE(p.ps_mode_now(0));
+  EXPECT_FALSE(p.always_awake());
+}
+
+TEST(OdpmPolicy, RrepTriggersFiveSecondAm) {
+  OdpmPolicy p;
+  p.on_routing_event(RoutingEvent::kRrepReceived, from_seconds(10));
+  EXPECT_FALSE(p.ps_mode_now(from_seconds(10)));
+  EXPECT_FALSE(p.ps_mode_now(from_seconds(14.9)));
+  EXPECT_TRUE(p.ps_mode_now(from_seconds(15.1)));
+}
+
+TEST(OdpmPolicy, DataTriggersTwoSecondAm) {
+  OdpmPolicy p;
+  p.on_routing_event(RoutingEvent::kDataReceived, from_seconds(10));
+  EXPECT_FALSE(p.ps_mode_now(from_seconds(11.9)));
+  EXPECT_TRUE(p.ps_mode_now(from_seconds(12.1)));
+}
+
+TEST(OdpmPolicy, AllDataEventsExtendAm) {
+  for (auto ev : {RoutingEvent::kDataReceived, RoutingEvent::kDataForwarded,
+                  RoutingEvent::kDataSent}) {
+    OdpmPolicy p;
+    p.on_routing_event(ev, from_seconds(5));
+    EXPECT_FALSE(p.ps_mode_now(from_seconds(6.9)));
+    EXPECT_TRUE(p.ps_mode_now(from_seconds(7.1)));
+  }
+}
+
+TEST(OdpmPolicy, TimeoutsDoNotShrink) {
+  // A 2 s data timeout right after a 5 s RREP timeout must not cut AM short.
+  OdpmPolicy p;
+  p.on_routing_event(RoutingEvent::kRrepReceived, from_seconds(10));  // ->15
+  p.on_routing_event(RoutingEvent::kDataReceived, from_seconds(11));  // ->13?
+  EXPECT_FALSE(p.ps_mode_now(from_seconds(14.5)));  // still AM until 15
+  EXPECT_TRUE(p.ps_mode_now(from_seconds(15.1)));
+}
+
+TEST(OdpmPolicy, ContinuousTrafficKeepsAmForever) {
+  // The paper's Fig. 5(d) analysis: 0.5 s inter-packet < 2 s timeout keeps
+  // sources/destinations awake for the whole run.
+  OdpmPolicy p;
+  for (int i = 0; i < 100; ++i) {
+    const sim::Time t = from_seconds(i * 0.5);
+    p.on_routing_event(RoutingEvent::kDataSent, t);
+    EXPECT_FALSE(p.ps_mode_now(t + from_seconds(0.4)));
+  }
+}
+
+TEST(OdpmPolicy, SparseTrafficOscillates) {
+  // Inter-packet 2.5 s > 2 s timeout: node returns to PS between packets
+  // (the paper's low-rate energy-balance discussion).
+  OdpmPolicy p;
+  p.on_routing_event(RoutingEvent::kDataSent, from_seconds(0));
+  EXPECT_TRUE(p.ps_mode_now(from_seconds(2.4)));
+  p.on_routing_event(RoutingEvent::kDataSent, from_seconds(2.5));
+  EXPECT_FALSE(p.ps_mode_now(from_seconds(2.6)));
+}
+
+TEST(OdpmPolicy, LearnsNeighborModeFromPwrMgtBit) {
+  OdpmPolicy p;
+  EXPECT_FALSE(p.believes_awake(5, from_seconds(1)));
+  p.on_frame_decoded(frame_from(5, true), from_seconds(1));
+  EXPECT_TRUE(p.believes_awake(5, from_seconds(1.5)));
+  p.on_frame_decoded(frame_from(5, false), from_seconds(2));
+  EXPECT_FALSE(p.believes_awake(5, from_seconds(2.1)));
+}
+
+TEST(OdpmPolicy, BeliefExpires) {
+  OdpmPolicy p;
+  p.on_frame_decoded(frame_from(5, true), from_seconds(1));
+  EXPECT_TRUE(p.believes_awake(5, from_seconds(2.9)));
+  EXPECT_FALSE(p.believes_awake(5, from_seconds(3.1)));  // 2 s belief TTL
+}
+
+TEST(OdpmPolicy, ImmediateFailureInvalidatesBelief) {
+  OdpmPolicy p;
+  p.on_frame_decoded(frame_from(5, true), from_seconds(1));
+  ASSERT_TRUE(p.believes_awake(5, from_seconds(1.1)));
+  p.on_immediate_send_failed(5);
+  EXPECT_FALSE(p.believes_awake(5, from_seconds(1.2)));
+}
+
+TEST(OdpmPolicy, DoesNotVolunteerRandomizedOverhearing) {
+  OdpmPolicy p;
+  EXPECT_FALSE(p.should_overhear(1, OverhearingMode::kRandomized, 0));
+}
+
+TEST(OdpmPolicy, CustomTimeouts) {
+  OdpmConfig cfg;
+  cfg.rrep_am_timeout = from_seconds(1);
+  cfg.data_am_timeout = from_seconds(10);
+  OdpmPolicy p(cfg);
+  p.on_routing_event(RoutingEvent::kRrepReceived, 0);
+  EXPECT_TRUE(p.ps_mode_now(from_seconds(1.1)));
+  p.on_routing_event(RoutingEvent::kDataSent, from_seconds(2));
+  EXPECT_FALSE(p.ps_mode_now(from_seconds(11.9)));
+}
+
+TEST(OdpmPolicy, AmUntilAccessor) {
+  OdpmPolicy p;
+  p.on_routing_event(RoutingEvent::kRrepReceived, from_seconds(3));
+  EXPECT_EQ(p.am_until(), from_seconds(8));
+}
+
+}  // namespace
+}  // namespace rcast::power
+
+namespace rcast::power {
+namespace {
+
+TEST(OdpmPolicy, OverhearRefreshExtendsRunningAm) {
+  OdpmPolicy p;
+  p.on_routing_event(RoutingEvent::kDataReceived, from_seconds(10));  // ->12
+  p.on_routing_event(RoutingEvent::kDataOverheard, from_seconds(11));  // ->13
+  EXPECT_FALSE(p.ps_mode_now(from_seconds(12.5)));
+  EXPECT_TRUE(p.ps_mode_now(from_seconds(13.1)));
+}
+
+TEST(OdpmPolicy, OverhearDoesNotWakePsNode) {
+  OdpmPolicy p;
+  // No AM period running: an overheard packet must NOT start one.
+  p.on_routing_event(RoutingEvent::kDataOverheard, from_seconds(5));
+  EXPECT_TRUE(p.ps_mode_now(from_seconds(5.1)));
+}
+
+TEST(OdpmPolicy, OverhearRefreshCanBeDisabled) {
+  OdpmConfig cfg;
+  cfg.refresh_on_overhear = false;
+  OdpmPolicy p(cfg);
+  p.on_routing_event(RoutingEvent::kDataReceived, from_seconds(10));  // ->12
+  p.on_routing_event(RoutingEvent::kDataOverheard, from_seconds(11));
+  EXPECT_TRUE(p.ps_mode_now(from_seconds(12.1)));  // not extended
+}
+
+TEST(OdpmPolicy, ContinuousOverhearingPinsAmNode) {
+  // The "sticky AM" behaviour behind the paper's Fig. 5 ODPM curves: one
+  // real reception followed by a stream of overheard packets keeps the
+  // node in AM indefinitely.
+  OdpmPolicy p;
+  p.on_routing_event(RoutingEvent::kDataReceived, from_seconds(0));
+  for (int i = 1; i <= 50; ++i) {
+    const sim::Time t = from_seconds(i * 1.0);
+    ASSERT_FALSE(p.ps_mode_now(t)) << "at t=" << i;
+    p.on_routing_event(RoutingEvent::kDataOverheard, t);
+  }
+}
+
+}  // namespace
+}  // namespace rcast::power

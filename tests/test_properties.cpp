@@ -1,0 +1,193 @@
+// Property-style parameterized sweeps: invariants that must hold for every
+// scheme, traffic rate, and mobility level.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "scenario/scenario.hpp"
+
+namespace rcast::scenario {
+namespace {
+
+ScenarioConfig sweep_cfg(Scheme s, double rate, sim::Time pause,
+                         std::uint64_t seed) {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.num_flows = 6;
+  cfg.world = {900.0, 300.0};
+  cfg.rate_pps = rate;
+  cfg.duration = 40 * sim::kSecond;
+  cfg.pause = pause;
+  cfg.scheme = s;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// --- Sweep over (scheme, rate) ------------------------------------------------
+
+using SchemeRate = std::tuple<Scheme, double>;
+
+class SchemeRateSweep : public ::testing::TestWithParam<SchemeRate> {
+ protected:
+  RunResult run_once(std::uint64_t seed = 5) {
+    auto [s, rate] = GetParam();
+    return run_scenario(sweep_cfg(s, rate, 40 * sim::kSecond, seed));
+  }
+};
+
+TEST_P(SchemeRateSweep, EnergyWithinPhysicalBounds) {
+  const RunResult r = run_once();
+  // Lower bound: every node at least dozes (0.045 W); upper: always awake.
+  const double lo = 0.045 * r.duration_s * 24 * 0.99;
+  const double hi = 1.15 * r.duration_s * 24 * 1.01;
+  EXPECT_GE(r.total_energy_j, lo);
+  EXPECT_LE(r.total_energy_j, hi);
+}
+
+TEST_P(SchemeRateSweep, PerNodeEnergyWithinBounds) {
+  const RunResult r = run_once();
+  for (double e : r.per_node_energy_j) {
+    EXPECT_GE(e, 0.045 * r.duration_s * 0.99);
+    EXPECT_LE(e, 1.15 * r.duration_s * 1.01);
+  }
+}
+
+TEST_P(SchemeRateSweep, DeliveredNeverExceedsOriginated) {
+  const RunResult r = run_once();
+  EXPECT_LE(r.delivered, r.originated);
+  EXPECT_LE(r.pdr_percent, 100.0);
+}
+
+TEST_P(SchemeRateSweep, DeliversSomethingUnderStaticTopology) {
+  const RunResult r = run_once();
+  EXPECT_GT(r.delivered, 0u);
+  EXPECT_GT(r.pdr_percent, 50.0);
+}
+
+TEST_P(SchemeRateSweep, DelayNonNegativeAndBounded) {
+  const RunResult r = run_once();
+  EXPECT_GE(r.avg_delay_s, 0.0);
+  EXPECT_LT(r.avg_delay_s, 30.0);  // nothing outlives the send buffer
+}
+
+TEST_P(SchemeRateSweep, DeterministicReplay) {
+  const RunResult a = run_once(11);
+  const RunResult b = run_once(11);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_DOUBLE_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.delivered, b.delivered);
+}
+
+TEST_P(SchemeRateSweep, VarianceIsNonNegative) {
+  const RunResult r = run_once();
+  EXPECT_GE(r.energy_variance, 0.0);
+}
+
+TEST_P(SchemeRateSweep, RoleNumbersConsistentWithTraffic) {
+  const RunResult r = run_once();
+  std::uint64_t role_total = 0;
+  for (auto v : r.role_numbers) role_total += v;
+  // Each originated packet contributes at most (num_nodes - 2) role points.
+  EXPECT_LE(role_total, r.originated * 22);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemesAndRates, SchemeRateSweep,
+    ::testing::Combine(::testing::Values(Scheme::k80211, Scheme::kPsmNone,
+                                         Scheme::kPsmAll, Scheme::kOdpm,
+                                         Scheme::kRcast, Scheme::kRcastBcast),
+                       ::testing::Values(0.4, 2.0)),
+    [](const ::testing::TestParamInfo<SchemeRate>& info) {
+      std::string name(to_string(std::get<0>(info.param)));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + (std::get<1>(info.param) < 1.0 ? "_low" : "_high");
+    });
+
+// --- Sweep over mobility --------------------------------------------------------
+
+class MobilitySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MobilitySweep, RcastSurvivesMobility) {
+  auto cfg = sweep_cfg(Scheme::kRcast, 1.0,
+                       sim::from_seconds(GetParam()), 6);
+  const RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.delivered, 0u);
+  // Energy bounds hold regardless of churn.
+  EXPECT_LE(r.total_energy_j, 1.15 * r.duration_s * 24 * 1.01);
+}
+
+TEST_P(MobilitySweep, OdpmSurvivesMobility) {
+  auto cfg = sweep_cfg(Scheme::kOdpm, 1.0, sim::from_seconds(GetParam()), 6);
+  const RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.delivered, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(PauseTimes, MobilitySweep,
+                         ::testing::Values(0.0, 5.0, 20.0, 40.0),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           return "pause" +
+                                  std::to_string(static_cast<int>(info.param));
+                         });
+
+// --- Sweep over Rcast estimators ---------------------------------------------
+
+class EstimatorSweep : public ::testing::TestWithParam<core::PrEstimator> {};
+
+TEST_P(EstimatorSweep, AllEstimatorsDeliverAndSaveEnergy) {
+  auto cfg = sweep_cfg(Scheme::kRcast, 1.0, 40 * sim::kSecond, 8);
+  cfg.rcast.estimator = GetParam();
+  if (GetParam() == core::PrEstimator::kBattery ||
+      GetParam() == core::PrEstimator::kCombined) {
+    cfg.battery_joules = 1e6;  // finite so the estimator has a signal
+  }
+  const RunResult r = run_scenario(cfg);
+  EXPECT_GT(r.pdr_percent, 50.0);
+  // Always cheaper than everyone-always-awake.
+  EXPECT_LT(r.total_energy_j, 1.15 * r.duration_s * 24);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Estimators, EstimatorSweep,
+    ::testing::Values(core::PrEstimator::kNeighborCount,
+                      core::PrEstimator::kSenderRecency,
+                      core::PrEstimator::kMobility,
+                      core::PrEstimator::kBattery,
+                      core::PrEstimator::kCombined),
+    [](const ::testing::TestParamInfo<core::PrEstimator>& info) {
+      std::string name(core::to_string(info.param));
+      for (auto& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+// --- Sweep over network size ----------------------------------------------------
+
+class SizeSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SizeSweep, ScalesWithoutViolations) {
+  ScenarioConfig cfg;
+  cfg.num_nodes = GetParam();
+  cfg.num_flows = std::max<std::size_t>(2, GetParam() / 5);
+  cfg.world = {30.0 * static_cast<double>(GetParam()), 300.0};
+  cfg.rate_pps = 0.5;
+  cfg.duration = 20 * sim::kSecond;
+  cfg.pause = 20 * sim::kSecond;
+  cfg.scheme = Scheme::kRcast;
+  cfg.seed = 13;
+  const RunResult r = run_scenario(cfg);
+  EXPECT_EQ(r.per_node_energy_j.size(), GetParam());
+  EXPECT_GT(r.total_energy_j, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SizeSweep,
+                         ::testing::Values(std::size_t{5}, std::size_t{15},
+                                           std::size_t{40}, std::size_t{80}),
+                         [](const ::testing::TestParamInfo<std::size_t>& i) {
+                           return "n" + std::to_string(i.param);
+                         });
+
+}  // namespace
+}  // namespace rcast::scenario

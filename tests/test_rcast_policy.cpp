@@ -1,0 +1,276 @@
+#include <gtest/gtest.h>
+
+#include "core/neighbor_table.hpp"
+#include "core/overhearing_map.hpp"
+#include "core/rcast.hpp"
+
+namespace rcast::core {
+namespace {
+
+using mac::MacFrame;
+using mac::OverhearingMode;
+using sim::from_seconds;
+
+MacFrame frame_from(mac::NodeId src) {
+  MacFrame f;
+  f.src = src;
+  return f;
+}
+
+// --- NeighborTable ----------------------------------------------------------
+
+TEST(NeighborTable, CountsHeardNeighbors) {
+  NeighborTable t(from_seconds(5));
+  EXPECT_EQ(t.count(0), 0u);
+  t.heard(1, from_seconds(1));
+  t.heard(2, from_seconds(2));
+  t.heard(1, from_seconds(3));  // refresh, not a new neighbor
+  EXPECT_EQ(t.count(from_seconds(3)), 2u);
+}
+
+TEST(NeighborTable, EntriesAgeOut) {
+  NeighborTable t(from_seconds(5));
+  t.heard(1, from_seconds(0));
+  EXPECT_EQ(t.count(from_seconds(4)), 1u);
+  EXPECT_EQ(t.count(from_seconds(6)), 0u);
+  EXPECT_FALSE(t.knows(1, from_seconds(6)));
+}
+
+TEST(NeighborTable, LastHeardTracked) {
+  NeighborTable t;
+  EXPECT_EQ(t.last_heard(9), 0);
+  t.heard(9, from_seconds(7));
+  EXPECT_EQ(t.last_heard(9), from_seconds(7));
+}
+
+TEST(NeighborTable, AppearancesCountChurn) {
+  NeighborTable t(from_seconds(5));
+  t.heard(1, from_seconds(0));
+  t.heard(2, from_seconds(0));
+  EXPECT_EQ(t.appearances(), 2u);
+  t.heard(1, from_seconds(1));  // refresh: no churn
+  EXPECT_EQ(t.appearances(), 2u);
+  t.heard(1, from_seconds(10));  // expired and back: churn
+  EXPECT_EQ(t.appearances(), 3u);
+}
+
+TEST(NeighborTable, ExpireBoundsMemory) {
+  NeighborTable t(from_seconds(1));
+  for (mac::NodeId i = 0; i < 100; ++i) t.heard(i, from_seconds(0));
+  EXPECT_EQ(t.raw_size(), 100u);
+  t.expire(from_seconds(10));
+  EXPECT_EQ(t.raw_size(), 0u);
+}
+
+// --- OverhearingMap ---------------------------------------------------------
+
+TEST(OverhearingMap, RcastMapMatchesPaper) {
+  constexpr auto m = OverhearingMap::rcast();
+  EXPECT_EQ(m.rrep, OverhearingMode::kRandomized);
+  EXPECT_EQ(m.data, OverhearingMode::kRandomized);
+  EXPECT_EQ(m.rerr, OverhearingMode::kUnconditional);
+  EXPECT_EQ(m.rreq_bcast, OverhearingMode::kNone);
+}
+
+TEST(OverhearingMap, BaselineMaps) {
+  constexpr auto none = OverhearingMap::psm_none();
+  EXPECT_EQ(none.data, OverhearingMode::kNone);
+  EXPECT_EQ(none.rerr, OverhearingMode::kNone);
+  constexpr auto all = OverhearingMap::psm_all();
+  EXPECT_EQ(all.data, OverhearingMode::kUnconditional);
+  EXPECT_EQ(all.rrep, OverhearingMode::kUnconditional);
+  constexpr auto bc = OverhearingMap::rcast_with_broadcast();
+  EXPECT_EQ(bc.rreq_bcast, OverhearingMode::kRandomized);
+  EXPECT_EQ(bc.data, OverhearingMode::kRandomized);
+}
+
+// --- RcastPolicy ------------------------------------------------------------
+
+RcastConfig cfg_with_neighbors(std::size_t n) {
+  RcastConfig c;
+  c.neighbor_count_fn = [n] { return n; };
+  return c;
+}
+
+TEST(RcastPolicy, ConsistentPsMode) {
+  RcastPolicy p(cfg_with_neighbors(5), Rng(1));
+  EXPECT_FALSE(p.always_awake());
+  EXPECT_TRUE(p.ps_mode_now(0));
+}
+
+TEST(RcastPolicy, PrIsOneOverNeighbors) {
+  // The paper's example: five neighbors => P_R = 0.2.
+  RcastPolicy p(cfg_with_neighbors(5), Rng(1));
+  EXPECT_DOUBLE_EQ(p.current_pr(3, 0), 0.2);
+}
+
+TEST(RcastPolicy, PrIsOneWithNoNeighbors) {
+  RcastPolicy p(cfg_with_neighbors(0), Rng(1));
+  EXPECT_DOUBLE_EQ(p.current_pr(3, 0), 1.0);
+}
+
+TEST(RcastPolicy, UnconditionalAlwaysCommits) {
+  RcastPolicy p(cfg_with_neighbors(100), Rng(1));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(p.should_overhear(1, OverhearingMode::kUnconditional, 0));
+  }
+}
+
+TEST(RcastPolicy, NoneNeverCommits) {
+  RcastPolicy p(cfg_with_neighbors(1), Rng(1));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(p.should_overhear(1, OverhearingMode::kNone, 0));
+  }
+}
+
+TEST(RcastPolicy, RandomizedCommitRateTracksPr) {
+  RcastPolicy p(cfg_with_neighbors(5), Rng(2));
+  int commits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    commits += p.should_overhear(1, OverhearingMode::kRandomized, 0) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(commits) / n, 0.2, 0.02);
+  EXPECT_EQ(p.stats().decisions, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(p.stats().commits, static_cast<std::uint64_t>(commits));
+}
+
+TEST(RcastPolicy, PassiveTableDrivesPrWithoutOracle) {
+  RcastConfig c;  // no neighbor_count_fn
+  RcastPolicy p(c, Rng(3));
+  EXPECT_DOUBLE_EQ(p.current_pr(9, from_seconds(1)), 1.0);  // knows nobody
+  p.on_frame_decoded(frame_from(1), from_seconds(1));
+  p.on_frame_decoded(frame_from(2), from_seconds(1));
+  EXPECT_DOUBLE_EQ(p.current_pr(9, from_seconds(1)), 0.5);
+  EXPECT_EQ(p.neighbors().count(from_seconds(1)), 2u);
+}
+
+TEST(RcastPolicy, MinPrClampApplies) {
+  auto c = cfg_with_neighbors(100);
+  c.min_pr = 0.25;
+  RcastPolicy p(c, Rng(4));
+  EXPECT_DOUBLE_EQ(p.current_pr(1, 0), 0.25);
+}
+
+TEST(RcastPolicy, MaxPrClampApplies) {
+  auto c = cfg_with_neighbors(0);
+  c.max_pr = 0.8;
+  RcastPolicy p(c, Rng(4));
+  EXPECT_DOUBLE_EQ(p.current_pr(1, 0), 0.8);
+}
+
+TEST(RcastPolicy, InvalidClampsRejected) {
+  auto c = cfg_with_neighbors(5);
+  c.min_pr = 0.9;
+  c.max_pr = 0.1;
+  EXPECT_THROW(RcastPolicy(c, Rng(1)), ContractViolation);
+}
+
+TEST(RcastPolicy, SenderRecencyOverhearsUnknownSender) {
+  auto c = cfg_with_neighbors(10);
+  c.estimator = PrEstimator::kSenderRecency;
+  RcastPolicy p(c, Rng(5));
+  // Never heard sender 7: must overhear with certainty.
+  EXPECT_DOUBLE_EQ(p.current_pr(7, from_seconds(100)), 1.0);
+}
+
+TEST(RcastPolicy, SenderRecencyFallsBackForFreshSender) {
+  auto c = cfg_with_neighbors(10);
+  c.estimator = PrEstimator::kSenderRecency;
+  RcastPolicy p(c, Rng(5));
+  p.on_frame_decoded(frame_from(7), from_seconds(100));
+  EXPECT_DOUBLE_EQ(p.current_pr(7, from_seconds(100.5)), 0.1);  // 1/N
+}
+
+TEST(RcastPolicy, SenderRecencyReactivatesAfterWindow) {
+  auto c = cfg_with_neighbors(10);
+  c.estimator = PrEstimator::kSenderRecency;
+  c.sender_recency_window = from_seconds(2);
+  RcastPolicy p(c, Rng(5));
+  p.on_frame_decoded(frame_from(7), from_seconds(100));
+  EXPECT_DOUBLE_EQ(p.current_pr(7, from_seconds(103)), 1.0);
+}
+
+TEST(RcastPolicy, SenderRecencySkipCounterForcesOverhear) {
+  auto c = cfg_with_neighbors(1000);  // essentially never random-commit
+  c.estimator = PrEstimator::kSenderRecency;
+  c.max_skips = 5;
+  RcastPolicy p(c, Rng(6));
+  int forced_at = -1;
+  for (int i = 0; i < 50; ++i) {
+    const sim::Time t = from_seconds(100 + 0.1 * i);
+    p.on_frame_decoded(frame_from(7), t);  // keep it "recent"
+    if (p.current_pr(7, t) == 1.0) {
+      forced_at = i;
+      break;
+    }
+    // Decline happens inside should_overhear; call it to record the skip.
+    p.should_overhear(7, OverhearingMode::kRandomized, t);
+  }
+  // After max_skips consecutive declines, P_R snaps to 1.
+  EXPECT_GE(forced_at, 0);
+  EXPECT_LE(forced_at, 20);
+}
+
+TEST(RcastPolicy, BatteryEstimatorScalesWithCharge) {
+  energy::EnergyMeter meter(energy::PowerTable::wavelan2(), 0, 115.0);
+  auto c = cfg_with_neighbors(2);
+  c.estimator = PrEstimator::kBattery;
+  RcastPolicy p(c, Rng(7), &meter);
+  EXPECT_NEAR(p.current_pr(1, 0), 0.5, 1e-9);  // full battery: 1/N
+  // Half drained at t=50s (1.15 W idle).
+  EXPECT_NEAR(p.current_pr(1, from_seconds(50)), 0.25, 1e-9);
+}
+
+TEST(RcastPolicy, BatteryEstimatorWithoutMeterIsNeutral) {
+  auto c = cfg_with_neighbors(4);
+  c.estimator = PrEstimator::kBattery;
+  RcastPolicy p(c, Rng(7));
+  EXPECT_DOUBLE_EQ(p.current_pr(1, 0), 0.25);
+}
+
+TEST(RcastPolicy, MobilityEstimatorReducesPrUnderChurn) {
+  auto c = cfg_with_neighbors(4);
+  c.estimator = PrEstimator::kMobility;
+  c.neighbor_ttl = from_seconds(1);
+  RcastPolicy p(c, Rng(8));
+  const double calm = p.current_pr(1, from_seconds(1));
+  // Pump churn: many distinct neighbors appearing.
+  for (int i = 0; i < 50; ++i) {
+    p.on_frame_decoded(frame_from(100 + i), from_seconds(1) + i * 1000);
+  }
+  const double churned = p.current_pr(1, from_seconds(1.1));
+  EXPECT_LT(churned, calm);
+}
+
+TEST(RcastPolicy, BroadcastDecisionIsConservative) {
+  auto c = cfg_with_neighbors(4);  // p = clamp(3/4, 0.5, 1) = 0.75
+  RcastPolicy p(c, Rng(9));
+  int commits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    commits += p.should_receive_broadcast(1, 0) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(commits) / n, 0.75, 0.02);
+  EXPECT_EQ(p.stats().bcast_decisions, static_cast<std::uint64_t>(n));
+}
+
+TEST(RcastPolicy, BroadcastFloorHolds) {
+  auto c = cfg_with_neighbors(100);  // 3/100 would be tiny; floor = 0.5
+  RcastPolicy p(c, Rng(10));
+  int commits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    commits += p.should_receive_broadcast(1, 0) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(commits) / n, 0.5, 0.02);
+}
+
+TEST(RcastPolicy, EstimatorNamesForBenchOutput) {
+  EXPECT_STREQ(to_string(PrEstimator::kNeighborCount), "neighbors");
+  EXPECT_STREQ(to_string(PrEstimator::kSenderRecency), "sender-id");
+  EXPECT_STREQ(to_string(PrEstimator::kCombined), "combined");
+}
+
+}  // namespace
+}  // namespace rcast::core

@@ -1,0 +1,215 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace rcast {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, KnownFirstOutputsAreStable) {
+  // Pin the sequence: any change to seeding or the generator breaks replay
+  // of every recorded experiment.
+  Rng r(12345);
+  std::vector<std::uint64_t> got;
+  for (int i = 0; i < 4; ++i) got.push_back(r.next_u64());
+  Rng r2(12345);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(got[i], r2.next_u64());
+  // Cross-instance stability of splitmix64 seeding.
+  std::uint64_t s = 0;
+  EXPECT_EQ(splitmix64(s), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform01();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsHalf) {
+  Rng r(8);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform(-3.0, 5.0);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformDegenerateInterval) {
+  Rng r(10);
+  EXPECT_DOUBLE_EQ(r.uniform(2.5, 2.5), 2.5);
+}
+
+TEST(Rng, UniformU64CoversAllResidues) {
+  Rng r(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_u64(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformU64IsUnbiased) {
+  Rng r(12);
+  std::map<std::uint64_t, int> counts;
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_u64(7)];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(c, n / 7, n / 70) << "residue " << v;
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto x = r.uniform_int(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= (x == -2);
+    saw_hi |= (x == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng r(14);
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(15);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-1.0));
+    EXPECT_TRUE(r.bernoulli(2.0));
+  }
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r(16);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialAlwaysNonNegative) {
+  Rng r(18);
+  for (int i = 0; i < 10000; ++i) EXPECT_GE(r.exponential(0.5), 0.0);
+}
+
+TEST(Rng, ExponentialRequiresPositiveMean) {
+  Rng r(19);
+  EXPECT_THROW(r.exponential(0.0), ContractViolation);
+  EXPECT_THROW(r.exponential(-1.0), ContractViolation);
+}
+
+TEST(Rng, UniformU64RequiresPositiveBound) {
+  Rng r(20);
+  EXPECT_THROW(r.uniform_u64(0), ContractViolation);
+}
+
+TEST(Rng, UniformRequiresOrderedBounds) {
+  Rng r(21);
+  EXPECT_THROW(r.uniform(3.0, 1.0), ContractViolation);
+  EXPECT_THROW(r.uniform_int(3, 1), ContractViolation);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(22);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(23);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[i] = i;
+  const auto orig = v;
+  r.shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+}
+
+TEST(Rng, ShuffleEmptyAndSingle) {
+  Rng r(24);
+  std::vector<int> empty;
+  r.shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  r.shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent(99);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1(99), p2(99);
+  Rng a = p1.fork(7);
+  Rng b = p2.fork(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, Mix64IsStableAndSpreads) {
+  EXPECT_EQ(mix64(1), mix64(1));
+  EXPECT_NE(mix64(1), mix64(2));
+  // Adjacent inputs should differ in many bits.
+  const auto d = mix64(100) ^ mix64(101);
+  int bits = 0;
+  for (int i = 0; i < 64; ++i) bits += (d >> i) & 1;
+  EXPECT_GT(bits, 10);
+}
+
+}  // namespace
+}  // namespace rcast

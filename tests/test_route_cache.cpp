@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "routing/route_cache.hpp"
+
+namespace rcast::routing {
+namespace {
+
+using sim::from_seconds;
+
+RouteCache make(NodeId owner = 0, std::size_t cap = 64, sim::Time ttl = 0) {
+  RouteCacheConfig cfg;
+  cfg.capacity = cap;
+  cfg.route_ttl = ttl;
+  return RouteCache(owner, cfg);
+}
+
+TEST(RouteCache, AddAndFindExact) {
+  auto c = make();
+  EXPECT_TRUE(c.add({0, 1, 2, 3}, 0));
+  auto r = c.find(3, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(RouteCache, FindTruncatesAtIntermediate) {
+  auto c = make();
+  c.add({0, 1, 2, 3}, 0);
+  auto r = c.find(2, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(RouteCache, FindPrefersShortest) {
+  auto c = make();
+  c.add({0, 1, 2, 3, 4, 9}, 0);
+  c.add({0, 5, 9}, from_seconds(1));
+  auto r = c.find(9, from_seconds(2));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::vector<NodeId>{0, 5, 9}));
+}
+
+TEST(RouteCache, FindMissReturnsNullopt) {
+  auto c = make();
+  c.add({0, 1, 2}, 0);
+  EXPECT_FALSE(c.find(7, 0).has_value());
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(RouteCache, RejectsBadPaths) {
+  auto c = make();
+  EXPECT_FALSE(c.add({0}, 0));              // too short
+  EXPECT_FALSE(c.add({1, 2}, 0));           // not anchored at owner
+  EXPECT_FALSE(c.add({0, 1, 2, 1}, 0));     // loop
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(RouteCache, DuplicateAddRefreshes) {
+  auto c = make();
+  c.add({0, 1, 2}, 0);
+  c.add({0, 1, 2}, from_seconds(5));
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.stats().adds, 1u);
+  EXPECT_EQ(c.stats().refreshes, 1u);
+}
+
+TEST(RouteCache, RemoveLinkTruncates) {
+  auto c = make();
+  c.add({0, 1, 2, 3, 4}, 0);
+  c.remove_link(2, 3);
+  auto r = c.find(4, 0);
+  EXPECT_FALSE(r.has_value());
+  auto r2 = c.find(2, 0);  // prefix survives
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r2, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(RouteCache, RemoveLinkBothDirections) {
+  auto c = make();
+  c.add({0, 1, 2, 3}, 0);
+  c.remove_link(2, 1);  // reversed orientation must also cut 1-2
+  EXPECT_FALSE(c.find(2, 0).has_value());
+  EXPECT_TRUE(c.find(1, 0).has_value());
+}
+
+TEST(RouteCache, RemoveFirstLinkDropsRoute) {
+  auto c = make();
+  c.add({0, 1, 2}, 0);
+  c.remove_link(0, 1);
+  EXPECT_EQ(c.size(), 0u);
+}
+
+TEST(RouteCache, RemoveLinkUntouchedRouteSurvives) {
+  auto c = make();
+  c.add({0, 1, 2}, 0);
+  c.add({0, 5, 6}, 0);
+  c.remove_link(1, 2);
+  EXPECT_TRUE(c.find(6, 0).has_value());
+  EXPECT_FALSE(c.find(2, 0).has_value());
+}
+
+TEST(RouteCache, CapacityEvictsLru) {
+  auto c = make(0, 2);
+  c.add({0, 1, 10}, from_seconds(1));
+  c.add({0, 2, 20}, from_seconds(2));
+  c.find(10, from_seconds(3));  // touch route to 10
+  c.add({0, 3, 30}, from_seconds(4));  // evicts route to 20 (LRU)
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_TRUE(c.has_route(10, from_seconds(5)));
+  EXPECT_FALSE(c.has_route(20, from_seconds(5)));
+  EXPECT_TRUE(c.has_route(30, from_seconds(5)));
+  EXPECT_EQ(c.stats().evictions, 1u);
+}
+
+TEST(RouteCache, TtlExpiresStaleRoutes) {
+  auto c = make(0, 64, from_seconds(10));
+  c.add({0, 1, 2}, from_seconds(0));
+  EXPECT_TRUE(c.find(2, from_seconds(9)).has_value());
+  EXPECT_FALSE(c.find(2, from_seconds(11)).has_value());
+  EXPECT_EQ(c.stats().expired, 1u);
+}
+
+TEST(RouteCache, NoTtlMeansNoExpiry) {
+  auto c = make();
+  c.add({0, 1, 2}, 0);
+  EXPECT_TRUE(c.find(2, from_seconds(100000)).has_value());
+}
+
+TEST(RouteCache, HasRouteDoesNotTouchLru) {
+  auto c = make(0, 2);
+  c.add({0, 1, 10}, from_seconds(1));
+  c.add({0, 2, 20}, from_seconds(2));
+  (void)c.has_route(10, from_seconds(3));  // must NOT refresh LRU
+  c.add({0, 3, 30}, from_seconds(4));
+  EXPECT_FALSE(c.has_route(10, from_seconds(5)));  // 10 was evicted
+}
+
+TEST(RouteCache, HitAndMissCounters) {
+  auto c = make();
+  c.add({0, 1, 2}, 0);
+  c.find(2, 0);
+  c.find(9, 0);
+  EXPECT_EQ(c.stats().hits, 1u);
+  EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(RouteCache, TieBreakPrefersFresher) {
+  auto c = make();
+  c.add({0, 1, 9}, from_seconds(1));
+  c.add({0, 2, 9}, from_seconds(5));
+  auto r = c.find(9, from_seconds(6));
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ((*r)[1], 2u);  // same length, newer wins
+}
+
+TEST(RouteCache, StaleRouteScenarioFromPaper) {
+  // Paper §2.1.2: alternative routes linger in caches after links break;
+  // a RERR-driven remove_link purges them everywhere it is applied.
+  auto c = make(0);
+  c.add({0, 1, 2, 5}, 0);   // primary
+  c.add({0, 3, 4, 5}, 0);   // alternative
+  c.remove_link(1, 2);      // primary breaks
+  auto r = c.find(5, 0);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(*r, (std::vector<NodeId>{0, 3, 4, 5}));  // alternative used
+  c.remove_link(4, 5);
+  EXPECT_FALSE(c.find(5, 0).has_value());
+}
+
+}  // namespace
+}  // namespace rcast::routing

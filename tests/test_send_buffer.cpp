@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "routing/send_buffer.hpp"
+
+namespace rcast::routing {
+namespace {
+
+using sim::from_seconds;
+
+DsrPacketPtr pkt(NodeId dst, std::uint32_t seq = 0) {
+  auto p = std::make_shared<DsrPacket>();
+  p->type = DsrType::kData;
+  p->dst = dst;
+  p->app_seq = seq;
+  return p;
+}
+
+TEST(SendBuffer, PushAndTake) {
+  SendBuffer b;
+  b.push(pkt(5, 1), 0);
+  b.push(pkt(6, 2), 0);
+  b.push(pkt(5, 3), 0);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_TRUE(b.any_for(5));
+  auto got = b.take_for(5);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0]->app_seq, 1u);
+  EXPECT_EQ(got[1]->app_seq, 3u);
+  EXPECT_EQ(b.size(), 1u);
+  EXPECT_FALSE(b.any_for(5));
+  EXPECT_TRUE(b.any_for(6));
+}
+
+TEST(SendBuffer, TakeForMissingDstEmpty) {
+  SendBuffer b;
+  b.push(pkt(5), 0);
+  EXPECT_TRUE(b.take_for(9).empty());
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(SendBuffer, OverflowDropsOldest) {
+  SendBuffer b(2);
+  auto d1 = b.push(pkt(1, 1), 0);
+  EXPECT_TRUE(d1.empty());
+  b.push(pkt(2, 2), 0);
+  auto dropped = b.push(pkt(3, 3), 0);
+  ASSERT_EQ(dropped.size(), 1u);
+  EXPECT_EQ(dropped[0]->app_seq, 1u);
+  EXPECT_EQ(b.size(), 2u);
+}
+
+TEST(SendBuffer, ExpireRemovesOld) {
+  SendBuffer b;
+  b.push(pkt(1, 1), from_seconds(0));
+  b.push(pkt(2, 2), from_seconds(20));
+  auto expired = b.expire(from_seconds(31), from_seconds(30));
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0]->app_seq, 1u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(SendBuffer, ExpireKeepsFresh) {
+  SendBuffer b;
+  b.push(pkt(1), from_seconds(10));
+  EXPECT_TRUE(b.expire(from_seconds(15), from_seconds(30)).empty());
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(SendBuffer, EmptyBufferSafeOperations) {
+  SendBuffer b;
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_FALSE(b.any_for(1));
+  EXPECT_TRUE(b.take_for(1).empty());
+  EXPECT_TRUE(b.expire(from_seconds(100), from_seconds(1)).empty());
+}
+
+}  // namespace
+}  // namespace rcast::routing

@@ -1,0 +1,195 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace rcast::sim {
+namespace {
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator s;
+  Time seen = -1;
+  s.at(100, [&] { seen = s.now(); });
+  s.run_all();
+  EXPECT_EQ(seen, 100);
+  EXPECT_EQ(s.now(), 100);
+}
+
+TEST(Simulator, AfterSchedulesRelative) {
+  Simulator s;
+  std::vector<Time> fired;
+  s.at(50, [&] {
+    s.after(25, [&] { fired.push_back(s.now()); });
+  });
+  s.run_all();
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 75);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator s;
+  int count = 0;
+  s.at(10, [&] { ++count; });
+  s.at(20, [&] { ++count; });
+  s.at(30, [&] { ++count; });
+  s.run_until(20);
+  EXPECT_EQ(count, 2);  // event exactly at boundary runs
+  EXPECT_EQ(s.now(), 20);
+  s.run_until(100);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithNoEvents) {
+  Simulator s;
+  s.run_until(500);
+  EXPECT_EQ(s.now(), 500);
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(1, [&] {
+    order.push_back(1);
+    s.at(2, [&] { order.push_back(2); });
+  });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, SameTimeChainingRunsInOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(5, [&] {
+    order.push_back(1);
+    s.at(5, [&] { order.push_back(2); });  // same timestamp, runs after
+  });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(Simulator, StepExecutesOne) {
+  Simulator s;
+  int count = 0;
+  s.at(1, [&] { ++count; });
+  s.at(2, [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, CancelStopsEvent) {
+  Simulator s;
+  bool fired = false;
+  const EventId id = s.at(10, [&] { fired = true; });
+  EXPECT_TRUE(s.cancel(id));
+  s.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, ExecutedEventsCount) {
+  Simulator s;
+  for (int i = 0; i < 5; ++i) s.at(i, [] {});
+  s.run_all();
+  EXPECT_EQ(s.executed_events(), 5u);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator s;
+  s.at(100, [] {});
+  s.run_all();
+  EXPECT_THROW(s.at(50, [] {}), ContractViolation);
+  EXPECT_THROW(s.after(-1, [] {}), ContractViolation);
+}
+
+TEST(PeriodicTimer, FiresOnPeriod) {
+  Simulator s;
+  std::vector<Time> fires;
+  PeriodicTimer t(s, [&] { fires.push_back(s.now()); });
+  t.start(10, 5);
+  s.run_until(27);
+  EXPECT_EQ(fires, (std::vector<Time>{10, 15, 20, 25}));
+}
+
+TEST(PeriodicTimer, StopHalts) {
+  Simulator s;
+  int count = 0;
+  PeriodicTimer t(s, [&] { ++count; });
+  t.start(1, 1);
+  s.at(5, [&] { t.stop(); });
+  s.run_until(100);
+  // Fires at t=1..4; the stop event at t=5 was scheduled before the timer's
+  // t=5 firing, so same-time FIFO ordering cancels that firing.
+  EXPECT_EQ(count, 4);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimer, CallbackMayStopTimer) {
+  Simulator s;
+  int count = 0;
+  PeriodicTimer t(s, [&] {
+    if (++count == 3) t.stop();
+  });
+  t.start(1, 1);
+  s.run_until(100);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(PeriodicTimer, RestartRearms) {
+  Simulator s;
+  int count = 0;
+  PeriodicTimer t(s, [&] { ++count; });
+  t.start(1, 100);
+  s.run_until(1);
+  EXPECT_EQ(count, 1);
+  t.start(s.now() + 1, 100);
+  s.run_until(2);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(PeriodicTimer, DestructionCancels) {
+  Simulator s;
+  int count = 0;
+  {
+    PeriodicTimer t(s, [&] { ++count; });
+    t.start(10, 10);
+  }
+  s.run_until(100);
+  EXPECT_EQ(count, 0);
+}
+
+TEST(OneShotTimer, FiresOnce) {
+  Simulator s;
+  int count = 0;
+  OneShotTimer t(s, [&] { ++count; });
+  t.arm(10);
+  EXPECT_TRUE(t.armed());
+  s.run_until(100);
+  EXPECT_EQ(count, 1);
+  EXPECT_FALSE(t.armed());
+}
+
+TEST(OneShotTimer, RearmResetsDeadline) {
+  Simulator s;
+  std::vector<Time> fires;
+  OneShotTimer t(s, [&] { fires.push_back(s.now()); });
+  t.arm(10);
+  s.at(5, [&] { t.arm(10); });  // push deadline to 15
+  s.run_until(100);
+  EXPECT_EQ(fires, std::vector<Time>{15});
+}
+
+TEST(OneShotTimer, CancelPreventsFire) {
+  Simulator s;
+  int count = 0;
+  OneShotTimer t(s, [&] { ++count; });
+  t.arm(10);
+  s.at(5, [&] { t.cancel(); });
+  s.run_until(100);
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace rcast::sim

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/scenario.hpp"
+#include "stats/metrics.hpp"
+#include "stats/trace.hpp"
+
+namespace rcast::stats {
+namespace {
+
+routing::DsrPacket data_pkt(std::uint32_t flow, std::uint32_t seq) {
+  routing::DsrPacket p;
+  p.type = routing::DsrType::kData;
+  p.flow_id = flow;
+  p.app_seq = seq;
+  p.src = 1;
+  p.dst = 2;
+  p.origin_time = sim::from_seconds(1);
+  return p;
+}
+
+TEST(EventTracer, WritesHeaderImmediately) {
+  std::ostringstream os;
+  EventTracer t(os);
+  EXPECT_EQ(os.str(), "time_s,event,detail\n");
+  EXPECT_EQ(t.lines_written(), 0u);
+}
+
+TEST(EventTracer, RecordsOriginateDeliverDrop) {
+  std::ostringstream os;
+  EventTracer t(os);
+  t.on_data_originated(data_pkt(0, 1), sim::from_seconds(1));
+  t.on_data_delivered(data_pkt(0, 1), sim::from_seconds(2));
+  t.on_data_dropped(data_pkt(0, 2), routing::DropReason::kNoRoute,
+                    sim::from_seconds(3));
+  EXPECT_EQ(t.lines_written(), 3u);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("originate,flow=0 seq=1 src=1 dst=2"), std::string::npos);
+  EXPECT_NE(s.find("deliver,flow=0 seq=1 delay=1"), std::string::npos);
+  EXPECT_NE(s.find("drop,flow=0 seq=2 reason=no-route"), std::string::npos);
+}
+
+TEST(EventTracer, RecordsControlAndRoutes) {
+  std::ostringstream os;
+  EventTracer t(os);
+  t.on_control_transmit(routing::DsrType::kRreq, 0);
+  t.on_route_used({0, 3, 7}, 0);
+  t.on_data_forwarded(3, 0);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("control,RREQ"), std::string::npos);
+  EXPECT_NE(s.find("route,len=3 path=0-3-7"), std::string::npos);
+  EXPECT_NE(s.find("forward,node=3"), std::string::npos);
+}
+
+TEST(TeeObserver, FansOutToBoth) {
+  MetricsCollector a(5), b(5);
+  TeeObserver tee(a, b);
+  tee.on_data_originated(data_pkt(0, 1), 0);
+  tee.on_data_delivered(data_pkt(0, 1), sim::from_seconds(2));
+  tee.on_control_transmit(routing::DsrType::kRrep, 0);
+  EXPECT_EQ(a.originated(), 1u);
+  EXPECT_EQ(b.originated(), 1u);
+  EXPECT_EQ(a.delivered(), 1u);
+  EXPECT_EQ(b.delivered(), 1u);
+  EXPECT_EQ(a.control_transmissions(), 1u);
+  EXPECT_EQ(b.control_transmissions(), 1u);
+}
+
+TEST(EventTracer, EndToEndThroughNetwork) {
+  scenario::ScenarioConfig cfg;
+  cfg.num_nodes = 10;
+  cfg.num_flows = 2;
+  cfg.world = {600.0, 300.0};
+  cfg.duration = 10 * sim::kSecond;
+  cfg.scheme = scenario::Scheme::k80211;
+  scenario::Network net(cfg);
+  std::ostringstream os;
+  EventTracer tracer(os);
+  net.set_secondary_observer(&tracer);
+  const auto r = net.run();
+  EXPECT_GT(tracer.lines_written(), 0u);
+  // The metrics collector still saw everything through the tee.
+  EXPECT_EQ(net.metrics().originated(), r.originated);
+  EXPECT_GT(r.delivered, 0u);
+  EXPECT_NE(os.str().find("originate"), std::string::npos);
+  EXPECT_NE(os.str().find("deliver"), std::string::npos);
+}
+
+TEST(EventTracer, TraceDoesNotPerturbSimulation) {
+  scenario::ScenarioConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.num_flows = 3;
+  cfg.world = {600.0, 300.0};
+  cfg.duration = 10 * sim::kSecond;
+  cfg.scheme = scenario::Scheme::kRcast;
+  const auto plain = scenario::run_scenario(cfg);
+
+  scenario::Network net(cfg);
+  std::ostringstream os;
+  EventTracer tracer(os);
+  net.set_secondary_observer(&tracer);
+  const auto traced = net.run();
+
+  EXPECT_EQ(plain.events_executed, traced.events_executed);
+  EXPECT_DOUBLE_EQ(plain.total_energy_j, traced.total_energy_j);
+  EXPECT_EQ(plain.delivered, traced.delivered);
+}
+
+}  // namespace
+}  // namespace rcast::stats
+
+namespace rcast::scenario {
+namespace {
+
+TEST(SyncJitter, OffsetNodesStillCommunicate) {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.num_flows = 5;
+  cfg.world = {800.0, 300.0};
+  cfg.duration = 30 * sim::kSecond;
+  cfg.pause = 30 * sim::kSecond;
+  cfg.scheme = Scheme::kRcast;
+  cfg.sync_jitter = 20 * sim::kMillisecond;
+  const auto r = run_scenario(cfg);
+  EXPECT_GT(r.pdr_percent, 70.0);
+  EXPECT_GT(r.delivered, 0u);
+}
+
+TEST(SyncJitter, ZeroJitterMatchesDefault) {
+  ScenarioConfig a;
+  a.num_nodes = 15;
+  a.num_flows = 3;
+  a.world = {700.0, 300.0};
+  a.duration = 15 * sim::kSecond;
+  a.scheme = Scheme::kRcast;
+  auto b = a;
+  b.sync_jitter = 0;
+  const auto ra = run_scenario(a);
+  const auto rb = run_scenario(b);
+  EXPECT_EQ(ra.events_executed, rb.events_executed);
+  EXPECT_DOUBLE_EQ(ra.total_energy_j, rb.total_energy_j);
+}
+
+}  // namespace
+}  // namespace rcast::scenario

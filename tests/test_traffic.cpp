@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scenario/scenario.hpp"
+#include "traffic/cbr.hpp"
+
+namespace rcast::traffic {
+namespace {
+
+TEST(FlowMatrix, DistinctSourcesAndNoSelfFlows) {
+  Rng rng(1);
+  const auto flows = make_flow_matrix(100, 20, 1.0, 512, rng);
+  ASSERT_EQ(flows.size(), 20u);
+  std::set<NodeId> srcs;
+  for (const auto& f : flows) {
+    EXPECT_NE(f.src, f.dst);
+    EXPECT_LT(f.src, 100u);
+    EXPECT_LT(f.dst, 100u);
+    srcs.insert(f.src);
+  }
+  EXPECT_EQ(srcs.size(), 20u);  // sources are distinct
+}
+
+TEST(FlowMatrix, FlowIdsSequential) {
+  Rng rng(2);
+  const auto flows = make_flow_matrix(50, 10, 2.0, 512, rng);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(flows[i].flow_id, i);
+    EXPECT_DOUBLE_EQ(flows[i].rate_pps, 2.0);
+    EXPECT_EQ(flows[i].payload_bits, 512);
+  }
+}
+
+TEST(FlowMatrix, DeterministicPerSeed) {
+  Rng a(3), b(3);
+  const auto fa = make_flow_matrix(100, 20, 1.0, 512, a);
+  const auto fb = make_flow_matrix(100, 20, 1.0, 512, b);
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    EXPECT_EQ(fa[i].src, fb[i].src);
+    EXPECT_EQ(fa[i].dst, fb[i].dst);
+  }
+}
+
+TEST(FlowMatrix, RejectsImpossibleRequests) {
+  Rng rng(4);
+  EXPECT_THROW(make_flow_matrix(1, 1, 1.0, 512, rng), ContractViolation);
+  EXPECT_THROW(make_flow_matrix(10, 11, 1.0, 512, rng), ContractViolation);
+}
+
+// CbrSource against a real two-node network (via the scenario module).
+class CbrTest : public ::testing::Test {
+ protected:
+  CbrTest() {
+    scenario::ScenarioConfig cfg;
+    cfg.num_nodes = 2;
+    cfg.num_flows = 0;
+    cfg.world = {100.0, 100.0};  // both nodes surely in range
+    cfg.scheme = scenario::Scheme::k80211;
+    cfg.duration = 100 * sim::kSecond;
+    net_ = std::make_unique<scenario::Network>(cfg);
+  }
+  std::unique_ptr<scenario::Network> net_;
+};
+
+TEST_F(CbrTest, EmitsAtConfiguredRate) {
+  CbrFlowConfig f;
+  f.src = 0;
+  f.dst = 1;
+  f.rate_pps = 2.0;
+  CbrSource src(net_->simulator(), net_->node(0).dsr(), f, Rng(7));
+  net_->simulator().run_until(sim::from_seconds(10));
+  // ~20 packets in 10 s (random initial phase: 19..21).
+  EXPECT_NEAR(static_cast<double>(src.packets_sent()), 20.0, 1.5);
+  EXPECT_EQ(net_->metrics().originated(), src.packets_sent());
+}
+
+TEST_F(CbrTest, StopTimeHonored) {
+  CbrFlowConfig f;
+  f.src = 0;
+  f.dst = 1;
+  f.rate_pps = 10.0;
+  f.stop = sim::from_seconds(2);
+  CbrSource src(net_->simulator(), net_->node(0).dsr(), f, Rng(8));
+  net_->simulator().run_until(sim::from_seconds(10));
+  EXPECT_LE(src.packets_sent(), 21u);
+  EXPECT_GE(src.packets_sent(), 18u);
+}
+
+TEST_F(CbrTest, StartDelayHonored) {
+  CbrFlowConfig f;
+  f.src = 0;
+  f.dst = 1;
+  f.rate_pps = 1.0;
+  f.start = sim::from_seconds(5);
+  CbrSource src(net_->simulator(), net_->node(0).dsr(), f, Rng(9));
+  net_->simulator().run_until(sim::from_seconds(4));
+  EXPECT_EQ(src.packets_sent(), 0u);
+}
+
+TEST_F(CbrTest, InvalidConfigsRejected) {
+  CbrFlowConfig f;
+  f.src = 0;
+  f.dst = 0;  // self-flow
+  EXPECT_THROW(CbrSource(net_->simulator(), net_->node(0).dsr(), f, Rng(1)),
+               ContractViolation);
+  CbrFlowConfig g;
+  g.src = 1;  // wrong agent
+  g.dst = 0;
+  EXPECT_THROW(CbrSource(net_->simulator(), net_->node(0).dsr(), g, Rng(1)),
+               ContractViolation);
+  CbrFlowConfig h;
+  h.src = 0;
+  h.dst = 1;
+  h.rate_pps = 0.0;
+  EXPECT_THROW(CbrSource(net_->simulator(), net_->node(0).dsr(), h, Rng(1)),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace rcast::traffic

@@ -1,0 +1,226 @@
+// rcast_sim — command-line front end to the simulator.
+//
+// Runs one scenario (or one per scheme) with every knob exposed as a flag
+// and prints either a human-readable report or a CSV row per run. Optional
+// per-packet event tracing to a file.
+//
+// Examples:
+//   rcast_sim --scheme=rcast --nodes=100 --rate=1.0 --seconds=300
+//   rcast_sim --scheme=all --csv --seeds=5 > sweep.csv
+//   rcast_sim --scheme=odpm --routing=aodv --trace=events.csv
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/experiment.hpp"
+#include "scenario/scenario.hpp"
+#include "stats/trace.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace rcast;
+
+std::optional<scenario::Scheme> parse_scheme(const std::string& s) {
+  if (s == "80211" || s == "802.11") return scenario::Scheme::k80211;
+  if (s == "psm-none") return scenario::Scheme::kPsmNone;
+  if (s == "psm-all") return scenario::Scheme::kPsmAll;
+  if (s == "odpm") return scenario::Scheme::kOdpm;
+  if (s == "rcast") return scenario::Scheme::kRcast;
+  if (s == "rcast-bc") return scenario::Scheme::kRcastBcast;
+  return std::nullopt;
+}
+
+void print_usage() {
+  std::puts(
+      "rcast_sim — MANET energy-efficiency simulator (Rcast reproduction)\n"
+      "\n"
+      "  --scheme=NAME      80211 | psm-none | psm-all | odpm | rcast |\n"
+      "                     rcast-bc | all            (default rcast)\n"
+      "  --routing=PROTO    dsr | aodv                (default dsr)\n"
+      "  --nodes=N          node count                (default 100)\n"
+      "  --flows=N          CBR flow count            (default nodes/5)\n"
+      "  --rate=PPS         packets/s per flow        (default 1.0)\n"
+      "  --payload=BYTES    CBR payload               (default 64)\n"
+      "  --seconds=S        simulated time            (default 150)\n"
+      "  --width/--height=M world size                (default 1500x300)\n"
+      "  --pause=S          waypoint pause; >=seconds => static (default s/2)\n"
+      "  --speed=MPS        max node speed            (default 20)\n"
+      "  --battery=J        per-node battery, 0=inf   (default 0)\n"
+      "  --seed=N --seeds=K first seed / repetitions  (default 1 / 1)\n"
+      "  --estimator=NAME   neighbors | sender-id | mobility | battery |\n"
+      "                     combined                  (default neighbors)\n"
+      "  --csv              one CSV row per run (with header)\n"
+      "  --trace=FILE       per-packet event trace (single-run only)\n"
+      "  --help             this text");
+}
+
+void print_csv_header() {
+  std::printf(
+      "scheme,routing,seed,nodes,flows,rate_pps,seconds,pause_s,"
+      "pdr_pct,energy_j,energy_var,epb_j_per_bit,delay_s,delay_p50_s,"
+      "delay_p90_s,norm_overhead,ctrl_tx,hello_tx,dead_nodes,"
+      "first_death_s\n");
+}
+
+void print_csv_row(const scenario::ScenarioConfig& cfg,
+                   const scenario::RunResult& r) {
+  std::printf(
+      "%s,%s,%llu,%zu,%zu,%.3f,%.1f,%.1f,%.2f,%.1f,%.1f,%.6g,%.4f,%.4f,"
+      "%.4f,%.3f,%llu,%llu,%zu,%.1f\n",
+      std::string(to_string(cfg.scheme)).c_str(),
+      std::string(to_string(cfg.routing)).c_str(),
+      static_cast<unsigned long long>(cfg.seed), cfg.num_nodes,
+      cfg.num_flows, cfg.rate_pps, sim::to_seconds(cfg.duration),
+      sim::to_seconds(cfg.pause), r.pdr_percent, r.total_energy_j,
+      r.energy_variance, r.energy_per_bit_j, r.avg_delay_s, r.delay_p50_s,
+      r.delay_p90_s, r.normalized_overhead,
+      static_cast<unsigned long long>(r.control_tx),
+      static_cast<unsigned long long>(r.hello_tx), r.dead_nodes,
+      r.first_death_s);
+}
+
+void print_report(const scenario::ScenarioConfig& cfg,
+                  const scenario::RunResult& r) {
+  std::printf("--- %s / %s (seed %llu) ---\n",
+              std::string(to_string(cfg.scheme)).c_str(),
+              std::string(to_string(cfg.routing)).c_str(),
+              static_cast<unsigned long long>(cfg.seed));
+  std::printf("  delivery : %llu/%llu packets (PDR %.1f%%)\n",
+              static_cast<unsigned long long>(r.delivered),
+              static_cast<unsigned long long>(r.originated), r.pdr_percent);
+  std::printf("  energy   : %.1f J total, %.1f J/node mean, variance %.1f\n",
+              r.total_energy_j, r.energy_mean_j, r.energy_variance);
+  std::printf("  delay    : mean %.3f s (p50 %.3f, p90 %.3f; route-wait "
+              "%.3f + transit %.3f)\n",
+              r.avg_delay_s, r.delay_p50_s, r.delay_p90_s,
+              r.avg_route_wait_s, r.avg_transit_s);
+  std::printf("  overhead : %llu control tx (%.3f per delivered)",
+              static_cast<unsigned long long>(r.control_tx),
+              r.normalized_overhead);
+  if (r.hello_tx > 0) {
+    std::printf(", %llu hellos", static_cast<unsigned long long>(r.hello_tx));
+  }
+  std::printf("\n  psm      : %llu ATIMs, %llu overhear commits / %llu "
+              "declines, %llu sleeps\n",
+              static_cast<unsigned long long>(r.atim_tx),
+              static_cast<unsigned long long>(r.overhear_commits),
+              static_cast<unsigned long long>(r.overhear_declines),
+              static_cast<unsigned long long>(r.mac_sleeps));
+  if (r.dead_nodes > 0) {
+    std::printf("  battery  : %zu nodes dead, first death at %.1f s\n",
+                r.dead_nodes, r.first_death_s);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.has("help")) {
+    print_usage();
+    return 0;
+  }
+
+  scenario::ScenarioConfig cfg;
+  cfg.num_nodes = static_cast<std::size_t>(flags.get_int("nodes", 100));
+  cfg.num_flows = static_cast<std::size_t>(
+      flags.get_int("flows", static_cast<std::int64_t>(cfg.num_nodes / 5)));
+  cfg.rate_pps = flags.get_double("rate", 1.0);
+  cfg.payload_bits = flags.get_int("payload", 64) * 8;
+  cfg.duration = sim::from_seconds(flags.get_double("seconds", 150.0));
+  cfg.world = {flags.get_double("width", 1500.0),
+               flags.get_double("height", 300.0)};
+  cfg.pause = sim::from_seconds(flags.get_double(
+      "pause", sim::to_seconds(cfg.duration) / 2.0));
+  cfg.max_speed_mps = flags.get_double("speed", 20.0);
+  cfg.battery_joules = flags.get_double("battery", 0.0);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 1));
+
+  const std::string routing = flags.get_string("routing", "dsr");
+  if (routing == "aodv") {
+    cfg.routing = scenario::RoutingProtocol::kAodv;
+  } else if (routing != "dsr") {
+    std::fprintf(stderr, "unknown --routing=%s\n", routing.c_str());
+    return 2;
+  }
+
+  const std::string est = flags.get_string("estimator", "neighbors");
+  if (est == "sender-id") {
+    cfg.rcast.estimator = core::PrEstimator::kSenderRecency;
+  } else if (est == "mobility") {
+    cfg.rcast.estimator = core::PrEstimator::kMobility;
+  } else if (est == "battery") {
+    cfg.rcast.estimator = core::PrEstimator::kBattery;
+  } else if (est == "combined") {
+    cfg.rcast.estimator = core::PrEstimator::kCombined;
+  } else if (est != "neighbors") {
+    std::fprintf(stderr, "unknown --estimator=%s\n", est.c_str());
+    return 2;
+  }
+
+  const std::string scheme_arg = flags.get_string("scheme", "rcast");
+  std::vector<scenario::Scheme> schemes;
+  if (scheme_arg == "all") {
+    schemes = {scenario::Scheme::k80211,  scenario::Scheme::kPsmNone,
+               scenario::Scheme::kPsmAll, scenario::Scheme::kOdpm,
+               scenario::Scheme::kRcast,  scenario::Scheme::kRcastBcast};
+  } else if (auto s = parse_scheme(scheme_arg)) {
+    schemes = {*s};
+  } else {
+    std::fprintf(stderr, "unknown --scheme=%s\n", scheme_arg.c_str());
+    return 2;
+  }
+
+  const bool csv = flags.get_bool("csv", false);
+  const std::string trace_path = flags.get_string("trace", "");
+
+  for (const auto& unknown : flags.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s (see --help)\n",
+                 unknown.c_str());
+    return 2;
+  }
+  if (!trace_path.empty() && (schemes.size() > 1 || seeds > 1)) {
+    std::fprintf(stderr, "--trace requires a single scheme and seed\n");
+    return 2;
+  }
+
+  if (csv) print_csv_header();
+
+  for (auto scheme : schemes) {
+    cfg.scheme = scheme;
+    for (std::size_t k = 0; k < seeds; ++k) {
+      scenario::ScenarioConfig run_cfg = cfg;
+      run_cfg.seed = cfg.seed + k;
+
+      scenario::RunResult r;
+      if (!trace_path.empty()) {
+        std::ofstream out(trace_path);
+        if (!out) {
+          std::fprintf(stderr, "cannot open %s\n", trace_path.c_str());
+          return 1;
+        }
+        stats::EventTracer tracer(out);
+        scenario::Network net(run_cfg);
+        net.set_secondary_observer(&tracer);
+        r = net.run();
+        std::fprintf(stderr, "trace: %llu events -> %s\n",
+                     static_cast<unsigned long long>(tracer.lines_written()),
+                     trace_path.c_str());
+      } else {
+        r = scenario::run_scenario(run_cfg);
+      }
+
+      if (csv) {
+        print_csv_row(run_cfg, r);
+      } else {
+        print_report(run_cfg, r);
+      }
+    }
+  }
+  return 0;
+}
