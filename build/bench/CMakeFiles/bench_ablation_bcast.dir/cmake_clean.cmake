@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bcast.dir/bench_ablation_bcast.cpp.o"
+  "CMakeFiles/bench_ablation_bcast.dir/bench_ablation_bcast.cpp.o.d"
+  "bench_ablation_bcast"
+  "bench_ablation_bcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pr.dir/bench_ablation_pr.cpp.o"
+  "CMakeFiles/bench_ablation_pr.dir/bench_ablation_pr.cpp.o.d"
+  "bench_ablation_pr"
+  "bench_ablation_pr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

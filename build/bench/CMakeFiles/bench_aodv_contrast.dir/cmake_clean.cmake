@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_aodv_contrast.dir/bench_aodv_contrast.cpp.o"
+  "CMakeFiles/bench_aodv_contrast.dir/bench_aodv_contrast.cpp.o.d"
+  "bench_aodv_contrast"
+  "bench_aodv_contrast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_aodv_contrast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/energy_survey.dir/energy_survey.cpp.o"
+  "CMakeFiles/energy_survey.dir/energy_survey.cpp.o.d"
+  "energy_survey"
+  "energy_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/energy_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

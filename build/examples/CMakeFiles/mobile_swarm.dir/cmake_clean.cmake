@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_swarm.dir/mobile_swarm.cpp.o"
+  "CMakeFiles/mobile_swarm.dir/mobile_swarm.cpp.o.d"
+  "mobile_swarm"
+  "mobile_swarm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_swarm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_core.dir/rcast.cpp.o"
+  "CMakeFiles/rcast_core.dir/rcast.cpp.o.d"
+  "librcast_core.a"
+  "librcast_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_energy.dir/energy_model.cpp.o"
+  "CMakeFiles/rcast_energy.dir/energy_model.cpp.o.d"
+  "CMakeFiles/rcast_energy.dir/fleet_accountant.cpp.o"
+  "CMakeFiles/rcast_energy.dir/fleet_accountant.cpp.o.d"
+  "librcast_energy.a"
+  "librcast_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_geo.dir/grid_index.cpp.o"
+  "CMakeFiles/rcast_geo.dir/grid_index.cpp.o.d"
+  "librcast_geo.a"
+  "librcast_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

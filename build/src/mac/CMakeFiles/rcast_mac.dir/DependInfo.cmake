@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mac/mac.cpp" "src/mac/CMakeFiles/rcast_mac.dir/mac.cpp.o" "gcc" "src/mac/CMakeFiles/rcast_mac.dir/mac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/phy/CMakeFiles/rcast_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcast_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/rcast_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/rcast_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rcast_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

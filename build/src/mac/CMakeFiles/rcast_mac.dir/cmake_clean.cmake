@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_mac.dir/mac.cpp.o"
+  "CMakeFiles/rcast_mac.dir/mac.cpp.o.d"
+  "librcast_mac.a"
+  "librcast_mac.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_mac.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_mobility.dir/mobility_manager.cpp.o"
+  "CMakeFiles/rcast_mobility.dir/mobility_manager.cpp.o.d"
+  "CMakeFiles/rcast_mobility.dir/random_waypoint.cpp.o"
+  "CMakeFiles/rcast_mobility.dir/random_waypoint.cpp.o.d"
+  "librcast_mobility.a"
+  "librcast_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

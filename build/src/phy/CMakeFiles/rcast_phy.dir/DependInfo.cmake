@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/channel.cpp" "src/phy/CMakeFiles/rcast_phy.dir/channel.cpp.o" "gcc" "src/phy/CMakeFiles/rcast_phy.dir/channel.cpp.o.d"
+  "/root/repo/src/phy/phy.cpp" "src/phy/CMakeFiles/rcast_phy.dir/phy.cpp.o" "gcc" "src/phy/CMakeFiles/rcast_phy.dir/phy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mobility/CMakeFiles/rcast_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/rcast_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rcast_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_phy.dir/channel.cpp.o"
+  "CMakeFiles/rcast_phy.dir/channel.cpp.o.d"
+  "CMakeFiles/rcast_phy.dir/phy.cpp.o"
+  "CMakeFiles/rcast_phy.dir/phy.cpp.o.d"
+  "librcast_phy.a"
+  "librcast_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

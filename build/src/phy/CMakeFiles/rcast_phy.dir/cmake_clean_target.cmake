@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librcast_phy.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_routing.dir/aodv.cpp.o"
+  "CMakeFiles/rcast_routing.dir/aodv.cpp.o.d"
+  "CMakeFiles/rcast_routing.dir/dsr.cpp.o"
+  "CMakeFiles/rcast_routing.dir/dsr.cpp.o.d"
+  "CMakeFiles/rcast_routing.dir/route_cache.cpp.o"
+  "CMakeFiles/rcast_routing.dir/route_cache.cpp.o.d"
+  "CMakeFiles/rcast_routing.dir/send_buffer.cpp.o"
+  "CMakeFiles/rcast_routing.dir/send_buffer.cpp.o.d"
+  "librcast_routing.a"
+  "librcast_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

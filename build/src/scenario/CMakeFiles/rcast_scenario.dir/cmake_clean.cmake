@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_scenario.dir/experiment.cpp.o"
+  "CMakeFiles/rcast_scenario.dir/experiment.cpp.o.d"
+  "CMakeFiles/rcast_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/rcast_scenario.dir/scenario.cpp.o.d"
+  "librcast_scenario.a"
+  "librcast_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

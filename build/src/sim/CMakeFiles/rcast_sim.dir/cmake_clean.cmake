@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_sim.dir/simulator.cpp.o"
+  "CMakeFiles/rcast_sim.dir/simulator.cpp.o.d"
+  "librcast_sim.a"
+  "librcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_stats.dir/metrics.cpp.o"
+  "CMakeFiles/rcast_stats.dir/metrics.cpp.o.d"
+  "CMakeFiles/rcast_stats.dir/trace.cpp.o"
+  "CMakeFiles/rcast_stats.dir/trace.cpp.o.d"
+  "librcast_stats.a"
+  "librcast_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_traffic.dir/cbr.cpp.o"
+  "CMakeFiles/rcast_traffic.dir/cbr.cpp.o.d"
+  "librcast_traffic.a"
+  "librcast_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

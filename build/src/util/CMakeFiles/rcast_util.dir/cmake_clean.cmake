@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_util.dir/flags.cpp.o"
+  "CMakeFiles/rcast_util.dir/flags.cpp.o.d"
+  "CMakeFiles/rcast_util.dir/log.cpp.o"
+  "CMakeFiles/rcast_util.dir/log.cpp.o.d"
+  "CMakeFiles/rcast_util.dir/rng.cpp.o"
+  "CMakeFiles/rcast_util.dir/rng.cpp.o.d"
+  "CMakeFiles/rcast_util.dir/stats.cpp.o"
+  "CMakeFiles/rcast_util.dir/stats.cpp.o.d"
+  "librcast_util.a"
+  "librcast_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

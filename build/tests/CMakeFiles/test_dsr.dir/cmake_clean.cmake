@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsr.dir/test_dsr.cpp.o"
+  "CMakeFiles/test_dsr.dir/test_dsr.cpp.o.d"
+  "test_dsr"
+  "test_dsr.pdb"
+  "test_dsr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

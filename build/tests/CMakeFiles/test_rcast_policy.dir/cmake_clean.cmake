@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rcast_policy.dir/test_rcast_policy.cpp.o"
+  "CMakeFiles/test_rcast_policy.dir/test_rcast_policy.cpp.o.d"
+  "test_rcast_policy"
+  "test_rcast_policy.pdb"
+  "test_rcast_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rcast_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

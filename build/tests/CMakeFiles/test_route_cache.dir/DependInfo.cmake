@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_route_cache.cpp" "tests/CMakeFiles/test_route_cache.dir/test_route_cache.cpp.o" "gcc" "tests/CMakeFiles/test_route_cache.dir/test_route_cache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/routing/CMakeFiles/rcast_routing.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rcast_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mac/CMakeFiles/rcast_mac.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/rcast_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/rcast_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/mobility/CMakeFiles/rcast_mobility.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/rcast_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rcast_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/rcast_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_route_cache.dir/test_route_cache.cpp.o"
+  "CMakeFiles/test_route_cache.dir/test_route_cache.cpp.o.d"
+  "test_route_cache"
+  "test_route_cache.pdb"
+  "test_route_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_route_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

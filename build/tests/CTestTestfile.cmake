@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_flags[1]_include.cmake")
+include("/root/repo/build/tests/test_event_queue[1]_include.cmake")
+include("/root/repo/build/tests/test_simulator[1]_include.cmake")
+include("/root/repo/build/tests/test_geo[1]_include.cmake")
+include("/root/repo/build/tests/test_mobility[1]_include.cmake")
+include("/root/repo/build/tests/test_energy[1]_include.cmake")
+include("/root/repo/build/tests/test_phy[1]_include.cmake")
+include("/root/repo/build/tests/test_mac[1]_include.cmake")
+include("/root/repo/build/tests/test_power[1]_include.cmake")
+include("/root/repo/build/tests/test_rcast_policy[1]_include.cmake")
+include("/root/repo/build/tests/test_route_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_send_buffer[1]_include.cmake")
+include("/root/repo/build/tests/test_dsr[1]_include.cmake")
+include("/root/repo/build/tests/test_traffic[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_aodv[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_packet[1]_include.cmake")
+include("/root/repo/build/tests/test_route_cache_properties[1]_include.cmake")

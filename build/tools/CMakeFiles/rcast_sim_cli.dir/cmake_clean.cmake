@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rcast_sim_cli.dir/rcast_sim.cpp.o"
+  "CMakeFiles/rcast_sim_cli.dir/rcast_sim.cpp.o.d"
+  "rcast_sim"
+  "rcast_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rcast_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
