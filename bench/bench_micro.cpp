@@ -1,11 +1,26 @@
 // Micro-benchmarks (google-benchmark): hot paths of the simulator itself.
 // These guard the performance that makes paper-scale sweeps feasible.
+//
+// Besides the console table, the run is teed to a machine-readable JSON file
+// (RCAST_BENCH_JSON, default ./BENCH_hotpath.json) so throughput numbers can
+// be committed and compared across PRs.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
 #include "geo/grid_index.hpp"
+#include "mobility/mobility_manager.hpp"
+#include "phy/channel.hpp"
+#include "phy/phy.hpp"
+#include "routing/packet.hpp"
 #include "routing/route_cache.hpp"
 #include "scenario/scenario.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -56,6 +71,101 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueCancelHeavy);
 
+// Schedule/cancel/pop churn in the ratio a PSM MAC produces: every exchange
+// arms a backoff and an ACK timeout and cancels most of them before firing.
+void BM_EventChurn(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(5);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> live;
+    live.reserve(static_cast<std::size_t>(batch));
+    sim::Time t = 0;
+    for (int i = 0; i < batch; ++i) {
+      t += static_cast<sim::Time>(rng.uniform_u64(100));
+      live.push_back(q.push(t, [] {}));
+      if (live.size() >= 2 && rng.bernoulli(0.5)) {
+        q.cancel(live[live.size() - 2]);
+      }
+      if (q.size() > 64) q.pop();
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventChurn)->Arg(1024)->Arg(16384);
+
+// The DSR forward path: clone an incoming DATA packet out of the pool,
+// advance its position on the source route, release the clone back (what
+// every intermediate hop does). After the first iteration this is
+// allocation-free: the route lives inline (SmallVec) and the shared_ptr
+// block recycles through the per-simulator pool.
+void BM_PacketForward(benchmark::State& state) {
+  sim::Simulator sim;
+  auto pkt = util::make_pooled<routing::DsrPacket>(sim.pools());
+  pkt->type = routing::DsrType::kData;
+  pkt->src = 0;
+  pkt->dst = 5;
+  pkt->route = {0, 1, 2, 3, 4, 5};
+  pkt->payload_bits = 64 * 8;
+  std::int64_t bits = 0;
+  for (auto _ : state) {
+    auto fwd = util::make_pooled<routing::DsrPacket>(sim.pools(), *pkt);
+    fwd->hop_index = pkt->hop_index + 1;
+    bits += fwd->size_bits();
+    benchmark::DoNotOptimize(fwd);
+  }
+  benchmark::DoNotOptimize(bits);
+  state.SetItemsProcessed(state.iterations());
+  const util::PoolStats ps = sim.pools().total_stats();
+  state.counters["pool_miss"] = benchmark::Counter(
+      static_cast<double>(ps.misses));
+}
+BENCHMARK(BM_PacketForward);
+
+// 1000 static radios in the paper's arena, a staggered storm of broadcast
+// frames: stresses the channel fan-out (two scheduled arrivals per sensed
+// receiver per frame). Reports simulator events/sec.
+void BM_TransmitStorm(benchmark::State& state) {
+  const std::size_t kNodes = 1000;
+  const std::size_t kFrames = 200;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    mobility::MobilityManager mobility(sim, geo::Rect{1500.0, 300.0}, 550.0);
+    phy::Channel channel(sim, mobility, phy::ChannelConfig{});
+    Rng rng(7);
+    std::vector<std::unique_ptr<phy::Phy>> phys;
+    phys.reserve(kNodes);
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      mobility.add_node(static_cast<phy::NodeId>(i),
+                        std::make_unique<mobility::StaticModel>(geo::Vec2{
+                            rng.uniform(0.0, 1500.0), rng.uniform(0.0, 300.0)}));
+      phys.push_back(std::make_unique<phy::Phy>(
+          sim, channel, static_cast<phy::NodeId>(i), nullptr));
+    }
+    for (std::size_t i = 0; i < kFrames; ++i) {
+      const auto tx = static_cast<phy::NodeId>(rng.uniform_u64(kNodes));
+      const sim::Time at =
+          static_cast<sim::Time>(i) * 50 * sim::kMicrosecond;
+      sim.at(at, [&channel, &sim, tx] {
+        auto frame = util::make_pooled<phy::Frame>(sim.pools());
+        frame->tx = tx;
+        frame->rx = phy::kBroadcastId;
+        frame->bits = 512;
+        channel.transmit(std::move(frame), channel.duration_of(512));
+      });
+    }
+    sim.run_until(kFrames * 50 * sim::kMicrosecond + sim::kSecond);
+    events += sim.executed_events();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(events) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_TransmitStorm)->Unit(benchmark::kMillisecond);
+
 void BM_GridQuery(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   geo::GridIndex grid(geo::Rect{1500.0, 300.0}, 550.0);
@@ -94,17 +204,84 @@ BENCHMARK(BM_RouteCacheAddFind);
 
 void BM_FullScenarioSecond(benchmark::State& state) {
   // End-to-end cost of simulating one second of the paper's scenario.
+  sim::PerfCounters last{};
   for (auto _ : state) {
     scenario::ScenarioConfig cfg;
     cfg.num_nodes = 50;
     cfg.num_flows = 10;
     cfg.duration = 1 * sim::kSecond;
     cfg.scheme = scenario::Scheme::kRcast;
-    benchmark::DoNotOptimize(scenario::run_scenario(cfg));
+    scenario::RunResult r = scenario::run_scenario(cfg);
+    last = r.perf;
+    benchmark::DoNotOptimize(r);
   }
+  // Allocation discipline of the full stack, from the last run: heap
+  // fallbacks must be 0, pool misses bounded by warmup, and (when the
+  // RCAST_ALLOC_COUNT hook is compiled in) bytes/event near zero.
+  state.counters["sim_events_per_sec"] = benchmark::Counter(last.events_per_sec);
+  state.counters["heap_fallbacks"] =
+      benchmark::Counter(static_cast<double>(last.handler_heap_fallbacks));
+  state.counters["pool_misses"] =
+      benchmark::Counter(static_cast<double>(last.pool_misses));
+  state.counters["bytes_per_event"] = benchmark::Counter(
+      last.events_executed > 0
+          ? static_cast<double>(last.bytes_allocated) /
+                static_cast<double>(last.events_executed)
+          : 0.0);
 }
 BENCHMARK(BM_FullScenarioSecond)->Unit(benchmark::kMillisecond);
 
+// Console output plus a flat JSON record of every run: name, wall time per
+// iteration, and user counters (items_per_second among them). Kept
+// dependency-free; the schema is documented in DESIGN.md "Performance".
+class TeeJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      recorded_.push_back(run);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < recorded_.size(); ++i) {
+      const Run& run = recorded_[i];
+      out << "    {\"name\": \"" << run.benchmark_name() << "\", "
+          << "\"real_time\": " << run.GetAdjustedRealTime() << ", "
+          << "\"time_unit\": \"" << benchmark::GetTimeUnitString(run.time_unit)
+          << "\"";
+      for (const auto& [name, counter] : run.counters) {
+        out << ", \"" << name << "\": " << static_cast<double>(counter);
+      }
+      out << "}" << (i + 1 < recorded_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  std::vector<Run> recorded_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TeeJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* path = std::getenv("RCAST_BENCH_JSON");
+  const std::string json_path = path != nullptr ? path : "BENCH_hotpath.json";
+  if (!reporter.WriteJson(json_path)) {
+    std::fprintf(stderr, "bench_micro: could not write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}

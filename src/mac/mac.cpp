@@ -4,6 +4,7 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/pool.hpp"
 
 namespace rcast::mac {
 
@@ -306,7 +307,9 @@ void Mac::resume_contention() {
   counting_down_ = true;
   countdown_start_ = sim_.now();
   const sim::Time wait = cfg_.difs + backoff_slots_ * cfg_.slot;
-  backoff_event_ = sim_.after(wait, [this] { on_backoff_expired(); });
+  auto on_expired = [this] { on_backoff_expired(); };
+  static_assert(sim::EventQueue::Handler::fits_inline<decltype(on_expired)>());
+  backoff_event_ = sim_.after(wait, std::move(on_expired));
 }
 
 void Mac::pause_contention() {
@@ -355,7 +358,7 @@ void Mac::transmit_op_frame() {
   } else {
     ++stats_.data_tx_attempts;
   }
-  auto pf = std::make_shared<phy::Frame>();
+  auto pf = util::make_pooled<phy::Frame>(sim_.pools());
   pf->tx = id();
   pf->rx = op_frame_->dst;
   pf->bits = frame_bits(op_frame_->kind, op_frame_->datagram);
@@ -632,7 +635,7 @@ void Mac::fire_response() {
   }
   MacFramePtr resp = responses_.front();
   responses_.pop_front();
-  auto pf = std::make_shared<phy::Frame>();
+  auto pf = util::make_pooled<phy::Frame>(sim_.pools());
   pf->tx = id();
   pf->rx = resp->dst;
   pf->bits = frame_bits(resp->kind, nullptr);
@@ -655,7 +658,7 @@ void Mac::phy_carrier_idle() {
 
 MacFramePtr Mac::make_frame(FrameKind kind, NodeId dst, OverhearingMode oh,
                             bool bcast_announce, NetDatagramPtr datagram) {
-  auto f = std::make_shared<MacFrame>();
+  auto f = util::make_pooled<MacFrame>(sim_.pools());
   f->kind = kind;
   f->src = id();
   f->dst = dst;

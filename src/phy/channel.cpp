@@ -14,9 +14,11 @@ sim::Time propagation_delay(double meters) {
   return static_cast<sim::Time>(meters / 0.299792458);
 }
 
-// Arrival ids are globally unique and never 0 (0 is the "none" sentinel in
-// Phy's reception lock).
-std::uint64_t g_dummy;  // placate some linters about anonymous namespace
+// Expired in-flight entries are harmless to keep around (their busy window
+// lies in the past), so pruning only has to bound the list, not keep it
+// exact: sweep when it grows past the watermark or a coarse interval passed.
+constexpr std::size_t kPruneWatermark = 64;
+constexpr sim::Time kPruneInterval = 10 * sim::kMillisecond;
 
 }  // namespace
 
@@ -27,7 +29,6 @@ Channel::Channel(sim::Simulator& simulator,
   RCAST_REQUIRE(cfg_.tx_range_m > 0.0);
   RCAST_REQUIRE(cfg_.cs_range_m >= cfg_.tx_range_m);
   RCAST_REQUIRE(cfg_.bitrate_bps > 0);
-  (void)g_dummy;
 }
 
 void Channel::attach(Phy* phy) {
@@ -39,6 +40,11 @@ void Channel::attach(Phy* phy) {
 }
 
 void Channel::prune_in_flight() {
+  if (in_flight_.size() < kPruneWatermark &&
+      sim_.now() - last_prune_ < kPruneInterval) {
+    return;
+  }
+  last_prune_ = sim_.now();
   const sim::Time horizon = sim_.now() - 10 * sim::kMicrosecond;
   std::erase_if(in_flight_,
                 [horizon](const InFlight& f) { return f.end < horizon; });
@@ -71,12 +77,19 @@ void Channel::transmit(FramePtr frame, sim::Time duration) {
     const std::uint64_t arrival_id = ++next_arrival_id;
     const sim::Time start = now + prop;
     const sim::Time end = start + duration;
-    sim_.at(start, [phy, arrival_id, frame, in_rx_range, dist, end] {
+    auto on_start = [phy, arrival_id, frame, in_rx_range, dist, end] {
       phy->arrival_start(arrival_id, frame, in_rx_range, dist, end);
-    });
-    sim_.at(end, [phy, arrival_id, frame, in_rx_range] {
+    };
+    auto on_end = [phy, arrival_id, frame, in_rx_range] {
       phy->arrival_end(arrival_id, frame, in_rx_range);
-    });
+    };
+    // Two of these are scheduled per sensed receiver per frame — the single
+    // hottest schedule site; they must never spill to the heap.
+    static_assert(
+        sim::EventQueue::Handler::fits_inline<decltype(on_start)>());
+    static_assert(sim::EventQueue::Handler::fits_inline<decltype(on_end)>());
+    sim_.at(start, std::move(on_start));
+    sim_.at(end, std::move(on_end));
   }
 }
 

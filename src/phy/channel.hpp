@@ -82,6 +82,7 @@ class Channel {
   ChannelConfig cfg_;
   std::vector<Phy*> phys_;
   std::vector<InFlight> in_flight_;
+  sim::Time last_prune_ = 0;
   ChannelStats stats_;
 };
 

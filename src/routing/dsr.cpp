@@ -5,6 +5,7 @@
 
 #include "util/assert.hpp"
 #include "util/log.hpp"
+#include "util/pool.hpp"
 
 namespace rcast::routing {
 
@@ -46,7 +47,7 @@ void Dsr::send_data(NodeId dst, std::int64_t payload_bits,
                     std::uint32_t flow_id, std::uint32_t app_seq) {
   RCAST_REQUIRE(dst != id());
   RCAST_REQUIRE(payload_bits >= 0);
-  auto pkt = std::make_shared<DsrPacket>();
+  auto pkt = util::make_pooled<DsrPacket>(sim_.pools());
   pkt->type = DsrType::kData;
   pkt->src = id();
   pkt->dst = dst;
@@ -62,7 +63,7 @@ void Dsr::send_data(NodeId dst, std::int64_t payload_bits,
 void Dsr::try_send(DsrPacketPtr pkt) {
   auto route = cache_.find(pkt->dst, sim_.now());
   if (route) {
-    auto routed = std::make_shared<DsrPacket>(*pkt);
+    auto routed = util::make_pooled<DsrPacket>(sim_.pools(), *pkt);
     routed->route = std::move(*route);
     routed->hop_index = 0;
     if (routed->first_tx_time == 0) routed->first_tx_time = sim_.now();
@@ -103,7 +104,7 @@ void Dsr::send_rreq(NodeId dst, int ttl) {
   RCAST_DCHECK(it != discoveries_.end());
   Discovery& d = it->second;
 
-  auto pkt = std::make_shared<DsrPacket>();
+  auto pkt = util::make_pooled<DsrPacket>(sim_.pools());
   pkt->type = DsrType::kRreq;
   pkt->src = id();
   pkt->dst = dst;
@@ -225,13 +226,13 @@ void Dsr::handle_rreq(const DsrPacket& pkt) {
   }
 
   // The accumulated record is a route back to the originator.
-  std::vector<NodeId> reverse(pkt.recorded.rbegin(), pkt.recorded.rend());
+  Route reverse(pkt.recorded.rbegin(), pkt.recorded.rend());
   reverse.insert(reverse.begin(), id());
   cache_.add(std::move(reverse), sim_.now());
 
   if (pkt.dst == id()) {
     // Target: reply with the complete recorded route.
-    std::vector<NodeId> route = pkt.recorded;
+    Route route = pkt.recorded;
     route.push_back(id());
     ++stats_.rrep_from_target;
     send_rrep(std::move(route), pkt.recorded.size());
@@ -241,7 +242,7 @@ void Dsr::handle_rreq(const DsrPacket& pkt) {
   if (cfg_.reply_from_cache) {
     if (auto cached = cache_.find(pkt.dst, sim_.now())) {
       // Splice recorded + (me ... dst); reply only if loop-free.
-      std::vector<NodeId> full = pkt.recorded;
+      Route full = pkt.recorded;
       full.insert(full.end(), cached->begin(), cached->end());
       std::unordered_set<NodeId> seen_nodes;
       bool loop = false;
@@ -260,7 +261,7 @@ void Dsr::handle_rreq(const DsrPacket& pkt) {
   }
 
   if (pkt.ttl <= 1) return;
-  auto fwd = std::make_shared<DsrPacket>(pkt);
+  auto fwd = util::make_pooled<DsrPacket>(sim_.pools(), pkt);
   fwd->recorded.push_back(id());
   fwd->ttl = pkt.ttl - 1;
   ++stats_.rreq_forwarded;
@@ -270,10 +271,10 @@ void Dsr::handle_rreq(const DsrPacket& pkt) {
   mac_.send(mac::kBroadcastId, std::move(fwd), cfg_.oh_map.rreq_bcast);
 }
 
-void Dsr::send_rrep(std::vector<NodeId> route, std::size_t my_index) {
+void Dsr::send_rrep(Route route, std::size_t my_index) {
   RCAST_DCHECK(my_index > 0 && my_index < route.size());
   RCAST_DCHECK(route[my_index] == id());
-  auto rrep = std::make_shared<DsrPacket>();
+  auto rrep = util::make_pooled<DsrPacket>(sim_.pools());
   rrep->type = DsrType::kRrep;
   rrep->src = id();
   rrep->dst = route.front();
@@ -295,14 +296,12 @@ void Dsr::handle_rrep(const DsrPacket& pkt) {
 
   // Every node on the reply path learns the full discovered route: forward
   // segment toward the route's end, reverse segment toward its start.
-  std::vector<NodeId> forward(pkt.route.begin() +
-                                  static_cast<std::ptrdiff_t>(my_index),
-                              pkt.route.end());
+  Route forward(pkt.route.begin() + static_cast<std::ptrdiff_t>(my_index),
+                pkt.route.end());
   cache_.add(std::move(forward), sim_.now());
   if (my_index > 0) {
-    std::vector<NodeId> back(
-        pkt.route.rend() - static_cast<std::ptrdiff_t>(my_index) - 1,
-        pkt.route.rend());
+    Route back(pkt.route.rend() - static_cast<std::ptrdiff_t>(my_index) - 1,
+               pkt.route.rend());
     cache_.add(std::move(back), sim_.now());
   }
 
@@ -317,7 +316,7 @@ void Dsr::handle_rrep(const DsrPacket& pkt) {
     return;
   }
 
-  auto fwd = std::make_shared<DsrPacket>(pkt);
+  auto fwd = util::make_pooled<DsrPacket>(sim_.pools(), pkt);
   fwd->hop_index = my_index;
   ++stats_.rrep_forwarded;
   if (observer_ != nullptr) {
@@ -364,20 +363,18 @@ void Dsr::handle_data(const DsrPacket& pkt, const DsrPacketPtr& shared) {
   if (my_index + 1 >= pkt.route.size()) return;
 
   // Being on the route teaches us the route (both directions).
-  std::vector<NodeId> forward(pkt.route.begin() +
-                                  static_cast<std::ptrdiff_t>(my_index),
-                              pkt.route.end());
+  Route forward(pkt.route.begin() + static_cast<std::ptrdiff_t>(my_index),
+                pkt.route.end());
   cache_.add(std::move(forward), sim_.now());
-  std::vector<NodeId> back(
-      pkt.route.rend() - static_cast<std::ptrdiff_t>(my_index) - 1,
-      pkt.route.rend());
+  Route back(pkt.route.rend() - static_cast<std::ptrdiff_t>(my_index) - 1,
+             pkt.route.rend());
   cache_.add(std::move(back), sim_.now());
 
   if (policy_ != nullptr) {
     policy_->on_routing_event(mac::RoutingEvent::kDataForwarded, sim_.now());
   }
   if (observer_ != nullptr) observer_->on_data_forwarded(id(), sim_.now());
-  auto fwd = std::make_shared<DsrPacket>(pkt);
+  auto fwd = util::make_pooled<DsrPacket>(sim_.pools(), pkt);
   fwd->hop_index = my_index;
   ++stats_.data_forwarded;
   if (!mac_.send(pkt.route[my_index + 1], std::move(fwd), cfg_.oh_map.data)) {
@@ -390,7 +387,7 @@ void Dsr::handle_rerr(const DsrPacket& pkt) {
   const std::size_t my_index = pkt.hop_index + 1;
   if (my_index >= pkt.route.size() || pkt.route[my_index] != id()) return;
   if (my_index + 1 >= pkt.route.size()) return;  // reached the source
-  auto fwd = std::make_shared<DsrPacket>(pkt);
+  auto fwd = util::make_pooled<DsrPacket>(sim_.pools(), pkt);
   fwd->hop_index = my_index;
   ++stats_.rerr_forwarded;
   if (observer_ != nullptr) {
@@ -430,15 +427,14 @@ void Dsr::mac_overhear(const mac::NetDatagramPtr& pkt, NodeId from,
   }
 }
 
-void Dsr::cache_from_overheard_route(const std::vector<NodeId>& route,
-                                     NodeId from) {
+void Dsr::cache_from_overheard_route(const Route& route, NodeId from) {
   const auto it = std::find(route.begin(), route.end(), from);
   if (it == route.end()) return;
   const auto from_pos = static_cast<std::size_t>(it - route.begin());
   if (std::find(route.begin(), route.end(), id()) != route.end()) return;
 
   // We heard `from` directly, so [me, from, ...rest of route] is usable.
-  std::vector<NodeId> toward_dst;
+  Route toward_dst;
   toward_dst.push_back(id());
   toward_dst.insert(toward_dst.end(), route.begin() +
                                           static_cast<std::ptrdiff_t>(from_pos),
@@ -448,7 +444,7 @@ void Dsr::cache_from_overheard_route(const std::vector<NodeId>& route,
   }
 
   if (cfg_.cache_reverse_overheard && from_pos > 0) {
-    std::vector<NodeId> toward_src;
+    Route toward_src;
     toward_src.push_back(id());
     for (std::size_t i = from_pos + 1; i-- > 0;) {
       toward_src.push_back(route[i]);
@@ -479,7 +475,7 @@ void Dsr::mac_tx_failed(const mac::NetDatagramPtr& pkt, NodeId next_hop) {
   // Try to salvage with an alternative cached route.
   if (cfg_.salvage && p.salvage_count < cfg_.max_salvage) {
     if (auto route = cache_.find(p.dst, sim_.now())) {
-      auto salvaged = std::make_shared<DsrPacket>(p);
+      auto salvaged = util::make_pooled<DsrPacket>(sim_.pools(), p);
       salvaged->route = std::move(*route);
       salvaged->hop_index = 0;
       salvaged->salvage_count = p.salvage_count + 1;
@@ -491,7 +487,7 @@ void Dsr::mac_tx_failed(const mac::NetDatagramPtr& pkt, NodeId next_hop) {
   if (p.src == id() && p.salvage_count == 0) {
     // Source without an alternative: rediscover and retransmit from the
     // send buffer rather than dropping outright.
-    auto requeued = std::make_shared<DsrPacket>(p);
+    auto requeued = util::make_pooled<DsrPacket>(sim_.pools(), p);
     requeued->route.clear();
     requeued->hop_index = 0;
     requeued->salvage_count = p.salvage_count + 1;
@@ -508,10 +504,10 @@ void Dsr::originate_rerr(const DsrPacket& data_pkt, NodeId broken_to) {
   if (my_index >= data_pkt.route.size() || data_pkt.route[my_index] != id()) {
     return;
   }
-  std::vector<NodeId> back;
+  Route back;
   for (std::size_t i = my_index + 1; i-- > 0;) back.push_back(data_pkt.route[i]);
   if (back.size() < 2) return;
-  auto rerr = std::make_shared<DsrPacket>();
+  auto rerr = util::make_pooled<DsrPacket>(sim_.pools());
   rerr->type = DsrType::kRerr;
   rerr->src = id();
   rerr->dst = data_pkt.src;

@@ -104,7 +104,7 @@ class Dsr final : public mac::MacCallbacks, public RoutingAgent {
   void handle_data(const DsrPacket& pkt, const DsrPacketPtr& shared);
   void handle_rerr(const DsrPacket& pkt);
 
-  void send_rrep(std::vector<NodeId> route, std::size_t my_index);
+  void send_rrep(Route route, std::size_t my_index);
   void originate_rerr(const DsrPacket& data_pkt, NodeId broken_to);
   void drain_buffer_via_cache();
   void drop(const DsrPacketPtr& pkt, DropReason reason);
@@ -113,8 +113,7 @@ class Dsr final : public mac::MacCallbacks, public RoutingAgent {
 
   /// Feeds the cache from a packet heard from transmitter `from` carrying
   /// source route `route` with `from` at position `from_pos`.
-  void cache_from_overheard_route(const std::vector<NodeId>& route,
-                                  NodeId from);
+  void cache_from_overheard_route(const Route& route, NodeId from);
 
   sim::Simulator& sim_;
   mac::Mac& mac_;

@@ -47,7 +47,7 @@ class DsrObserver {
   virtual void on_control_transmit(DsrType, sim::Time) {}
   /// A source route was attached to an originated data packet — DSR only
   /// (the paper's role-number accounting input).
-  virtual void on_route_used(const std::vector<NodeId>&, sim::Time) {}
+  virtual void on_route_used(const Route&, sim::Time) {}
   /// A node forwarded a data packet (both protocols; AODV's role measure).
   virtual void on_data_forwarded(NodeId /*by*/, sim::Time) {}
 };

@@ -14,10 +14,17 @@
 
 #include "mac/mac_types.hpp"
 #include "sim/time.hpp"
+#include "util/small_vec.hpp"
 
 namespace rcast::routing {
 
 using mac::NodeId;
+
+/// A source route / accumulated route record. Routes in the paper's arena
+/// are a handful of hops, so 8 node ids live inline in the packet itself —
+/// copying a packet on the forward path touches no extra allocation; longer
+/// routes (deep topologies, network_ttl floods) spill to the heap.
+using Route = util::SmallVec<NodeId, 8>;
 
 enum class DsrType : std::uint8_t {
   kData = 0,
@@ -50,7 +57,7 @@ struct DsrPacket final : mac::NetDatagram {
 
   /// DATA / RREP: the complete discovered source route [src, ..., dst].
   /// RERR: the path from the error detector back to the data source.
-  std::vector<NodeId> route;
+  Route route;
 
   /// Index in `route` of the node currently holding the packet. DATA and
   /// RERR traverse `route` forward; RREP traverses it backward (it starts
@@ -70,7 +77,7 @@ struct DsrPacket final : mac::NetDatagram {
 
   // RREQ
   std::uint32_t rreq_id = 0;
-  std::vector<NodeId> recorded;  // accumulated route, starts with src
+  Route recorded;  // accumulated route, starts with src
   int ttl = 0;
 
   // RERR

@@ -1,7 +1,6 @@
 #include "routing/route_cache.hpp"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "util/assert.hpp"
 
@@ -12,12 +11,15 @@ RouteCache::RouteCache(NodeId owner, const RouteCacheConfig& config)
   RCAST_REQUIRE(cfg_.capacity > 0);
 }
 
-bool RouteCache::add(std::vector<NodeId> path, sim::Time now) {
+bool RouteCache::add(Route path, sim::Time now) {
   if (path.size() < 2) return false;
   if (path.front() != owner_) return false;
-  std::unordered_set<NodeId> seen;
-  for (NodeId n : path) {
-    if (!seen.insert(n).second) return false;  // loop
+  // Loop check: routes are a handful of hops, so the quadratic scan beats a
+  // hash set (and allocates nothing).
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    for (std::size_t j = i + 1; j < path.size(); ++j) {
+      if (path[i] == path[j]) return false;  // loop
+    }
   }
   for (CachedRoute& r : routes_) {
     if (r.path == path) {
@@ -50,8 +52,7 @@ void RouteCache::evict_if_needed() {
   }
 }
 
-std::optional<std::vector<NodeId>> RouteCache::find(NodeId dst,
-                                                    sim::Time now) {
+std::optional<Route> RouteCache::find(NodeId dst, sim::Time now) {
   // Drop stale entries lazily.
   if (cfg_.route_ttl > 0) {
     const std::size_t before = routes_.size();
@@ -79,9 +80,8 @@ std::optional<std::vector<NodeId>> RouteCache::find(NodeId dst,
   }
   ++stats_.hits;
   best->last_used = now;
-  return std::vector<NodeId>(best->path.begin(),
-                             best->path.begin() +
-                                 static_cast<std::ptrdiff_t>(best_len));
+  return Route(best->path.begin(),
+               best->path.begin() + static_cast<std::ptrdiff_t>(best_len));
 }
 
 bool RouteCache::has_route(NodeId dst, sim::Time now) const {

@@ -22,7 +22,7 @@ struct RouteCacheConfig {
 };
 
 struct CachedRoute {
-  std::vector<NodeId> path;  // path[0] == owner
+  Route path;  // path[0] == owner
   sim::Time added = 0;
   sim::Time last_used = 0;
 };
@@ -46,11 +46,11 @@ class RouteCache {
   /// Inserts a loop-free path starting at the owner. Paths shorter than two
   /// nodes, with loops, or not anchored at the owner are rejected (returns
   /// false). Re-adding an existing path refreshes its timestamps.
-  bool add(std::vector<NodeId> path, sim::Time now);
+  bool add(Route path, sim::Time now);
 
   /// Shortest (then freshest) cached route from the owner to `dst`,
   /// truncated at `dst` if it appears inside a longer path. Updates LRU.
-  std::optional<std::vector<NodeId>> find(NodeId dst, sim::Time now);
+  std::optional<Route> find(NodeId dst, sim::Time now);
 
   /// True if find() would succeed, without touching LRU state.
   bool has_route(NodeId dst, sim::Time now) const;

@@ -1,8 +1,10 @@
 #include "scenario/scenario.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "mobility/random_waypoint.hpp"
+#include "util/alloc_tracker.hpp"
 #include "power/always_on.hpp"
 #include "power/psm_policy.hpp"
 #include "util/assert.hpp"
@@ -157,8 +159,26 @@ void Network::set_secondary_observer(routing::DsrObserver* obs) {
 }
 
 RunResult Network::run() {
+  // Measure the event loop only (not build or summarize). The allocation
+  // counter is thread-local, so concurrent runs on worker threads (see
+  // run_repetitions) each see their own bytes.
+  util::AllocTracker::reset();
+  util::AllocTracker::enable();
+  const auto wall_start = std::chrono::steady_clock::now();
   sim_.run_until(cfg_.duration);
-  return summarize();
+  const auto wall_end = std::chrono::steady_clock::now();
+  util::AllocTracker::disable();
+
+  RunResult r = summarize();
+  r.perf = sim_.perf_counters();
+  r.perf.bytes_allocated = util::AllocTracker::bytes();
+  r.perf.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_start).count();
+  r.perf.events_per_sec =
+      r.perf.wall_seconds > 0.0
+          ? static_cast<double>(r.perf.events_executed) / r.perf.wall_seconds
+          : 0.0;
+  return r;
 }
 
 RunResult Network::summarize() {

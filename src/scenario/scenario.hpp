@@ -123,6 +123,10 @@ struct RunResult {
   double first_death_s = 0.0;  // 0 = none died
 
   std::uint64_t events_executed = 0;
+
+  /// Hot-path counters for the run (event throughput, pool behavior,
+  /// wall-clock). See DESIGN.md "Performance" and bench/BENCH_hotpath.json.
+  sim::PerfCounters perf;
 };
 
 /// One fully-wired simulated node.

@@ -1,74 +1,109 @@
 // Cancellable priority queue of timestamped events.
 //
 // Ties at the same timestamp fire in scheduling order (FIFO), which keeps
-// protocol traces deterministic and intuitive. Cancellation is O(1) via
-// tombstoning: the heap entry stays, the handler is dropped, and the entry is
-// skipped at pop time.
+// protocol traces deterministic and intuitive.
+//
+// Layout: a flat binary min-heap of (time, seq, slot) entries over a
+// generation-checked slot map holding the handlers. Handlers are
+// small-buffer-optimized callables (`kEventInlineCapacity` bytes inline, heap
+// fallback only for oversized captures — counted, so the hot paths can prove
+// they never take it). Cancellation is O(1): the slot is released and its
+// generation bumped; the heap entry stays behind and is skipped at pop time
+// because its generation no longer matches. Slots are recycled through a free
+// list, so a steady-state run performs no allocation at all.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "sim/time.hpp"
 #include "util/assert.hpp"
+#include "util/inline_function.hpp"
 
 namespace rcast::sim {
 
+/// Inline storage of an event handler; captures beyond this spill to the
+/// heap. Sized for the largest hot-path capture (the channel's arrival
+/// lambdas: a shared_ptr plus four scalars).
+inline constexpr std::size_t kEventInlineCapacity = 64;
+
 /// Opaque handle to a scheduled event; valid until the event fires or is
-/// cancelled. Default-constructed handles are null.
+/// cancelled. Default-constructed handles are null. Handles are
+/// generation-checked: a handle to a fired/cancelled event whose slot was
+/// recycled stays safely inert.
 class EventId {
  public:
   EventId() = default;
-  bool valid() const { return seq_ != 0; }
+  bool valid() const { return raw_ != 0; }
   bool operator==(const EventId&) const = default;
 
  private:
   friend class EventQueue;
-  explicit EventId(std::uint64_t seq) : seq_(seq) {}
-  std::uint64_t seq_ = 0;
+  EventId(std::uint32_t slot, std::uint32_t gen)
+      : raw_((static_cast<std::uint64_t>(gen) << 32) |
+             (static_cast<std::uint64_t>(slot) + 1)) {}
+  std::uint32_t slot() const {
+    return static_cast<std::uint32_t>(raw_ & 0xFFFFFFFFu) - 1;
+  }
+  std::uint32_t gen() const { return static_cast<std::uint32_t>(raw_ >> 32); }
+  std::uint64_t raw_ = 0;
 };
 
 class EventQueue {
  public:
-  using Handler = std::function<void()>;
+  using Handler = util::InlineFunction<kEventInlineCapacity>;
 
   /// Schedules `h` at absolute time `t` (must not be in the past relative to
   /// the last popped event).
   EventId push(Time t, Handler h) {
     RCAST_REQUIRE_MSG(t >= last_popped_, "scheduling into the past");
-    const std::uint64_t seq = ++next_seq_;
-    heap_.push(Entry{t, seq});
-    handlers_.emplace(seq, std::move(h));
-    return EventId(seq);
+    if (h.heap_allocated()) ++heap_fallbacks_;
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.handler = std::move(h);
+    s.live = true;
+    heap_.push_back(Entry{t, ++next_seq_, slot, s.gen});
+    sift_up(heap_.size() - 1);
+    ++live_;
+    maybe_compact();
+    return EventId(slot, s.gen);
   }
 
   /// Cancels a pending event; no-op if it already fired or was cancelled.
   /// Returns true if an event was actually cancelled.
-  bool cancel(EventId id) { return handlers_.erase(id.seq_) > 0; }
+  bool cancel(EventId id) {
+    if (!id.valid()) return false;
+    const std::uint32_t slot = id.slot();
+    if (slot >= slots_.size()) return false;
+    Slot& s = slots_[slot];
+    if (!s.live || s.gen != id.gen()) return false;
+    release_slot(slot);
+    --live_;
+    return true;
+  }
 
-  bool empty() const { return handlers_.empty(); }
-  std::size_t size() const { return handlers_.size(); }
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
 
   /// Earliest pending event time. Requires !empty().
   Time next_time() {
-    skip_tombstones();
+    skip_dead();
     RCAST_REQUIRE(!heap_.empty());
-    return heap_.top().time;
+    return heap_.front().time;
   }
 
   /// Pops and returns the earliest event. Requires !empty().
   std::pair<Time, Handler> pop() {
-    skip_tombstones();
+    skip_dead();
     RCAST_REQUIRE(!heap_.empty());
-    const Entry e = heap_.top();
-    heap_.pop();
-    auto it = handlers_.find(e.seq);
-    RCAST_DCHECK(it != handlers_.end());
-    Handler h = std::move(it->second);
-    handlers_.erase(it);
+    const Entry e = heap_.front();
+    remove_top();
+    Slot& s = slots_[e.slot];
+    RCAST_DCHECK(s.live && s.gen == e.gen);
+    Handler h = std::move(s.handler);
+    release_slot(e.slot);
+    --live_;
     last_popped_ = e.time;
     return {e.time, std::move(h)};
   }
@@ -76,24 +111,111 @@ class EventQueue {
   /// Total events ever scheduled (monotone; for bench instrumentation).
   std::uint64_t scheduled_count() const { return next_seq_; }
 
+  /// Handlers whose captures were too big for inline storage (should stay 0
+  /// in steady state; see PerfCounters).
+  std::uint64_t handler_heap_fallbacks() const { return heap_fallbacks_; }
+
  private:
   struct Entry {
     Time time;
-    std::uint64_t seq;
-    // Min-heap by (time, seq): std::priority_queue is a max-heap so invert.
-    bool operator<(const Entry& o) const {
-      if (time != o.time) return time > o.time;
-      return seq > o.seq;
-    }
+    std::uint64_t seq;   // FIFO tie-break within equal times
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
 
-  void skip_tombstones() {
-    while (!heap_.empty() && !handlers_.count(heap_.top().seq)) heap_.pop();
+  struct Slot {
+    Handler handler;
+    std::uint32_t gen = 0;
+    std::uint32_t next_free = kNilSlot;
+    bool live = false;
+  };
+
+  static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
   }
 
-  std::priority_queue<Entry> heap_;
-  std::unordered_map<std::uint64_t, Handler> handlers_;
+  bool dead(const Entry& e) const {
+    const Slot& s = slots_[e.slot];
+    return !s.live || s.gen != e.gen;
+  }
+
+  std::uint32_t acquire_slot() {
+    if (free_head_ != kNilSlot) {
+      const std::uint32_t slot = free_head_;
+      free_head_ = slots_[slot].next_free;
+      return slot;
+    }
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+
+  void release_slot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.handler = Handler();
+    s.live = false;
+    ++s.gen;  // invalidates outstanding EventIds and heap entries
+    s.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  void skip_dead() {
+    while (!heap_.empty() && dead(heap_.front())) remove_top();
+  }
+
+  void remove_top() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+
+  void sift_up(std::size_t i) {
+    Entry e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    Entry e = heap_[i];
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
+      if (!before(heap_[child], e)) break;
+      heap_[i] = heap_[child];
+      i = child;
+    }
+    heap_[i] = e;
+  }
+
+  /// Cancelled entries linger in the heap until popped; rebuild it when they
+  /// outnumber live events 4:1 so cancel-heavy workloads stay compact.
+  void maybe_compact() {
+    if (heap_.size() < 256 || heap_.size() < 4 * live_) return;
+    std::size_t kept = 0;
+    for (const Entry& e : heap_) {
+      if (!dead(e)) heap_[kept++] = e;
+    }
+    heap_.resize(kept);
+    if (kept > 1) {
+      for (std::size_t i = kept / 2; i-- > 0;) sift_down(i);
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNilSlot;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t heap_fallbacks_ = 0;
   Time last_popped_ = 0;
 };
 

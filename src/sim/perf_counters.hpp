@@ -1,0 +1,31 @@
+// Lightweight throughput/allocation counters for a simulation run.
+//
+// These exist to *prove* the allocation discipline of the hot paths: in
+// steady state pool_misses stops growing, handler_heap_fallbacks stays 0,
+// and (with the opt-in allocation hook enabled) bytes_allocated flatlines
+// while events_executed keeps climbing. bench_micro emits them as JSON
+// (BENCH_hotpath.json) so the trajectory is tracked across PRs.
+#pragma once
+
+#include <cstdint>
+
+namespace rcast::sim {
+
+struct PerfCounters {
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_scheduled = 0;
+  /// Event handlers whose captures exceeded kEventInlineCapacity and were
+  /// boxed on the heap. Zero means the event path never allocated.
+  std::uint64_t handler_heap_fallbacks = 0;
+  /// Pool allocations served from the free list vs. carved fresh. Misses
+  /// stop growing once the working set is warm.
+  std::uint64_t pool_hits = 0;
+  std::uint64_t pool_misses = 0;
+  /// Bytes passed through global operator new while the run's thread had
+  /// util::AllocTracker enabled; 0 when the hook is compiled out or off.
+  std::uint64_t bytes_allocated = 0;
+  double wall_seconds = 0.0;
+  double events_per_sec = 0.0;
+};
+
+}  // namespace rcast::sim

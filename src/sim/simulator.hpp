@@ -10,7 +10,9 @@
 #include <functional>
 
 #include "sim/event_queue.hpp"
+#include "sim/perf_counters.hpp"
 #include "sim/time.hpp"
+#include "util/pool.hpp"
 
 namespace rcast::sim {
 
@@ -51,7 +53,28 @@ class Simulator {
   std::uint64_t executed_events() const { return executed_; }
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Per-run object pools (frames, packets). Everything drawn from them must
+  /// be released before the Simulator dies; protocol modules hold Simulator&
+  /// and are torn down first, so this falls out of the ownership order.
+  util::PoolArena& pools() { return pools_; }
+
+  /// Snapshot of the run's simulator-level counters (wall-clock fields are
+  /// filled by whoever times the run, e.g. scenario::Network::run).
+  PerfCounters perf_counters() const {
+    PerfCounters p;
+    p.events_executed = executed_;
+    p.events_scheduled = queue_.scheduled_count();
+    p.handler_heap_fallbacks = queue_.handler_heap_fallbacks();
+    const util::PoolStats pools = pools_.total_stats();
+    p.pool_hits = pools.hits;
+    p.pool_misses = pools.misses;
+    return p;
+  }
+
  private:
+  // pools_ is declared before queue_ so pending handlers (which may hold the
+  // last reference to pooled frames) are destroyed before the pools are.
+  util::PoolArena pools_;
   EventQueue queue_;
   Time now_ = 0;
   std::uint64_t executed_ = 0;

@@ -34,7 +34,7 @@ void MetricsCollector::on_control_transmit(routing::DsrType type, sim::Time) {
 }
 
 void MetricsCollector::on_route_used(
-    const std::vector<routing::NodeId>& route, sim::Time) {
+    const routing::Route& route, sim::Time) {
   for (std::size_t i = 1; i + 1 < route.size(); ++i) {
     if (route[i] < role_.size()) ++role_[route[i]];
   }

@@ -24,7 +24,7 @@ class MetricsCollector final : public routing::DsrObserver {
   void on_data_dropped(const routing::DsrPacket& pkt,
                        routing::DropReason reason, sim::Time now) override;
   void on_control_transmit(routing::DsrType type, sim::Time now) override;
-  void on_route_used(const std::vector<routing::NodeId>& route,
+  void on_route_used(const routing::Route& route,
                      sim::Time now) override;
 
   // --- figure-level metrics ------------------------------------------------

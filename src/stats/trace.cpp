@@ -42,7 +42,7 @@ void EventTracer::on_control_transmit(routing::DsrType type, sim::Time now) {
   line(now, "control", to_string(type));
 }
 
-void EventTracer::on_route_used(const std::vector<routing::NodeId>& route,
+void EventTracer::on_route_used(const routing::Route& route,
                                 sim::Time now) {
   std::ostringstream os;
   os << "len=" << route.size() << " path=";

@@ -29,7 +29,7 @@ class EventTracer final : public routing::DsrObserver {
   void on_data_dropped(const routing::DsrPacket& pkt,
                        routing::DropReason reason, sim::Time now) override;
   void on_control_transmit(routing::DsrType type, sim::Time now) override;
-  void on_route_used(const std::vector<routing::NodeId>& route,
+  void on_route_used(const routing::Route& route,
                      sim::Time now) override;
   void on_data_forwarded(routing::NodeId by, sim::Time now) override;
 
@@ -65,7 +65,7 @@ class TeeObserver final : public routing::DsrObserver {
     a_.on_control_transmit(k, t);
     b_.on_control_transmit(k, t);
   }
-  void on_route_used(const std::vector<routing::NodeId>& r,
+  void on_route_used(const routing::Route& r,
                      sim::Time t) override {
     a_.on_route_used(r, t);
     b_.on_route_used(r, t);

@@ -1,0 +1,88 @@
+#include "util/alloc_tracker.hpp"
+
+#include <cstdlib>
+#include <new>
+
+namespace rcast::util {
+namespace {
+
+thread_local bool t_enabled = false;
+thread_local std::uint64_t t_bytes = 0;
+
+}  // namespace
+
+void AllocTracker::enable() { t_enabled = true; }
+void AllocTracker::disable() { t_enabled = false; }
+void AllocTracker::reset() { t_bytes = 0; }
+std::uint64_t AllocTracker::bytes() { return t_bytes; }
+
+bool AllocTracker::compiled_in() {
+#ifdef RCAST_COUNT_ALLOCS
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace rcast::util
+
+#ifdef RCAST_COUNT_ALLOCS
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  if (rcast::util::t_enabled) rcast::util::t_bytes += size;
+  if (void* p = std::malloc(size != 0 ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  if (rcast::util::t_enabled) rcast::util::t_bytes += size;
+  // aligned_alloc requires size to be a multiple of the alignment.
+  const std::size_t rounded = (size + align - 1) / align * align;
+  if (void* p = std::aligned_alloc(align, rounded != 0 ? rounded : align)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+// Replaceable global allocation functions ([new.delete]); both the scalar
+// and array forms, plus the C++17 aligned overloads, must be covered or the
+// counted and uncounted families could mismatch.
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  if (rcast::util::t_enabled) rcast::util::t_bytes += size;
+  return std::malloc(size != 0 ? size : 1);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  if (rcast::util::t_enabled) rcast::util::t_bytes += size;
+  return std::malloc(size != 0 ? size : 1);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // RCAST_COUNT_ALLOCS

@@ -1,0 +1,116 @@
+// Move-only type-erased `void()` callable with fixed inline storage.
+//
+// The event queue stores millions of short-lived handlers per run; putting
+// each capture behind a `std::function` heap allocation dominated the
+// schedule path. Callables up to `Capacity` bytes (with alignment no
+// stricter than `max_align_t` and a noexcept move) live entirely inside the
+// object; anything bigger falls back to a heap-allocated box, which the
+// queue counts so the hot paths can prove they never take it.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace rcast::util {
+
+template <std::size_t Capacity>
+class InlineFunction {
+ public:
+  InlineFunction() = default;
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): by design
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      invoke_ = [](void* p) { (*static_cast<D*>(p))(); };
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {
+          ::new (dst) D(std::move(*static_cast<D*>(src)));
+          static_cast<D*>(src)->~D();
+        } else {
+          static_cast<D*>(dst)->~D();
+        }
+      };
+    } else {
+      // Oversized / over-aligned / throwing-move capture: box it. The buffer
+      // then holds just the owning pointer.
+      D* box = new D(std::forward<F>(f));
+      std::memcpy(buf_, &box, sizeof(box));
+      invoke_ = [](void* p) {
+        D* b;
+        std::memcpy(&b, p, sizeof(b));
+        (*b)();
+      };
+      manage_ = [](void* dst, void* src) {
+        if (src != nullptr) {
+          std::memcpy(dst, src, sizeof(D*));
+        } else {
+          D* b;
+          std::memcpy(&b, dst, sizeof(b));
+          delete b;
+        }
+      };
+      heap_ = true;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// True if this callable did not fit inline and lives on the heap.
+  bool heap_allocated() const { return heap_; }
+
+  /// Compile-time check callers can use to static_assert a capture fits.
+  template <class D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  void move_from(InlineFunction& other) noexcept {
+    if (other.invoke_ == nullptr) return;
+    other.manage_(buf_, other.buf_);
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    heap_ = other.heap_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+    other.heap_ = false;
+  }
+
+  void reset() noexcept {
+    if (manage_ != nullptr) manage_(buf_, nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+    heap_ = false;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*manage_)(void* dst, void* src) = nullptr;  // src!=null: move; else destroy
+  bool heap_ = false;
+};
+
+}  // namespace rcast::util

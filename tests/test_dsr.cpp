@@ -34,7 +34,7 @@ class Recorder : public DsrObserver {
   void on_control_transmit(DsrType t, sim::Time) override {
     ++control[static_cast<int>(t)];
   }
-  void on_route_used(const std::vector<NodeId>& route, sim::Time) override {
+  void on_route_used(const Route& route, sim::Time) override {
     routes_used.push_back(route);
   }
 
@@ -42,7 +42,7 @@ class Recorder : public DsrObserver {
   std::vector<Delivery> deliveries;
   std::vector<DropReason> drops;
   int control[4] = {0, 0, 0, 0};
-  std::vector<std::vector<NodeId>> routes_used;
+  std::vector<Route> routes_used;
 };
 
 // A line of nodes, 200 m apart, plain-802.11 MAC (fast, no PSM) unless

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <vector>
+
+#include "util/rng.hpp"
 
 namespace rcast::sim {
 namespace {
@@ -117,6 +121,133 @@ TEST(EventQueue, ManyEventsStressOrder) {
   while (!q.empty()) q.pop().second();
   EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
   EXPECT_EQ(times.size(), 1000u);
+}
+
+// MAC-style churn: schedule N timers, cancel every other one as scheduling
+// proceeds, then drain. Survivors must fire in time order, every cancelled
+// event must stay silent, and the queue must account for all of it (no
+// leaked live entries, monotone scheduled_count).
+TEST(EventQueue, ChurnCancelHalfInterleaved) {
+  constexpr int kN = 4096;
+  EventQueue q;
+  std::vector<Time> fired;
+  std::vector<EventId> ids;
+  std::vector<bool> cancelled(kN, false);
+  ids.reserve(kN);
+  Rng rng(11);
+  Time t = 0;
+  for (int i = 0; i < kN; ++i) {
+    t += static_cast<Time>(rng.uniform_u64(50));
+    const Time when = t;
+    ids.push_back(q.push(when, [&fired, when] { fired.push_back(when); }));
+    if (i % 2 == 1) {
+      EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i) - 1]));
+      cancelled[static_cast<std::size_t>(i) - 1] = true;
+    }
+  }
+  EXPECT_EQ(q.size(), kN / 2u);
+  EXPECT_EQ(q.scheduled_count(), static_cast<std::uint64_t>(kN));
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_EQ(fired.size(), kN / 2u);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  // Cancelled handles are spent: a second cancel must report false.
+  for (int i = 0; i < kN; ++i) EXPECT_FALSE(q.cancel(ids[i]));
+}
+
+// Randomized property test: on an arbitrary schedule/cancel/pop interleaving
+// the queue must match a reference model — pending events sorted by
+// (time, scheduling order), cancellation by erasure. This pins the exact
+// semantics the old std::function/tombstone implementation had.
+TEST(EventQueue, RandomizedMatchesReferenceModel) {
+  struct ModelEvent {
+    Time time;
+    std::uint64_t seq;
+    int tag;
+  };
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    EventQueue q;
+    Rng rng(seed);
+    std::vector<ModelEvent> model;          // pending, unsorted
+    std::vector<std::pair<int, EventId>> handles;  // tag -> live handle
+    std::vector<int> popped_real;
+    std::vector<int> popped_model;
+    std::uint64_t next_seq = 0;
+    Time now = 0;
+    int next_tag = 0;
+    for (int step = 0; step < 2000; ++step) {
+      const std::uint64_t op = rng.uniform_u64(10);
+      if (op < 6) {  // push
+        const Time at = now + static_cast<Time>(rng.uniform_u64(1000));
+        const int tag = next_tag++;
+        handles.emplace_back(
+            tag, q.push(at, [tag, &popped_real] { popped_real.push_back(tag); }));
+        model.push_back(ModelEvent{at, next_seq++, tag});
+      } else if (op < 8) {  // cancel a random outstanding handle
+        if (handles.empty()) continue;
+        const std::size_t pick = rng.uniform_u64(handles.size());
+        const auto [tag, id] = handles[pick];
+        const auto it =
+            std::find_if(model.begin(), model.end(),
+                         [tag](const ModelEvent& e) { return e.tag == tag; });
+        const bool model_cancelled = it != model.end();
+        EXPECT_EQ(q.cancel(id), model_cancelled);
+        if (model_cancelled) model.erase(it);
+        handles.erase(handles.begin() + static_cast<std::ptrdiff_t>(pick));
+      } else {  // pop
+        if (model.empty()) {
+          EXPECT_TRUE(q.empty());
+          continue;
+        }
+        const auto it = std::min_element(
+            model.begin(), model.end(),
+            [](const ModelEvent& a, const ModelEvent& b) {
+              return a.time != b.time ? a.time < b.time : a.seq < b.seq;
+            });
+        auto [t, h] = q.pop();
+        EXPECT_EQ(t, it->time);
+        h();
+        popped_model.push_back(it->tag);
+        now = it->time;
+        model.erase(it);
+      }
+      EXPECT_EQ(q.size(), model.size());
+    }
+    EXPECT_EQ(popped_real, popped_model) << "seed " << seed;
+  }
+}
+
+// Captures that fit in kEventInlineCapacity must not allocate; oversized
+// ones fall back to the heap and are counted.
+TEST(EventQueue, HeapFallbackOnlyForOversizedCaptures) {
+  EventQueue q;
+  int x = 0;
+  auto small = [&x] { ++x; };
+  static_assert(EventQueue::Handler::fits_inline<decltype(small)>());
+  q.push(1, small);
+  EXPECT_EQ(q.handler_heap_fallbacks(), 0u);
+
+  std::array<std::uint64_t, 16> big{};  // 128 bytes > kEventInlineCapacity
+  auto large = [big, &x] { x += static_cast<int>(big[0]); };
+  static_assert(!EventQueue::Handler::fits_inline<decltype(large)>());
+  q.push(2, large);
+  EXPECT_EQ(q.handler_heap_fallbacks(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(x, 1);
+}
+
+// A stale handle whose slot was recycled by a newer event must stay inert:
+// cancelling it is a no-op and must not kill the new occupant.
+TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
+  EventQueue q;
+  const EventId old_id = q.push(1, [] {});
+  q.pop().second();  // slot released, generation bumped
+  bool fired = false;
+  q.push(2, [&fired] { fired = true; });  // recycles the slot
+  EXPECT_FALSE(q.cancel(old_id));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_TRUE(fired);
 }
 
 TEST(EventQueue, ScheduledCountMonotone) {

@@ -1,0 +1,88 @@
+#include "util/small_vec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace rcast::util {
+namespace {
+
+using V = SmallVec<std::uint32_t, 4>;
+
+TEST(SmallVec, InlineUntilCapacity) {
+  V v;
+  EXPECT_TRUE(v.empty());
+  for (std::uint32_t i = 0; i < 4; ++i) v.push_back(i);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.capacity(), 4u);  // still inline
+  v.push_back(4);
+  EXPECT_GT(v.capacity(), 4u);  // spilled
+  for (std::uint32_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], i);
+}
+
+TEST(SmallVec, EqualsVectorBothWays) {
+  V v{1, 2, 3};
+  std::vector<std::uint32_t> ref{1, 2, 3};
+  EXPECT_TRUE(v == ref);
+  EXPECT_TRUE(ref == v);
+  ref.push_back(4);
+  EXPECT_FALSE(v == ref);
+}
+
+TEST(SmallVec, ImplicitFromVector) {
+  std::vector<std::uint32_t> ref{9, 8, 7, 6, 5, 4};  // longer than inline N
+  V v = ref;
+  EXPECT_EQ(v.size(), 6u);
+  EXPECT_TRUE(v == ref);
+  EXPECT_EQ(v.to_vector(), ref);
+}
+
+TEST(SmallVec, InsertAndErase) {
+  V v{1, 3};
+  auto it = v.insert(v.begin() + 1, 2u);
+  EXPECT_EQ(*it, 2u);
+  EXPECT_TRUE(v == (std::vector<std::uint32_t>{1, 2, 3}));
+  std::vector<std::uint32_t> tail{4, 5, 6};
+  v.insert(v.end(), tail.begin(), tail.end());  // forces a spill mid-insert
+  EXPECT_TRUE(v == (std::vector<std::uint32_t>{1, 2, 3, 4, 5, 6}));
+  v.erase(v.begin());
+  EXPECT_TRUE(v == (std::vector<std::uint32_t>{2, 3, 4, 5, 6}));
+}
+
+TEST(SmallVec, CopyAndMovePreserveContents) {
+  V spilled{1, 2, 3, 4, 5, 6};
+  V copy = spilled;
+  EXPECT_TRUE(copy == spilled);
+  V moved = std::move(spilled);
+  EXPECT_TRUE(moved == copy);
+  EXPECT_TRUE(spilled.empty());  // NOLINT(bugprone-use-after-move)
+
+  V small{7, 8};
+  V moved_small = std::move(small);
+  EXPECT_TRUE(moved_small == (std::vector<std::uint32_t>{7, 8}));
+}
+
+TEST(SmallVec, MoveAssignReleasesOldHeap) {
+  V a{1, 2, 3, 4, 5, 6};  // heap-backed
+  V b{9};
+  a = std::move(b);
+  EXPECT_TRUE(a == (std::vector<std::uint32_t>{9}));
+}
+
+TEST(SmallVec, ResizeZeroFillsNewElements) {
+  V v{1};
+  v.resize(3);
+  EXPECT_TRUE(v == (std::vector<std::uint32_t>{1, 0, 0}));
+  v.resize(1);
+  EXPECT_TRUE(v == (std::vector<std::uint32_t>{1}));
+}
+
+TEST(SmallVec, ReverseIteration) {
+  V v{1, 2, 3};
+  std::vector<std::uint32_t> rev(v.rbegin(), v.rend());
+  EXPECT_EQ(rev, (std::vector<std::uint32_t>{3, 2, 1}));
+}
+
+}  // namespace
+}  // namespace rcast::util

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Tier-1 gate in one shot: configure, build, run the test suite, then a
+# bench_micro pass that writes throughput + allocation-discipline numbers
+# to BENCH_hotpath JSON (compare against the committed baseline at the repo
+# root; DESIGN.md §8 explains the fields).
+#
+# Usage: tools/run_tier1.sh [build-dir] [sanitizers]
+#   build-dir   defaults to "build"
+#   sanitizers  optional RCAST_SANITIZE value (e.g. "address,undefined");
+#               sanitized runs skip the benchmark pass.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+SANITIZE="${2:-}"
+
+CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release)
+if [[ -n "$SANITIZE" ]]; then
+  CMAKE_ARGS+=(-DCMAKE_BUILD_TYPE=RelWithDebInfo "-DRCAST_SANITIZE=$SANITIZE")
+fi
+
+cmake "${CMAKE_ARGS[@]}"
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure
+
+if [[ -z "$SANITIZE" ]]; then
+  RCAST_BENCH_JSON="${RCAST_BENCH_JSON:-$BUILD_DIR/BENCH_hotpath.json}" \
+    "./$BUILD_DIR/bench/bench_micro" --benchmark_min_time=0.5
+  echo "tier-1 OK; benchmark record: ${RCAST_BENCH_JSON:-$BUILD_DIR/BENCH_hotpath.json}"
+else
+  echo "tier-1 OK under RCAST_SANITIZE=$SANITIZE (benchmarks skipped)"
+fi
