@@ -1,0 +1,67 @@
+// Crash-safe campaign journal: an append-only, fsync'd record of finished
+// jobs. One header line pins the campaign digest (manifest + expansion
+// order) and job count; each subsequent line commits one job. A job's
+// JSONL result record is written *before* its journal line, so the journal
+// line is the commit point — on resume, any result record without a
+// matching journal entry is a torn write and is superseded by re-running
+// the job (deterministically producing the same bytes).
+//
+// The format is a line-oriented text file so a half-written trailing line
+// (the only state a crash can leave, given append + fsync ordering) is
+// detected by the missing newline and discarded.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+namespace rcast::campaign {
+
+class JournalError : public std::runtime_error {
+ public:
+  explicit JournalError(const std::string& what) : std::runtime_error(what) {}
+};
+
+struct JournalEntry {
+  std::size_t job = 0;
+  std::string digest;       // config digest of the committed job
+  bool ok = false;          // false = job failed (threw / timed out)
+  double wall_ms = 0.0;
+  std::string error;        // single line, only meaningful when !ok
+};
+
+class Journal {
+ public:
+  /// Opens `path` for appending, creating it (with a header) if absent.
+  /// An existing journal must carry the same campaign digest and job count,
+  /// otherwise it belongs to a different campaign and opening throws.
+  /// Pre-existing committed entries are loaded and available via entries().
+  static Journal open(const std::string& path,
+                      const std::string& campaign_digest,
+                      std::size_t job_count);
+
+  Journal(Journal&& other) noexcept;
+  Journal& operator=(Journal&&) = delete;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+  ~Journal();
+
+  /// Entries committed before this process opened the journal.
+  const std::map<std::size_t, JournalEntry>& entries() const {
+    return entries_;
+  }
+
+  /// Appends one commit line and fsyncs it to disk before returning.
+  void append(const JournalEntry& e);
+
+  void close();
+
+ private:
+  Journal() = default;
+
+  std::FILE* f_ = nullptr;
+  std::map<std::size_t, JournalEntry> entries_;
+};
+
+}  // namespace rcast::campaign

@@ -1,0 +1,289 @@
+#include "campaign/manifest.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/flags.hpp"
+
+namespace rcast::campaign {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string_view::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return std::string(s.substr(b, e - b + 1));
+}
+
+std::vector<std::string> split_list(const std::string& v) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (;;) {
+    const auto comma = v.find(',', start);
+    const std::string item =
+        trim(std::string_view(v).substr(start, comma - start));
+    if (!item.empty()) out.push_back(item);
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw ManifestError("manifest line " + std::to_string(line) + ": " + what);
+}
+
+double need_double(int line, const std::string& key, const std::string& v) {
+  const auto d = Flags::parse_double(v);
+  if (!d) fail(line, key + ": expected a number, got '" + v + "'");
+  return *d;
+}
+
+std::uint64_t need_u64(int line, const std::string& key,
+                       const std::string& v) {
+  const auto u = Flags::parse_u64(v);
+  if (!u) fail(line, key + ": expected a non-negative integer, got '" + v + "'");
+  return *u;
+}
+
+// FNV-1a 64-bit over a canonical text rendering.
+class Digest {
+ public:
+  void mix(std::string_view s) {
+    for (const char c : s) {
+      h_ ^= static_cast<unsigned char>(c);
+      h_ *= 0x100000001b3ULL;
+    }
+    mix_char('|');
+  }
+  void mix(double d) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", d);
+    mix(buf);
+  }
+  void mix(std::uint64_t u) { mix(std::to_string(u)); }
+  void mix(std::int64_t i) { mix(std::to_string(i)); }
+
+  std::string hex() const {
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h_));
+    return buf;
+  }
+
+ private:
+  void mix_char(char c) {
+    h_ ^= static_cast<unsigned char>(c);
+    h_ *= 0x100000001b3ULL;
+  }
+
+  std::uint64_t h_ = 0xcbf29ce484222325ULL;
+};
+
+// Compact number rendering for job ids ("r0.4", "p600", not "p600.000000").
+std::string num_id(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+Manifest parse_manifest(std::string_view text) {
+  Manifest m;
+  std::set<std::string> seen;
+  std::istringstream in{std::string(text)};
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(in, raw_line)) {
+    ++line_no;
+    std::string line = raw_line;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) fail(line_no, "expected 'key = value'");
+    const std::string key = trim(std::string_view(line).substr(0, eq));
+    const std::string value = trim(std::string_view(line).substr(eq + 1));
+    if (key.empty()) fail(line_no, "empty key");
+    if (value.empty()) fail(line_no, key + ": empty value");
+    if (!seen.insert(key).second) fail(line_no, "duplicate key '" + key + "'");
+
+    if (key == "name") {
+      m.name = value;
+    } else if (key == "schemes") {
+      m.schemes.clear();
+      for (const auto& item : split_list(value)) {
+        const auto s = scenario::scheme_from_string(item);
+        if (!s) fail(line_no, "unknown scheme '" + item + "'");
+        m.schemes.push_back(*s);
+      }
+      if (m.schemes.empty()) fail(line_no, "schemes: empty list");
+    } else if (key == "routings") {
+      m.routings.clear();
+      for (const auto& item : split_list(value)) {
+        const auto p = scenario::routing_from_string(item);
+        if (!p) fail(line_no, "unknown routing '" + item + "'");
+        m.routings.push_back(*p);
+      }
+      if (m.routings.empty()) fail(line_no, "routings: empty list");
+    } else if (key == "rates_pps") {
+      m.rates_pps.clear();
+      for (const auto& item : split_list(value)) {
+        const double r = need_double(line_no, key, item);
+        if (r <= 0.0) fail(line_no, "rates_pps: must be > 0");
+        m.rates_pps.push_back(r);
+      }
+      if (m.rates_pps.empty()) fail(line_no, "rates_pps: empty list");
+    } else if (key == "pauses_s") {
+      m.pauses.clear();
+      for (const auto& item : split_list(value)) {
+        if (item == "static") {
+          m.pauses.push_back(PauseSpec::static_scenario());
+        } else {
+          const double p = need_double(line_no, key, item);
+          if (p < 0.0) fail(line_no, "pauses_s: must be >= 0");
+          m.pauses.push_back(PauseSpec::fixed(p));
+        }
+      }
+      if (m.pauses.empty()) fail(line_no, "pauses_s: empty list");
+    } else if (key == "nodes") {
+      m.node_counts.clear();
+      for (const auto& item : split_list(value)) {
+        const auto n = need_u64(line_no, key, item);
+        if (n < 2) fail(line_no, "nodes: need at least 2 nodes");
+        m.node_counts.push_back(static_cast<std::size_t>(n));
+      }
+      if (m.node_counts.empty()) fail(line_no, "nodes: empty list");
+    } else if (key == "seeds") {
+      m.seeds = static_cast<std::size_t>(need_u64(line_no, key, value));
+      if (m.seeds == 0) fail(line_no, "seeds: must be >= 1");
+    } else if (key == "seed_base") {
+      m.seed_base = need_u64(line_no, key, value);
+    } else if (key == "duration_s") {
+      m.duration_s = need_double(line_no, key, value);
+      if (m.duration_s <= 0.0) fail(line_no, "duration_s: must be > 0");
+    } else if (key == "flows") {
+      m.flows = static_cast<std::size_t>(need_u64(line_no, key, value));
+    } else if (key == "payload_bytes") {
+      m.payload_bytes = need_double(line_no, key, value);
+      if (m.payload_bytes <= 0.0) fail(line_no, "payload_bytes: must be > 0");
+    } else if (key == "speed_mps") {
+      m.speed_mps = need_double(line_no, key, value);
+      if (m.speed_mps < 0.0) fail(line_no, "speed_mps: must be >= 0");
+    } else if (key == "battery_j") {
+      m.battery_j = need_double(line_no, key, value);
+      if (m.battery_j < 0.0) fail(line_no, "battery_j: must be >= 0");
+    } else if (key == "world_m") {
+      const auto x = value.find('x');
+      if (x == std::string::npos) fail(line_no, "world_m: expected 'WxH'");
+      m.world_w_m = need_double(line_no, key, trim(std::string_view(value).substr(0, x)));
+      m.world_h_m = need_double(line_no, key, trim(std::string_view(value).substr(x + 1)));
+      if (m.world_w_m <= 0.0 || m.world_h_m <= 0.0) {
+        fail(line_no, "world_m: dimensions must be > 0");
+      }
+    } else {
+      fail(line_no, "unknown key '" + key + "'");
+    }
+  }
+  return m;
+}
+
+Manifest parse_manifest_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw ManifestError("cannot open manifest: " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_manifest(buf.str());
+}
+
+std::string config_digest(const scenario::ScenarioConfig& cfg) {
+  Digest d;
+  d.mix(scenario::scheme_name(cfg.scheme));
+  d.mix(scenario::to_string(cfg.routing));
+  d.mix(static_cast<std::uint64_t>(cfg.num_nodes));
+  d.mix(static_cast<std::uint64_t>(cfg.num_flows));
+  d.mix(cfg.rate_pps);
+  d.mix(static_cast<std::int64_t>(cfg.pause));
+  d.mix(static_cast<std::int64_t>(cfg.duration));
+  d.mix(cfg.seed);
+  d.mix(static_cast<std::int64_t>(cfg.payload_bits));
+  d.mix(cfg.max_speed_mps);
+  d.mix(cfg.battery_joules);
+  d.mix(cfg.world.width);
+  d.mix(cfg.world.height);
+  d.mix(cfg.tx_range_m);
+  d.mix(cfg.cs_range_m);
+  d.mix(static_cast<std::int64_t>(cfg.bitrate_bps));
+  d.mix(static_cast<std::uint64_t>(cfg.rcast.estimator));
+  d.mix(static_cast<std::uint64_t>(cfg.rcast_oracle_neighbors));
+  d.mix(static_cast<std::int64_t>(cfg.sync_jitter));
+  return d.hex();
+}
+
+std::vector<Job> expand(const Manifest& m, const scenario::ScenarioConfig& base) {
+  if (m.schemes.empty() || m.routings.empty() || m.rates_pps.empty() ||
+      m.pauses.empty() || m.node_counts.empty() || m.seeds == 0) {
+    throw ManifestError("manifest '" + m.name + "': every grid axis must be non-empty");
+  }
+  std::vector<Job> jobs;
+  jobs.reserve(m.job_count());
+  for (const auto scheme : m.schemes) {
+    for (const auto routing : m.routings) {
+      for (const double rate : m.rates_pps) {
+        for (const auto& pause : m.pauses) {
+          for (const std::size_t nodes : m.node_counts) {
+            for (std::size_t k = 0; k < m.seeds; ++k) {
+              Job job;
+              job.index = jobs.size();
+              job.cfg = base;
+              job.cfg.scheme = scheme;
+              job.cfg.routing = routing;
+              job.cfg.rate_pps = rate;
+              job.cfg.num_nodes = nodes;
+              job.cfg.num_flows = m.flows > 0 ? m.flows : nodes / 5;
+              job.cfg.duration = sim::from_seconds(m.duration_s);
+              job.cfg.pause = pause.is_static
+                                  ? job.cfg.duration
+                                  : sim::from_seconds(pause.seconds);
+              job.cfg.seed = m.seed_base + k;
+              job.cfg.payload_bits =
+                  static_cast<std::int64_t>(m.payload_bytes) * 8;
+              job.cfg.max_speed_mps = m.speed_mps;
+              job.cfg.battery_joules = m.battery_j;
+              job.cfg.world = {m.world_w_m, m.world_h_m};
+              job.digest = config_digest(job.cfg);
+
+              std::ostringstream id;
+              id << scenario::scheme_name(scheme) << '/'
+                 << scenario::to_string(routing) << "/r" << num_id(rate)
+                 << "/p"
+                 << (pause.is_static ? std::string("static")
+                                     : num_id(pause.seconds))
+                 << "/n" << nodes << "/s" << job.cfg.seed;
+              job.id = id.str();
+              jobs.push_back(std::move(job));
+            }
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+std::string campaign_digest(const std::string& name,
+                            const std::vector<Job>& jobs) {
+  Digest d;
+  d.mix(name);
+  d.mix(static_cast<std::uint64_t>(jobs.size()));
+  for (const auto& job : jobs) d.mix(job.digest);
+  return d.hex();
+}
+
+}  // namespace rcast::campaign

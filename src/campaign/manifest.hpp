@@ -1,0 +1,103 @@
+// Campaign manifests: a declarative parameter grid (scheme × routing ×
+// rate × pause × node count × seed) that expands deterministically into a
+// job list. The text form is a flat key = value file (TOML-like scalars,
+// comma-separated lists, '#' comments) so a whole paper-scale evaluation is
+// one reviewable artifact instead of a loop buried in a bench binary.
+//
+// Expansion order is part of the format contract: scheme-major, seed-minor
+// (scheme → routing → rate → pause → nodes → seed). Job indices, ids, and
+// config digests are stable across processes, which is what lets the
+// journal resume an interrupted campaign and the result store prove
+// byte-identical aggregates.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "scenario/scheme.hpp"
+
+namespace rcast::campaign {
+
+/// Thrown on malformed manifest text; message carries the line number.
+class ManifestError : public std::runtime_error {
+ public:
+  explicit ManifestError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One pause-time grid point. `is_static` models the paper's "static
+/// scenario" column: the pause is pinned to the scenario duration at
+/// expansion time, whatever that duration is.
+struct PauseSpec {
+  double seconds = 0.0;
+  bool is_static = false;
+
+  static PauseSpec fixed(double s) { return {s, false}; }
+  static PauseSpec static_scenario() { return {0.0, true}; }
+};
+
+struct Manifest {
+  std::string name = "campaign";
+
+  // Grid axes (each axis must be non-empty).
+  std::vector<scenario::Scheme> schemes{scenario::Scheme::kRcast};
+  std::vector<scenario::RoutingProtocol> routings{
+      scenario::RoutingProtocol::kDsr};
+  std::vector<double> rates_pps{1.0};
+  std::vector<PauseSpec> pauses{PauseSpec::fixed(600.0)};
+  std::vector<std::size_t> node_counts{100};
+  std::size_t seeds = 1;
+
+  // Scalars applied to every job.
+  std::uint64_t seed_base = 1;
+  double duration_s = 150.0;
+  std::size_t flows = 0;  // 0 = node count / 5 (the paper's ratio)
+  double payload_bytes = 64.0;
+  double speed_mps = 20.0;
+  double battery_j = 0.0;
+  double world_w_m = 1500.0;
+  double world_h_m = 300.0;
+
+  std::size_t job_count() const {
+    return schemes.size() * routings.size() * rates_pps.size() *
+           pauses.size() * node_counts.size() * seeds;
+  }
+};
+
+/// Parses the key = value text form. Recognized keys:
+///   name, schemes, routings, rates_pps, pauses_s (numbers or "static"),
+///   nodes, seeds, seed_base, duration_s, flows, payload_bytes, speed_mps,
+///   battery_j, world_m ("WxH").
+/// Unknown or duplicate keys and malformed values raise ManifestError with
+/// the offending line number.
+Manifest parse_manifest(std::string_view text);
+
+/// Reads and parses a manifest file; ManifestError on I/O failure too.
+Manifest parse_manifest_file(const std::string& path);
+
+/// One expanded grid point.
+struct Job {
+  std::size_t index = 0;     // position in expansion order
+  std::string id;            // e.g. "RCAST/DSR/r1/p600/n100/s3"
+  std::string digest;        // 16-hex-digit config digest
+  scenario::ScenarioConfig cfg;
+};
+
+/// Expands the grid over `base` (subsystem knobs not covered by the
+/// manifest — MAC timing, Rcast estimator, ... — come from `base`).
+std::vector<Job> expand(const Manifest& m,
+                        const scenario::ScenarioConfig& base = {});
+
+/// FNV-1a digest of every config field a campaign varies; two configs with
+/// the same digest produce the same RunResult (the simulator is
+/// deterministic given the config).
+std::string config_digest(const scenario::ScenarioConfig& cfg);
+
+/// Digest of the whole expanded job list (order-sensitive); the journal
+/// header pins this so a stale journal can never corrupt a resumed run.
+std::string campaign_digest(const std::string& name,
+                            const std::vector<Job>& jobs);
+
+}  // namespace rcast::campaign

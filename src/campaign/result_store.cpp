@@ -1,0 +1,336 @@
+#include "campaign/result_store.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "campaign/json.hpp"
+#include "scenario/experiment.hpp"
+
+namespace rcast::campaign {
+
+namespace {
+
+void fsync_file(std::FILE* f) {
+  std::fflush(f);
+#ifdef _WIN32
+  _commit(_fileno(f));
+#else
+  ::fsync(fileno(f));
+#endif
+}
+
+}  // namespace
+
+ResultStore ResultStore::open_append(const std::string& path) {
+  ResultStore s;
+  s.f_ = std::fopen(path.c_str(), "ab");
+  if (!s.f_) throw ResultStoreError("cannot open results file: " + path);
+  return s;
+}
+
+ResultStore::ResultStore(ResultStore&& other) noexcept : f_(other.f_) {
+  other.f_ = nullptr;
+}
+
+ResultStore::~ResultStore() { close(); }
+
+void ResultStore::close() {
+  if (f_) {
+    std::fclose(f_);
+    f_ = nullptr;
+  }
+}
+
+void ResultStore::append(const Job& job, const scenario::RunResult& r,
+                         double wall_ms) {
+  if (!f_) throw ResultStoreError("result store is closed");
+  const std::string line = record_to_json(job, r, wall_ms) + "\n";
+  if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()) {
+    throw ResultStoreError("results write failed");
+  }
+  fsync_file(f_);
+}
+
+std::string record_to_json(const Job& job, const scenario::RunResult& r,
+                           double wall_ms) {
+  json::Writer w;
+  w.begin_object();
+  w.key("job").value(static_cast<std::uint64_t>(job.index));
+  w.key("id").value(job.id);
+  w.key("cfg_digest").value(job.digest);
+  w.key("wall_ms").value(wall_ms);
+
+  const auto& cfg = job.cfg;
+  w.key("config").begin_object();
+  w.key("scheme").value(scenario::scheme_name(cfg.scheme));
+  w.key("routing").value(scenario::to_string(cfg.routing));
+  w.key("nodes").value(static_cast<std::uint64_t>(cfg.num_nodes));
+  w.key("flows").value(static_cast<std::uint64_t>(cfg.num_flows));
+  w.key("rate_pps").value(cfg.rate_pps);
+  w.key("pause_s").value(sim::to_seconds(cfg.pause));
+  w.key("duration_s").value(sim::to_seconds(cfg.duration));
+  w.key("seed").value(cfg.seed);
+  w.key("payload_bytes").value(static_cast<double>(cfg.payload_bits) / 8.0);
+  w.key("speed_mps").value(cfg.max_speed_mps);
+  w.key("battery_j").value(cfg.battery_joules);
+  w.key("world_w_m").value(cfg.world.width);
+  w.key("world_h_m").value(cfg.world.height);
+  w.end_object();
+
+  w.key("result").begin_object();
+  w.key("total_energy_j").value(r.total_energy_j);
+  w.key("energy_variance").value(r.energy_variance);
+  w.key("energy_mean_j").value(r.energy_mean_j);
+  w.key("energy_min_j").value(r.energy_min_j);
+  w.key("energy_max_j").value(r.energy_max_j);
+  w.key("originated").value(r.originated);
+  w.key("delivered").value(r.delivered);
+  w.key("pdr_percent").value(r.pdr_percent);
+  w.key("avg_delay_s").value(r.avg_delay_s);
+  w.key("delay_p50_s").value(r.delay_p50_s);
+  w.key("delay_p90_s").value(r.delay_p90_s);
+  w.key("avg_route_wait_s").value(r.avg_route_wait_s);
+  w.key("avg_transit_s").value(r.avg_transit_s);
+  w.key("energy_per_bit_j").value(r.energy_per_bit_j);
+  w.key("control_tx").value(r.control_tx);
+  w.key("normalized_overhead").value(r.normalized_overhead);
+  w.key("atim_tx").value(r.atim_tx);
+  w.key("data_tx_attempts").value(r.data_tx_attempts);
+  w.key("overhear_commits").value(r.overhear_commits);
+  w.key("overhear_declines").value(r.overhear_declines);
+  w.key("mac_sleeps").value(r.mac_sleeps);
+  w.key("rreq_tx").value(r.rreq_tx);
+  w.key("rrep_tx").value(r.rrep_tx);
+  w.key("rerr_tx").value(r.rerr_tx);
+  w.key("hello_tx").value(r.hello_tx);
+  w.key("data_tx_failed").value(r.data_tx_failed);
+  w.key("data_salvaged").value(r.data_salvaged);
+  w.key("dead_nodes").value(static_cast<std::uint64_t>(r.dead_nodes));
+  w.key("first_death_s").value(r.first_death_s);
+  w.key("events_executed").value(r.events_executed);
+
+  w.key("per_node_energy_j").begin_array();
+  for (const double e : r.per_node_energy_j) w.value(e);
+  w.end_array();
+  w.key("role_numbers").begin_array();
+  for (const auto n : r.role_numbers) w.value(n);
+  w.end_array();
+  w.key("drops").begin_array();
+  for (const auto d : r.drops) w.value(d);
+  w.end_array();
+
+  w.key("perf").begin_object();
+  w.key("events_executed").value(r.perf.events_executed);
+  w.key("events_scheduled").value(r.perf.events_scheduled);
+  w.key("handler_heap_fallbacks").value(r.perf.handler_heap_fallbacks);
+  w.key("pool_hits").value(r.perf.pool_hits);
+  w.key("pool_misses").value(r.perf.pool_misses);
+  w.key("bytes_allocated").value(r.perf.bytes_allocated);
+  w.key("wall_seconds").value(r.perf.wall_seconds);
+  w.key("events_per_sec").value(r.perf.events_per_sec);
+  w.end_object();
+  w.end_object();  // result
+
+  w.end_object();
+  return w.take();
+}
+
+namespace {
+
+JobRecord record_from_json(const json::Value& v) {
+  JobRecord rec;
+  rec.job = static_cast<std::size_t>(v.at("job").as_u64());
+  rec.id = v.at("id").as_string();
+  rec.digest = v.at("cfg_digest").as_string();
+  rec.wall_ms = v.at("wall_ms").as_double();
+
+  const json::Value& cfg = v.at("config");
+  const auto scheme = scenario::scheme_from_string(cfg.at("scheme").as_string());
+  if (!scheme) {
+    throw ResultStoreError("record has unknown scheme '" +
+                           cfg.at("scheme").as_string() + "'");
+  }
+  rec.scheme = *scheme;
+  const auto routing =
+      scenario::routing_from_string(cfg.at("routing").as_string());
+  if (!routing) {
+    throw ResultStoreError("record has unknown routing '" +
+                           cfg.at("routing").as_string() + "'");
+  }
+  rec.routing = *routing;
+  rec.nodes = static_cast<std::size_t>(cfg.at("nodes").as_u64());
+  rec.flows = static_cast<std::size_t>(cfg.at("flows").as_u64());
+  rec.rate_pps = cfg.at("rate_pps").as_double();
+  rec.pause_s = cfg.at("pause_s").as_double();
+  rec.duration_s = cfg.at("duration_s").as_double();
+  rec.seed = cfg.at("seed").as_u64();
+
+  const json::Value& res = v.at("result");
+  scenario::RunResult& r = rec.result;
+  r.scheme = rec.scheme;
+  r.duration_s = rec.duration_s;
+  r.total_energy_j = res.at("total_energy_j").as_double();
+  r.energy_variance = res.at("energy_variance").as_double();
+  r.energy_mean_j = res.at("energy_mean_j").as_double();
+  r.energy_min_j = res.at("energy_min_j").as_double();
+  r.energy_max_j = res.at("energy_max_j").as_double();
+  r.originated = res.at("originated").as_u64();
+  r.delivered = res.at("delivered").as_u64();
+  r.pdr_percent = res.at("pdr_percent").as_double();
+  r.avg_delay_s = res.at("avg_delay_s").as_double();
+  r.delay_p50_s = res.at("delay_p50_s").as_double();
+  r.delay_p90_s = res.at("delay_p90_s").as_double();
+  r.avg_route_wait_s = res.at("avg_route_wait_s").as_double();
+  r.avg_transit_s = res.at("avg_transit_s").as_double();
+  r.energy_per_bit_j = res.at("energy_per_bit_j").as_double();
+  r.control_tx = res.at("control_tx").as_u64();
+  r.normalized_overhead = res.at("normalized_overhead").as_double();
+  r.atim_tx = res.at("atim_tx").as_u64();
+  r.data_tx_attempts = res.at("data_tx_attempts").as_u64();
+  r.overhear_commits = res.at("overhear_commits").as_u64();
+  r.overhear_declines = res.at("overhear_declines").as_u64();
+  r.mac_sleeps = res.at("mac_sleeps").as_u64();
+  r.rreq_tx = res.at("rreq_tx").as_u64();
+  r.rrep_tx = res.at("rrep_tx").as_u64();
+  r.rerr_tx = res.at("rerr_tx").as_u64();
+  r.hello_tx = res.at("hello_tx").as_u64();
+  r.data_tx_failed = res.at("data_tx_failed").as_u64();
+  r.data_salvaged = res.at("data_salvaged").as_u64();
+  r.dead_nodes = static_cast<std::size_t>(res.at("dead_nodes").as_u64());
+  r.first_death_s = res.at("first_death_s").as_double();
+  r.events_executed = res.at("events_executed").as_u64();
+
+  for (const auto& e : res.at("per_node_energy_j").as_array()) {
+    r.per_node_energy_j.push_back(e.as_double());
+  }
+  for (const auto& n : res.at("role_numbers").as_array()) {
+    r.role_numbers.push_back(n.as_u64());
+  }
+  const auto& drops = res.at("drops").as_array();
+  for (std::size_t i = 0; i < drops.size() && i < r.drops.size(); ++i) {
+    r.drops[i] = drops[i].as_u64();
+  }
+
+  const json::Value& perf = res.at("perf");
+  r.perf.events_executed = perf.at("events_executed").as_u64();
+  r.perf.events_scheduled = perf.at("events_scheduled").as_u64();
+  r.perf.handler_heap_fallbacks = perf.at("handler_heap_fallbacks").as_u64();
+  r.perf.pool_hits = perf.at("pool_hits").as_u64();
+  r.perf.pool_misses = perf.at("pool_misses").as_u64();
+  r.perf.bytes_allocated = perf.at("bytes_allocated").as_u64();
+  r.perf.wall_seconds = perf.at("wall_seconds").as_double();
+  r.perf.events_per_sec = perf.at("events_per_sec").as_double();
+
+  return rec;
+}
+
+}  // namespace
+
+std::vector<JobRecord> load_results(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw ResultStoreError("cannot open results file: " + path);
+  std::string content;
+  {
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    content = buf.str();
+  }
+
+  std::map<std::size_t, JobRecord> by_job;  // last record wins
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const auto nl = content.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn trailing line
+    const std::string line = content.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    JobRecord rec = record_from_json(json::parse(line));
+    by_job[rec.job] = std::move(rec);
+  }
+
+  std::vector<JobRecord> out;
+  out.reserve(by_job.size());
+  for (auto& [_, rec] : by_job) out.push_back(std::move(rec));
+  return out;
+}
+
+std::vector<AggregateRow> aggregate(const std::vector<JobRecord>& records) {
+  // Group key: everything but the seed. Walk in input (job-index) order so
+  // the output row order matches expansion order deterministically.
+  struct Cell {
+    AggregateRow row;
+    std::vector<scenario::RunResult> runs;
+  };
+  std::vector<Cell> cells;
+  auto matches = [](const AggregateRow& a, const JobRecord& r) {
+    return a.scheme == r.scheme && a.routing == r.routing &&
+           a.nodes == r.nodes && a.flows == r.flows &&
+           a.rate_pps == r.rate_pps && a.pause_s == r.pause_s &&
+           a.duration_s == r.duration_s;
+  };
+  for (const auto& rec : records) {
+    Cell* cell = nullptr;
+    for (auto& c : cells) {
+      if (matches(c.row, rec)) {
+        cell = &c;
+        break;
+      }
+    }
+    if (!cell) {
+      cells.emplace_back();
+      cell = &cells.back();
+      cell->row.scheme = rec.scheme;
+      cell->row.routing = rec.routing;
+      cell->row.nodes = rec.nodes;
+      cell->row.flows = rec.flows;
+      cell->row.rate_pps = rec.rate_pps;
+      cell->row.pause_s = rec.pause_s;
+      cell->row.duration_s = rec.duration_s;
+    }
+    cell->runs.push_back(rec.result);
+  }
+
+  std::vector<AggregateRow> rows;
+  rows.reserve(cells.size());
+  for (auto& c : cells) {
+    c.row.seeds = c.runs.size();
+    c.row.mean = scenario::average(c.runs);
+    rows.push_back(std::move(c.row));
+  }
+  return rows;
+}
+
+std::string aggregate_csv(const std::vector<AggregateRow>& rows) {
+  std::string out =
+      "scheme,routing,nodes,flows,rate_pps,pause_s,duration_s,seeds,"
+      "pdr_pct,energy_j,energy_var,energy_mean_j,epb_j_per_bit,delay_s,"
+      "norm_overhead,ctrl_tx,hello_tx,dead_nodes,first_death_s\n";
+  char buf[512];
+  for (const auto& row : rows) {
+    const auto& m = row.mean;
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s,%s,%zu,%zu,%.3f,%.1f,%.1f,%zu,%.2f,%.1f,%.1f,%.1f,%.6g,%.4f,"
+        "%.3f,%llu,%llu,%zu,%.1f\n",
+        std::string(scenario::scheme_name(row.scheme)).c_str(),
+        std::string(scenario::to_string(row.routing)).c_str(), row.nodes,
+        row.flows, row.rate_pps, row.pause_s, row.duration_s, row.seeds,
+        m.pdr_percent, m.total_energy_j, m.energy_variance, m.energy_mean_j,
+        m.energy_per_bit_j, m.avg_delay_s, m.normalized_overhead,
+        static_cast<unsigned long long>(m.control_tx),
+        static_cast<unsigned long long>(m.hello_tx), m.dead_nodes,
+        m.first_death_s);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace rcast::campaign

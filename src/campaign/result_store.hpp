@@ -1,0 +1,102 @@
+// Structured result store for campaigns: one JSONL record per finished job
+// (config + full RunResult + perf counters), plus aggregation into the
+// paper-style per-cell CSV the bench binaries and `rcast_campaign export`
+// print.
+//
+// Determinism contract: records are written with fixed field order and
+// round-trip float precision, the loader dedupes by job index keeping the
+// *last* record (a torn pre-journal write is superseded by the re-run,
+// which produces identical bytes), and aggregation walks cells in job-index
+// order — so an interrupted-then-resumed campaign exports a CSV that is
+// byte-identical to an uninterrupted one.
+#pragma once
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "scenario/scenario.hpp"
+
+namespace rcast::campaign {
+
+class ResultStoreError : public std::runtime_error {
+ public:
+  explicit ResultStoreError(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+class ResultStore {
+ public:
+  /// Opens `path` for appending (creates it if absent).
+  static ResultStore open_append(const std::string& path);
+
+  ResultStore(ResultStore&& other) noexcept;
+  ResultStore& operator=(ResultStore&&) = delete;
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+  ~ResultStore();
+
+  /// Appends one record and fsyncs. Call *before* the journal commit so a
+  /// journaled job always has its record on disk.
+  void append(const Job& job, const scenario::RunResult& r, double wall_ms);
+
+  void close();
+
+ private:
+  ResultStore() = default;
+
+  std::FILE* f_ = nullptr;
+};
+
+/// Serializes one job record to a single JSONL line (no trailing newline).
+std::string record_to_json(const Job& job, const scenario::RunResult& r,
+                           double wall_ms);
+
+/// One record read back from the store.
+struct JobRecord {
+  std::size_t job = 0;
+  std::string id;
+  std::string digest;
+  double wall_ms = 0.0;
+  // The grid coordinates (enough to group/aggregate without the manifest).
+  scenario::Scheme scheme = scenario::Scheme::kRcast;
+  scenario::RoutingProtocol routing = scenario::RoutingProtocol::kDsr;
+  std::size_t nodes = 0;
+  std::size_t flows = 0;
+  double rate_pps = 0.0;
+  double pause_s = 0.0;
+  double duration_s = 0.0;
+  std::uint64_t seed = 0;
+  scenario::RunResult result;
+};
+
+/// Loads a JSONL results file: skips blank/torn lines, dedupes by job index
+/// (last record wins), returns records sorted by job index.
+std::vector<JobRecord> load_results(const std::string& path);
+
+/// One aggregated cell: every seed of one (scheme, routing, nodes, flows,
+/// rate, pause, duration) grid point, averaged via scenario::average.
+struct AggregateRow {
+  scenario::Scheme scheme = scenario::Scheme::kRcast;
+  scenario::RoutingProtocol routing = scenario::RoutingProtocol::kDsr;
+  std::size_t nodes = 0;
+  std::size_t flows = 0;
+  double rate_pps = 0.0;
+  double pause_s = 0.0;
+  double duration_s = 0.0;
+  std::size_t seeds = 0;  // records that contributed (failed jobs missing)
+  scenario::RunResult mean;
+};
+
+/// Groups records by grid cell (seed excluded) in first-appearance order
+/// and averages each group. Input must be job-index-sorted (load_results
+/// output qualifies).
+std::vector<AggregateRow> aggregate(const std::vector<JobRecord>& records);
+
+/// Renders the aggregate table as CSV (header + one row per cell) with
+/// fixed formatting; identical inputs produce identical bytes.
+std::string aggregate_csv(const std::vector<AggregateRow>& rows);
+
+}  // namespace rcast::campaign

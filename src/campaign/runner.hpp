@@ -1,0 +1,84 @@
+// Campaign runner: executes an expanded job list on a work-stealing worker
+// pool (one independent Simulator per job, same isolation model as
+// scenario::run_repetitions), with per-job wall-clock timeouts, failure
+// capture (a throwing job is recorded as failed, never fatal to the
+// campaign), crash-safe journaling, JSONL result persistence, and live
+// progress/ETA reporting fed by each run's PerfCounters.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hpp"
+#include "scenario/experiment.hpp"  // scenario::average
+#include "scenario/scenario.hpp"
+
+namespace rcast::campaign {
+
+struct RunnerOptions {
+  /// Worker threads; 0 = hardware concurrency (capped at the job count).
+  std::size_t threads = 0;
+  /// Per-job wall-clock budget in seconds; 0 = unlimited. A job that blows
+  /// the budget is recorded as failed with a timeout error.
+  double job_timeout_s = 0.0;
+  /// Journal path; empty disables checkpointing (pure in-memory campaign,
+  /// what the bench binaries use).
+  std::string journal_path;
+  /// JSONL results path; empty disables persistence.
+  std::string results_path;
+  /// Stop claiming new jobs once this many have been *newly* run this
+  /// process (journal-skipped jobs don't count); 0 = no limit. Used by
+  /// tests and CI to interrupt a campaign at a deterministic point.
+  std::size_t max_jobs = 0;
+  /// Progress/ETA lines on stderr after each job completes.
+  bool progress = false;
+};
+
+enum class JobStatus {
+  kOk,         // ran this process, result available
+  kFailed,     // ran this process, threw or timed out
+  kSkipped,    // already committed in the journal — not re-run
+  kNotRun,     // never claimed (max_jobs cutoff hit first)
+};
+
+struct JobOutcome {
+  JobStatus status = JobStatus::kNotRun;
+  double wall_ms = 0.0;
+  std::string error;            // only for kFailed (or a journaled failure)
+  scenario::RunResult result;   // only valid when status == kOk
+};
+
+struct CampaignResult {
+  std::vector<Job> jobs;
+  std::vector<JobOutcome> outcomes;  // parallel to jobs
+
+  std::size_t completed = 0;  // newly run OK this process
+  std::size_t failed = 0;     // newly run, threw/timed out
+  std::size_t skipped = 0;    // satisfied from the journal
+  std::size_t remaining = 0;  // not run (max_jobs cutoff)
+
+  bool all_done() const { return remaining == 0 && failed == 0; }
+
+  /// Mean over every in-memory OK result whose config satisfies `pred`
+  /// (seed-ascending order, matching scenario::average over
+  /// run_repetitions). Throws if no job matches.
+  template <typename Pred>
+  scenario::RunResult average_cell(Pred&& pred) const {
+    std::vector<scenario::RunResult> runs;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      if (outcomes[i].status == JobStatus::kOk && pred(jobs[i].cfg)) {
+        runs.push_back(outcomes[i].result);
+      }
+    }
+    return scenario::average(runs);
+  }
+};
+
+/// Expands `manifest` over `base` and runs it per `opt`. With a journal
+/// configured, committed jobs are skipped and new completions are appended
+/// — calling this again after an interruption *is* the resume path.
+CampaignResult run_campaign(const Manifest& manifest, const RunnerOptions& opt,
+                            const scenario::ScenarioConfig& base = {});
+
+}  // namespace rcast::campaign

@@ -113,9 +113,25 @@ BenchScale BenchScale::from_env() {
     s.repetitions = 3;
   }
   const std::string d = Flags::env_or("RCAST_DURATION_S", "");
-  if (!d.empty()) s.duration = sim::from_seconds(std::stod(d));
+  if (!d.empty()) {
+    const auto parsed = Flags::parse_double(d);
+    if (!parsed || *parsed <= 0.0) {
+      throw std::runtime_error(
+          "RCAST_DURATION_S: expected a positive number of seconds, got '" +
+          d + "'");
+    }
+    s.duration = sim::from_seconds(*parsed);
+  }
   const std::string r = Flags::env_or("RCAST_REPS", "");
-  if (!r.empty()) s.repetitions = static_cast<std::size_t>(std::stoul(r));
+  if (!r.empty()) {
+    const auto parsed = Flags::parse_u64(r);
+    if (!parsed || *parsed == 0) {
+      throw std::runtime_error(
+          "RCAST_REPS: expected a positive integer repetition count, got '" +
+          r + "'");
+    }
+    s.repetitions = static_cast<std::size_t>(*parsed);
+  }
   return s;
 }
 

@@ -165,6 +165,13 @@ RunResult Network::run() {
   util::AllocTracker::reset();
   util::AllocTracker::enable();
   const auto wall_start = std::chrono::steady_clock::now();
+  if (cfg_.max_wall_seconds > 0.0) {
+    sim_.set_wall_deadline(wall_start +
+                           std::chrono::duration_cast<
+                               std::chrono::steady_clock::duration>(
+                               std::chrono::duration<double>(
+                                   cfg_.max_wall_seconds)));
+  }
   sim_.run_until(cfg_.duration);
   const auto wall_end = std::chrono::steady_clock::now();
   util::AllocTracker::disable();

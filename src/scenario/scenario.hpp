@@ -70,6 +70,11 @@ struct ScenarioConfig {
   /// 0 models the paper's perfect-synchronization assumption;
   /// bench_ablation_sync sweeps it.
   sim::Time sync_jitter = 0;
+
+  /// Wall-clock budget for one run; 0 = unlimited. When exceeded the run
+  /// throws sim::WallDeadlineExceeded — campaign jobs record this as a
+  /// per-job timeout instead of stalling the whole sweep.
+  double max_wall_seconds = 0.0;
 };
 
 /// Flat result record; everything the benches print.

@@ -1,7 +1,11 @@
 // The communication schemes compared in the paper (plus the two PSM
-// overhearing extremes used as ablation baselines).
+// overhearing extremes used as ablation baselines), and the canonical
+// name <-> enum mapping shared by the CLI, the bench binaries, and
+// campaign manifests.
 #pragma once
 
+#include <array>
+#include <optional>
 #include <string_view>
 
 namespace rcast::scenario {
@@ -46,6 +50,53 @@ constexpr std::string_view to_string(RoutingProtocol p) {
       return "AODV";
   }
   return "?";
+}
+
+/// Every scheme, in the comparison order the paper's figures use.
+inline constexpr std::array<Scheme, 6> kAllSchemes = {
+    Scheme::k80211,  Scheme::kPsmNone, Scheme::kPsmAll,
+    Scheme::kOdpm,   Scheme::kRcast,   Scheme::kRcastBcast,
+};
+
+/// Canonical display name (same string to_string returns).
+constexpr std::string_view scheme_name(Scheme s) { return to_string(s); }
+
+namespace detail {
+
+constexpr bool iequals(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const char ca = (a[i] >= 'A' && a[i] <= 'Z') ? a[i] + ('a' - 'A') : a[i];
+    const char cb = (b[i] >= 'A' && b[i] <= 'Z') ? b[i] + ('a' - 'A') : b[i];
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+}  // namespace detail
+
+/// Parses a scheme name, case-insensitively. Accepts the canonical names
+/// ("80211", "PSM-NONE", ..., "RCAST-BC") plus the historical CLI aliases
+/// ("802.11", "rcast-bcast").
+constexpr std::optional<Scheme> scheme_from_string(std::string_view s) {
+  for (Scheme scheme : kAllSchemes) {
+    if (detail::iequals(s, to_string(scheme))) return scheme;
+  }
+  if (detail::iequals(s, "802.11")) return Scheme::k80211;
+  if (detail::iequals(s, "rcast-bcast")) return Scheme::kRcastBcast;
+  return std::nullopt;
+}
+
+/// Parses a routing protocol name, case-insensitively ("dsr" | "aodv").
+constexpr std::optional<RoutingProtocol> routing_from_string(
+    std::string_view s) {
+  if (detail::iequals(s, to_string(RoutingProtocol::kDsr))) {
+    return RoutingProtocol::kDsr;
+  }
+  if (detail::iequals(s, to_string(RoutingProtocol::kAodv))) {
+    return RoutingProtocol::kAodv;
+  }
+  return std::nullopt;
 }
 
 }  // namespace rcast::scenario

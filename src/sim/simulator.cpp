@@ -1,22 +1,42 @@
 #include "sim/simulator.hpp"
 
+#include <sstream>
+
 namespace rcast::sim {
 
+void Simulator::check_wall_deadline() const {
+  if (std::chrono::steady_clock::now() < wall_deadline_) return;
+  std::ostringstream os;
+  os << "wall-clock deadline exceeded after " << executed_
+     << " events (sim time " << to_seconds(now_) << " s)";
+  throw WallDeadlineExceeded(os.str());
+}
+
 void Simulator::run_until(Time end) {
+  // Check once up front so even a run too short to reach the periodic
+  // check interval honors an already-expired deadline.
+  if (deadline_armed_) check_wall_deadline();
   while (!queue_.empty() && queue_.next_time() <= end) {
     auto [t, h] = queue_.pop();
     now_ = t;
     ++executed_;
+    if (deadline_armed_ && (executed_ % kDeadlineCheckInterval) == 0) {
+      check_wall_deadline();
+    }
     h();
   }
   if (now_ < end) now_ = end;
 }
 
 void Simulator::run_all() {
+  if (deadline_armed_) check_wall_deadline();
   while (!queue_.empty()) {
     auto [t, h] = queue_.pop();
     now_ = t;
     ++executed_;
+    if (deadline_armed_ && (executed_ % kDeadlineCheckInterval) == 0) {
+      check_wall_deadline();
+    }
     h();
   }
 }
@@ -26,6 +46,7 @@ bool Simulator::step() {
   auto [t, h] = queue_.pop();
   now_ = t;
   ++executed_;
+  if (deadline_armed_) check_wall_deadline();
   h();
   return true;
 }

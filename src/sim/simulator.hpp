@@ -6,8 +6,10 @@
 // Simulator each.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <stdexcept>
 
 #include "sim/event_queue.hpp"
 #include "sim/perf_counters.hpp"
@@ -15,6 +17,15 @@
 #include "util/pool.hpp"
 
 namespace rcast::sim {
+
+/// Thrown by the run loop when a wall-clock deadline (see
+/// Simulator::set_wall_deadline) expires mid-run. Campaign jobs catch this
+/// and record the job as timed out instead of hanging a whole sweep.
+class WallDeadlineExceeded : public std::runtime_error {
+ public:
+  explicit WallDeadlineExceeded(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 class Simulator {
  public:
@@ -53,6 +64,19 @@ class Simulator {
   std::uint64_t executed_events() const { return executed_; }
   std::size_t pending_events() const { return queue_.size(); }
 
+  /// Arms a wall-clock budget for the run loop: once `steady_clock::now()`
+  /// passes `deadline`, run_until/run_all/step throw WallDeadlineExceeded
+  /// *between* events (never mid-handler, so module state stays consistent).
+  /// The check is amortized — one clock read every kDeadlineCheckInterval
+  /// events — so an unarmed or healthy run pays only a predictable branch.
+  void set_wall_deadline(std::chrono::steady_clock::time_point deadline) {
+    wall_deadline_ = deadline;
+    deadline_armed_ = true;
+  }
+  void clear_wall_deadline() { deadline_armed_ = false; }
+
+  static constexpr std::uint64_t kDeadlineCheckInterval = 8192;
+
   /// Per-run object pools (frames, packets). Everything drawn from them must
   /// be released before the Simulator dies; protocol modules hold Simulator&
   /// and are torn down first, so this falls out of the ownership order.
@@ -72,12 +96,16 @@ class Simulator {
   }
 
  private:
+  void check_wall_deadline() const;
+
   // pools_ is declared before queue_ so pending handlers (which may hold the
   // last reference to pooled frames) are destroyed before the pools are.
   util::PoolArena pools_;
   EventQueue queue_;
   Time now_ = 0;
   std::uint64_t executed_ = 0;
+  std::chrono::steady_clock::time_point wall_deadline_{};
+  bool deadline_armed_ = false;
 };
 
 /// Repeating timer bound to a Simulator. Owns its pending event; destroying

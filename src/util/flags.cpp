@@ -1,5 +1,7 @@
 #include "util/flags.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/assert.hpp"
@@ -64,6 +66,38 @@ std::vector<std::string> Flags::unknown() const {
     if (!queried_.count(k)) out.push_back(k);
   }
   return out;
+}
+
+namespace {
+
+std::string trimmed(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::optional<double> Flags::parse_double(const std::string& s) {
+  const std::string t = trimmed(s);
+  if (t.empty()) return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(t.c_str(), &end);
+  if (end != t.c_str() + t.size() || errno == ERANGE) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+std::optional<std::uint64_t> Flags::parse_u64(const std::string& s) {
+  const std::string t = trimmed(s);
+  if (t.empty() || t[0] == '-' || t[0] == '+') return std::nullopt;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+  if (end != t.c_str() + t.size() || errno == ERANGE) return std::nullopt;
+  return static_cast<std::uint64_t>(v);
 }
 
 std::string Flags::env_or(const std::string& name,

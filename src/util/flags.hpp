@@ -37,6 +37,14 @@ class Flags {
                             const std::string& fallback);
   static bool env_flag(const std::string& name);
 
+  /// Strict numeric parsing: the entire (whitespace-trimmed) string must be
+  /// a finite number, otherwise nullopt. Unlike std::stod/std::stoul these
+  /// never accept trailing garbage ("1.5x"), negative values sign-wrapped
+  /// into unsigned ("-3"), or empty input. Shared by env-var validation and
+  /// the campaign manifest parser.
+  static std::optional<double> parse_double(const std::string& s);
+  static std::optional<std::uint64_t> parse_u64(const std::string& s);
+
  private:
   std::optional<std::string> raw(const std::string& name) const;
 

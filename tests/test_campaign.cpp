@@ -1,0 +1,336 @@
+// Campaign engine: manifest parsing/expansion, JSON round-trips, journal
+// crash tolerance, runner failure capture, and the headline guarantee —
+// an interrupted + resumed campaign produces a byte-identical aggregate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+
+#include "campaign/journal.hpp"
+#include "campaign/json.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/result_store.hpp"
+#include "campaign/runner.hpp"
+
+namespace rcast::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kManifestText = R"(
+# tiny two-scheme campaign for tests
+name = smoke
+schemes = odpm, rcast     # paper's main contrast
+routings = dsr
+rates_pps = 1.0
+pauses_s = static
+nodes = 12
+flows = 3
+duration_s = 8
+seeds = 2
+seed_base = 1
+payload_bytes = 64
+world_m = 600x300
+)";
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("rcast_campaign_test_" +
+             std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+TEST(Json, RoundTrip) {
+  json::Writer w;
+  w.begin_object();
+  w.key("pi").value(3.141592653589793);
+  w.key("count").value(std::uint64_t{42});
+  w.key("name").value("a \"quoted\"\nline");
+  w.key("flag").value(true);
+  w.key("missing").null();
+  w.key("list").begin_array().value(1.5).value(std::uint64_t{2}).end_array();
+  w.key("nan").value(std::numeric_limits<double>::quiet_NaN());
+  w.end_object();
+
+  const json::Value v = json::parse(w.str());
+  EXPECT_DOUBLE_EQ(v.at("pi").as_double(), 3.141592653589793);
+  EXPECT_EQ(v.at("count").as_u64(), 42u);
+  EXPECT_EQ(v.at("name").as_string(), "a \"quoted\"\nline");
+  EXPECT_TRUE(v.at("flag").as_bool());
+  EXPECT_TRUE(v.at("missing").is_null());
+  EXPECT_EQ(v.at("list").as_array().size(), 2u);
+  EXPECT_TRUE(std::isnan(v.at("nan").as_double()));  // null -> NaN
+}
+
+TEST(Json, RejectsGarbage) {
+  EXPECT_THROW(json::parse("{"), json::ParseError);
+  EXPECT_THROW(json::parse("{\"a\":1,}"), json::ParseError);
+  EXPECT_THROW(json::parse("[1 2]"), json::ParseError);
+  EXPECT_THROW(json::parse("12x"), json::ParseError);
+  EXPECT_THROW(json::parse("{\"a\":1} trailing"), json::ParseError);
+}
+
+TEST(Manifest, ParsesFullText) {
+  const Manifest m = parse_manifest(kManifestText);
+  EXPECT_EQ(m.name, "smoke");
+  ASSERT_EQ(m.schemes.size(), 2u);
+  EXPECT_EQ(m.schemes[0], scenario::Scheme::kOdpm);
+  EXPECT_EQ(m.schemes[1], scenario::Scheme::kRcast);
+  ASSERT_EQ(m.pauses.size(), 1u);
+  EXPECT_TRUE(m.pauses[0].is_static);
+  EXPECT_EQ(m.node_counts, std::vector<std::size_t>{12});
+  EXPECT_EQ(m.seeds, 2u);
+  EXPECT_DOUBLE_EQ(m.duration_s, 8.0);
+  EXPECT_DOUBLE_EQ(m.world_w_m, 600.0);
+  EXPECT_DOUBLE_EQ(m.world_h_m, 300.0);
+  EXPECT_EQ(m.job_count(), 4u);
+}
+
+TEST(Manifest, RejectsBadInput) {
+  EXPECT_THROW(parse_manifest("bogus_key = 1"), ManifestError);
+  EXPECT_THROW(parse_manifest("schemes = warpdrive"), ManifestError);
+  EXPECT_THROW(parse_manifest("rates_pps = fast"), ManifestError);
+  EXPECT_THROW(parse_manifest("rates_pps = -1"), ManifestError);
+  EXPECT_THROW(parse_manifest("seeds = 0"), ManifestError);
+  EXPECT_THROW(parse_manifest("nodes = 1"), ManifestError);
+  EXPECT_THROW(parse_manifest("duration_s = abc"), ManifestError);
+  EXPECT_THROW(parse_manifest("name = a\nname = b"), ManifestError);
+  EXPECT_THROW(parse_manifest("just some words"), ManifestError);
+  EXPECT_THROW(parse_manifest("world_m = 100"), ManifestError);
+}
+
+TEST(Manifest, ExpansionIsDeterministicSeedMinor) {
+  const Manifest m = parse_manifest(kManifestText);
+  const auto jobs = expand(m);
+  ASSERT_EQ(jobs.size(), 4u);
+  // scheme-major, seed-minor: odpm s1, odpm s2, rcast s1, rcast s2.
+  EXPECT_EQ(jobs[0].cfg.scheme, scenario::Scheme::kOdpm);
+  EXPECT_EQ(jobs[0].cfg.seed, 1u);
+  EXPECT_EQ(jobs[1].cfg.scheme, scenario::Scheme::kOdpm);
+  EXPECT_EQ(jobs[1].cfg.seed, 2u);
+  EXPECT_EQ(jobs[2].cfg.scheme, scenario::Scheme::kRcast);
+  EXPECT_EQ(jobs[2].cfg.seed, 1u);
+  EXPECT_EQ(jobs[3].cfg.seed, 2u);
+  // Static pause pinned to the duration.
+  EXPECT_EQ(jobs[0].cfg.pause, jobs[0].cfg.duration);
+  // ids and digests are stable across expansions.
+  const auto again = expand(m);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, again[i].id);
+    EXPECT_EQ(jobs[i].digest, again[i].digest);
+    EXPECT_EQ(jobs[i].index, i);
+  }
+  // Different seeds produce different digests.
+  EXPECT_NE(jobs[0].digest, jobs[1].digest);
+  EXPECT_EQ(campaign_digest(m.name, jobs), campaign_digest(m.name, again));
+}
+
+TEST(Journal, AppendReloadAndTornTail) {
+  TempDir dir;
+  const std::string path = dir.file("journal.log");
+  {
+    Journal j = Journal::open(path, "feedfacecafebeef", 10);
+    j.append({0, "aaaa", true, 12.5, ""});
+    j.append({3, "bbbb", false, 7.0, "deadline \"exceeded\"\nboom"});
+  }
+  // Simulate a torn write: half a line with no newline.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "done job=7 cfg=cc";
+  }
+  Journal j = Journal::open(path, "feedfacecafebeef", 10);
+  ASSERT_EQ(j.entries().size(), 2u);
+  EXPECT_TRUE(j.entries().at(0).ok);
+  EXPECT_EQ(j.entries().at(0).digest, "aaaa");
+  EXPECT_FALSE(j.entries().at(3).ok);
+  // Error text survives single-line sanitization.
+  EXPECT_NE(j.entries().at(3).error.find("deadline"), std::string::npos);
+  // The torn tail was truncated; appending again keeps the file parseable.
+  j.append({7, "cccc", true, 1.0, ""});
+  j.close();
+  Journal j2 = Journal::open(path, "feedfacecafebeef", 10);
+  EXPECT_EQ(j2.entries().size(), 3u);
+  EXPECT_TRUE(j2.entries().at(7).ok);
+}
+
+TEST(Journal, RejectsMismatchedCampaign) {
+  TempDir dir;
+  const std::string path = dir.file("journal.log");
+  { Journal::open(path, "1111111111111111", 4); }
+  EXPECT_THROW(Journal::open(path, "2222222222222222", 4), JournalError);
+  EXPECT_THROW(Journal::open(path, "1111111111111111", 5), JournalError);
+}
+
+TEST(Runner, InMemoryCampaignMatchesRunRepetitions) {
+  const Manifest m = parse_manifest(kManifestText);
+  RunnerOptions opt;
+  opt.threads = 2;
+  const CampaignResult res = run_campaign(m, opt);
+  EXPECT_EQ(res.completed, 4u);
+  EXPECT_EQ(res.failed, 0u);
+  EXPECT_TRUE(res.all_done());
+
+  // The campaign's cell mean must equal the legacy run_repetitions mean —
+  // same seeds, same simulator, same averaging.
+  scenario::ScenarioConfig cfg = res.jobs[2].cfg;  // rcast, seed 1
+  const auto legacy =
+      scenario::average(scenario::run_repetitions(cfg, m.seeds));
+  const auto cell = res.average_cell([](const scenario::ScenarioConfig& c) {
+    return c.scheme == scenario::Scheme::kRcast;
+  });
+  EXPECT_DOUBLE_EQ(cell.total_energy_j, legacy.total_energy_j);
+  EXPECT_EQ(cell.delivered, legacy.delivered);
+}
+
+TEST(Runner, TimedOutJobIsFailedNotFatal) {
+  Manifest m = parse_manifest(kManifestText);
+  RunnerOptions opt;
+  opt.threads = 2;
+  opt.job_timeout_s = 1e-9;  // every job blows the budget immediately
+  const CampaignResult res = run_campaign(m, opt);
+  EXPECT_EQ(res.completed, 0u);
+  EXPECT_EQ(res.failed, 4u);
+  for (const auto& o : res.outcomes) {
+    EXPECT_EQ(o.status, JobStatus::kFailed);
+    EXPECT_NE(o.error.find("deadline"), std::string::npos) << o.error;
+  }
+}
+
+TEST(Runner, ResumeSkipsJournaledJobsAndAggregatesByteIdentical) {
+  const Manifest m = parse_manifest(kManifestText);
+  TempDir dir;
+
+  // Uninterrupted reference campaign. One thread so the raw JSONL record
+  // order is completion order = job order (the aggregate comparison below
+  // is order-insensitive either way).
+  RunnerOptions ref_opt;
+  ref_opt.threads = 1;
+  ref_opt.journal_path = dir.file("ref.journal");
+  ref_opt.results_path = dir.file("ref.jsonl");
+  const CampaignResult ref = run_campaign(m, ref_opt);
+  ASSERT_TRUE(ref.all_done());
+
+  // Interrupted campaign: stop after 2 of 4 jobs...
+  RunnerOptions opt;
+  opt.threads = 1;
+  opt.max_jobs = 2;
+  opt.journal_path = dir.file("int.journal");
+  opt.results_path = dir.file("int.jsonl");
+  const CampaignResult part = run_campaign(m, opt);
+  EXPECT_EQ(part.completed, 2u);
+  EXPECT_EQ(part.remaining, 2u);
+
+  // ...then resume to completion; the first two jobs must not re-run.
+  opt.max_jobs = 0;
+  const CampaignResult rest = run_campaign(m, opt);
+  EXPECT_EQ(rest.skipped, 2u);
+  EXPECT_EQ(rest.completed, 2u);
+  EXPECT_EQ(rest.remaining, 0u);
+
+  // Aggregates from both stores are byte-identical.
+  const auto ref_records = load_results(ref_opt.results_path);
+  const auto res_records = load_results(opt.results_path);
+  EXPECT_EQ(aggregate_csv(aggregate(ref_records)),
+            aggregate_csv(aggregate(res_records)));
+  // Per-record, every *simulation* quantity matches exactly; only the
+  // wall-clock telemetry (wall_ms, perf timings) may differ between runs.
+  ASSERT_EQ(ref_records.size(), res_records.size());
+  for (std::size_t i = 0; i < ref_records.size(); ++i) {
+    EXPECT_EQ(ref_records[i].digest, res_records[i].digest);
+    EXPECT_EQ(ref_records[i].result.events_executed,
+              res_records[i].result.events_executed);
+    EXPECT_EQ(ref_records[i].result.delivered, res_records[i].result.delivered);
+    EXPECT_DOUBLE_EQ(ref_records[i].result.total_energy_j,
+                     res_records[i].result.total_energy_j);
+    EXPECT_EQ(ref_records[i].result.per_node_energy_j,
+              res_records[i].result.per_node_energy_j);
+  }
+}
+
+TEST(Runner, OrphanResultRecordIsSupersededOnResume) {
+  const Manifest m = parse_manifest(kManifestText);
+  TempDir dir;
+  RunnerOptions opt;
+  opt.threads = 1;
+  opt.max_jobs = 1;
+  opt.journal_path = dir.file("journal.log");
+  opt.results_path = dir.file("results.jsonl");
+  const CampaignResult part = run_campaign(m, opt);
+  ASSERT_EQ(part.completed, 1u);
+
+  // Simulate a crash after the result write but before the journal commit:
+  // job 1's record exists with garbage, but no journal line. The resume
+  // must re-run job 1 and the loader's last-wins dedupe must pick the
+  // fresh record.
+  const auto jobs = expand(m);
+  {
+    scenario::RunResult fake;
+    fake.total_energy_j = -12345.0;
+    std::ofstream out(opt.results_path, std::ios::binary | std::ios::app);
+    out << record_to_json(jobs[1], fake, 0.0) << "\n";
+  }
+
+  opt.max_jobs = 0;
+  const CampaignResult rest = run_campaign(m, opt);
+  EXPECT_EQ(rest.skipped, 1u);
+  EXPECT_EQ(rest.completed, 3u);
+
+  const auto records = load_results(opt.results_path);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_GT(records[1].result.total_energy_j, 0.0);  // not the orphan
+}
+
+TEST(ResultStore, AggregateGroupsBySchemeAcrossSeeds) {
+  const Manifest m = parse_manifest(kManifestText);
+  TempDir dir;
+  RunnerOptions opt;
+  opt.threads = 2;
+  opt.results_path = dir.file("results.jsonl");
+  const CampaignResult res = run_campaign(m, opt);
+  ASSERT_TRUE(res.all_done());
+
+  const auto records = load_results(opt.results_path);
+  ASSERT_EQ(records.size(), 4u);
+  const auto rows = aggregate(records);
+  ASSERT_EQ(rows.size(), 2u);  // one cell per scheme, 2 seeds each
+  EXPECT_EQ(rows[0].scheme, scenario::Scheme::kOdpm);
+  EXPECT_EQ(rows[1].scheme, scenario::Scheme::kRcast);
+  EXPECT_EQ(rows[0].seeds, 2u);
+  EXPECT_EQ(rows[1].seeds, 2u);
+
+  const std::string csv = aggregate_csv(rows);
+  EXPECT_NE(csv.find("scheme,routing,"), std::string::npos);
+  EXPECT_NE(csv.find("ODPM,DSR,"), std::string::npos);
+  EXPECT_NE(csv.find("RCAST,DSR,"), std::string::npos);
+
+  // The averaged cell matches the in-memory mean bit-for-bit after the
+  // JSONL round-trip (%.17g preserves doubles exactly).
+  const auto cell = res.average_cell([](const scenario::ScenarioConfig& c) {
+    return c.scheme == scenario::Scheme::kOdpm;
+  });
+  EXPECT_DOUBLE_EQ(rows[0].mean.total_energy_j, cell.total_energy_j);
+  EXPECT_EQ(rows[0].mean.delivered, cell.delivered);
+}
+
+}  // namespace
+}  // namespace rcast::campaign

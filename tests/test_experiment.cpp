@@ -1,0 +1,111 @@
+// run_repetitions edge cases and BenchScale env parsing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+#include "scenario/experiment.hpp"
+#include "scenario/scenario.hpp"
+#include "util/assert.hpp"
+
+namespace rcast::scenario {
+namespace {
+
+ScenarioConfig tiny_cfg(std::uint64_t seed = 1) {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.num_flows = 3;
+  cfg.world = {600.0, 300.0};
+  cfg.rate_pps = 1.0;
+  cfg.duration = 10 * sim::kSecond;
+  cfg.pause = 10 * sim::kSecond;  // static
+  cfg.scheme = Scheme::kRcast;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// RAII environment override so a failing test can't leak state.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old) saved_ = old;
+    ::setenv(name, value, 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(RunRepetitions, MoreThreadsThanRepetitionsIsFine) {
+  const auto runs = run_repetitions(tiny_cfg(), 2, /*threads=*/16);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_GT(runs[0].total_energy_j, 0.0);
+  EXPECT_GT(runs[1].total_energy_j, 0.0);
+}
+
+TEST(RunRepetitions, ZeroRepetitionsViolatesContract) {
+  EXPECT_THROW(run_repetitions(tiny_cfg(), 0), ContractViolation);
+}
+
+TEST(RunRepetitions, ResultsAreSeedOrderedRegardlessOfWorkers) {
+  const ScenarioConfig cfg = tiny_cfg(7);
+  // Reference: each seed run serially and independently.
+  std::vector<RunResult> expected;
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    ScenarioConfig c = cfg;
+    c.seed = cfg.seed + k;
+    expected.push_back(run_scenario(c));
+  }
+  // Parallel path must land each seed at its own index, whatever order the
+  // workers finished in (the simulator is deterministic per seed).
+  const auto runs = run_repetitions(cfg, 3, /*threads=*/3);
+  ASSERT_EQ(runs.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(runs[i].total_energy_j, expected[i].total_energy_j)
+        << "seed slot " << i;
+    EXPECT_EQ(runs[i].delivered, expected[i].delivered) << "seed slot " << i;
+    EXPECT_EQ(runs[i].events_executed, expected[i].events_executed)
+        << "seed slot " << i;
+  }
+}
+
+TEST(BenchScale, EnvOverridesApply) {
+  ScopedEnv d("RCAST_DURATION_S", "42.5");
+  ScopedEnv r("RCAST_REPS", "7");
+  const BenchScale s = BenchScale::from_env();
+  EXPECT_DOUBLE_EQ(sim::to_seconds(s.duration), 42.5);
+  EXPECT_EQ(s.repetitions, 7u);
+}
+
+TEST(BenchScale, MalformedRepsRejected) {
+  for (const char* bad : {"abc", "3x", "-2", "0", "2.5", ""}) {
+    ScopedEnv r("RCAST_REPS", bad);
+    if (std::string(bad).empty()) {
+      EXPECT_NO_THROW(BenchScale::from_env());  // unset/empty = default
+    } else {
+      EXPECT_THROW(BenchScale::from_env(), std::runtime_error)
+          << "RCAST_REPS='" << bad << "' should be rejected";
+    }
+  }
+}
+
+TEST(BenchScale, MalformedDurationRejected) {
+  for (const char* bad : {"fast", "10s", "-5", "0", "nan", "inf"}) {
+    ScopedEnv d("RCAST_DURATION_S", bad);
+    EXPECT_THROW(BenchScale::from_env(), std::runtime_error)
+        << "RCAST_DURATION_S='" << bad << "' should be rejected";
+  }
+}
+
+}  // namespace
+}  // namespace rcast::scenario

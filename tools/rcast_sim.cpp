@@ -10,28 +10,18 @@
 //   rcast_sim --scheme=odpm --routing=aodv --trace=events.csv
 #include <cstdio>
 #include <fstream>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "scenario/experiment.hpp"
 #include "scenario/scenario.hpp"
+#include "scenario/scheme.hpp"
 #include "stats/trace.hpp"
 #include "util/flags.hpp"
 
 namespace {
 
 using namespace rcast;
-
-std::optional<scenario::Scheme> parse_scheme(const std::string& s) {
-  if (s == "80211" || s == "802.11") return scenario::Scheme::k80211;
-  if (s == "psm-none") return scenario::Scheme::kPsmNone;
-  if (s == "psm-all") return scenario::Scheme::kPsmAll;
-  if (s == "odpm") return scenario::Scheme::kOdpm;
-  if (s == "rcast") return scenario::Scheme::kRcast;
-  if (s == "rcast-bc") return scenario::Scheme::kRcastBcast;
-  return std::nullopt;
-}
 
 void print_usage() {
   std::puts(
@@ -142,9 +132,9 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<std::size_t>(flags.get_int("seeds", 1));
 
   const std::string routing = flags.get_string("routing", "dsr");
-  if (routing == "aodv") {
-    cfg.routing = scenario::RoutingProtocol::kAodv;
-  } else if (routing != "dsr") {
+  if (auto p = scenario::routing_from_string(routing)) {
+    cfg.routing = *p;
+  } else {
     std::fprintf(stderr, "unknown --routing=%s\n", routing.c_str());
     return 2;
   }
@@ -166,10 +156,8 @@ int main(int argc, char** argv) {
   const std::string scheme_arg = flags.get_string("scheme", "rcast");
   std::vector<scenario::Scheme> schemes;
   if (scheme_arg == "all") {
-    schemes = {scenario::Scheme::k80211,  scenario::Scheme::kPsmNone,
-               scenario::Scheme::kPsmAll, scenario::Scheme::kOdpm,
-               scenario::Scheme::kRcast,  scenario::Scheme::kRcastBcast};
-  } else if (auto s = parse_scheme(scheme_arg)) {
+    schemes.assign(scenario::kAllSchemes.begin(), scenario::kAllSchemes.end());
+  } else if (auto s = scenario::scheme_from_string(scheme_arg)) {
     schemes = {*s};
   } else {
     std::fprintf(stderr, "unknown --scheme=%s\n", scheme_arg.c_str());
