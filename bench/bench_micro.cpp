@@ -103,7 +103,7 @@ BENCHMARK(BM_EventChurn)->Arg(1024)->Arg(16384);
 void BM_PacketForward(benchmark::State& state) {
   sim::Simulator sim;
   auto pkt = util::make_pooled<routing::DsrPacket>(sim.pools());
-  pkt->type = routing::DsrType::kData;
+  pkt->type = routing::PacketType::kData;
   pkt->src = 0;
   pkt->dst = 5;
   pkt->route = {0, 1, 2, 3, 4, 5};

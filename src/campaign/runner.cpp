@@ -3,13 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <fstream>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <thread>
 
 #include "campaign/journal.hpp"
 #include "campaign/result_store.hpp"
 #include "sim/simulator.hpp"
+#include "stats/trace.hpp"
 
 namespace rcast::campaign {
 
@@ -66,6 +69,29 @@ CampaignResult run_campaign(const Manifest& manifest, const RunnerOptions& opt,
     pending.push_back(job.index);
   }
 
+  // Resolve which job (if any) gets the EventTracer attached. Only the
+  // owning worker touches the trace file, so no extra locking is needed.
+  constexpr std::size_t kNoTrace = static_cast<std::size_t>(-1);
+  std::size_t trace_idx = kNoTrace;
+  if (!opt.trace_path.empty()) {
+    if (opt.trace_job.empty()) {
+      if (!pending.empty()) trace_idx = pending.front();
+    } else {
+      for (const std::size_t idx : pending) {
+        if (cr.jobs[idx].id == opt.trace_job) {
+          trace_idx = idx;
+          break;
+        }
+      }
+      if (trace_idx == kNoTrace) {
+        std::fprintf(stderr,
+                     "trace: job '%s' is not pending (unknown id or already "
+                     "journaled) — no trace written\n",
+                     opt.trace_job.c_str());
+      }
+    }
+  }
+
   std::size_t threads = opt.threads;
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
@@ -97,7 +123,23 @@ CampaignResult run_campaign(const Manifest& manifest, const RunnerOptions& opt,
       cfg.max_wall_seconds = opt.job_timeout_s;
       const auto t0 = std::chrono::steady_clock::now();
       try {
-        outcome.result = scenario::run_scenario(cfg);
+        if (idx == trace_idx) {
+          std::ofstream trace_out(opt.trace_path);
+          if (!trace_out) {
+            throw std::runtime_error("cannot open trace file " +
+                                     opt.trace_path);
+          }
+          stats::EventTracer tracer(trace_out);
+          scenario::Network net(cfg);
+          net.telemetry().subscribe_routing(&tracer);
+          net.telemetry().subscribe_mac(&tracer);
+          outcome.result = net.run();
+          std::fprintf(stderr, "trace: %llu events (%s) -> %s\n",
+                       static_cast<unsigned long long>(tracer.lines_written()),
+                       job.id.c_str(), opt.trace_path.c_str());
+        } else {
+          outcome.result = scenario::run_scenario(cfg);
+        }
         outcome.status = JobStatus::kOk;
       } catch (const std::exception& e) {
         outcome.status = JobStatus::kFailed;

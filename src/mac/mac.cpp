@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "stats/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 #include "util/pool.hpp"
@@ -56,6 +57,7 @@ bool Mac::send(NodeId next_hop, NetDatagramPtr pkt, OverhearingMode oh) {
   if (phy_.dead()) return false;
   if (queue_.size() >= cfg_.queue_limit) {
     ++stats_.queue_drops;
+    if (telemetry_ != nullptr) telemetry_->on_queue_drop(id(), sim_.now());
     return false;
   }
   queue_.push_back(TxItem{std::move(pkt), next_hop, oh, sim_.now()});
@@ -90,6 +92,7 @@ bool Mac::send(NodeId next_hop, NetDatagramPtr pkt, OverhearingMode oh) {
     if (next_hop != kBroadcastId && policy_ != nullptr &&
         policy_->believes_awake(next_hop, sim_.now())) {
       phy_.wake();
+      if (telemetry_ != nullptr) telemetry_->on_mac_wake(id(), sim_.now());
       kick();
     }
     return true;
@@ -127,7 +130,11 @@ void Mac::on_beacon() {
   must_awake_rx_ = false;
   must_awake_overhear_ = false;
 
+  const bool was_sleeping = phy_.sleeping();
   phy_.wake();
+  if (was_sleeping && telemetry_ != nullptr) {
+    telemetry_->on_mac_wake(id(), sim_.now());
+  }
   rebuild_announcements();
   kick();
 }
@@ -173,6 +180,9 @@ void Mac::on_atim_window_end() {
       current_tx_ != CurrentTx::kOp) {
     if (op_attempts_ > 0 && op_announcement_.dst != kBroadcastId) {
       ++stats_.atim_failed;
+      if (telemetry_ != nullptr) {
+        telemetry_->on_atim_failed(id(), op_announcement_.dst, sim_.now());
+      }
       on_announcement_failed(op_announcement_.dst);
     }
     finish_op();
@@ -202,6 +212,7 @@ void Mac::maybe_sleep() {
   if (in_atim_window()) return;
   if (should_stay_awake()) return;
   ++stats_.sleeps;
+  if (telemetry_ != nullptr) telemetry_->on_mac_sleep(id(), sim_.now());
   phy_.sleep();
 }
 
@@ -355,8 +366,14 @@ void Mac::transmit_op_frame() {
   }
   if (op_is_announcement_) {
     ++stats_.atim_tx;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_atim_tx(id(), op_announcement_.dst, sim_.now());
+    }
   } else {
     ++stats_.data_tx_attempts;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_data_tx_attempt(id(), op_item_.dst, sim_.now());
+    }
   }
   auto pf = util::make_pooled<phy::Frame>(sim_.pools());
   pf->tx = id();
@@ -406,6 +423,9 @@ void Mac::on_ack_timeout() {
   if (op_is_announcement_) {
     if (!in_atim_window()) {
       ++stats_.atim_failed;
+      if (telemetry_ != nullptr) {
+        telemetry_->on_atim_failed(id(), op_announcement_.dst, sim_.now());
+      }
       if (op_announcement_.dst != kBroadcastId) {
         on_announcement_failed(op_announcement_.dst);
       }
@@ -425,11 +445,17 @@ void Mac::op_success() {
       bcast_announced_ = true;
     } else {
       ++stats_.atim_acked;
+      if (telemetry_ != nullptr) {
+        telemetry_->on_atim_acked(id(), op_announcement_.dst, sim_.now());
+      }
       acked_dsts_.insert(op_announcement_.dst);
       atim_fail_streak_.erase(op_announcement_.dst);
     }
   } else {
     ++stats_.data_tx_ok;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_data_tx_ok(id(), op_item_.dst, sim_.now());
+    }
     if (op_item_.dst != kBroadcastId && callbacks_ != nullptr) {
       callbacks_->mac_tx_ok(op_item_.pkt, op_item_.dst);
     }
@@ -440,6 +466,9 @@ void Mac::op_success() {
 void Mac::op_failure() {
   if (op_is_announcement_) {
     ++stats_.atim_failed;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_atim_failed(id(), op_announcement_.dst, sim_.now());
+    }
     if (op_announcement_.dst != kBroadcastId) {
       on_announcement_failed(op_announcement_.dst);
     }
@@ -450,12 +479,18 @@ void Mac::op_failure() {
     // Our belief that the receiver was in AM was stale: fall back to the
     // announcement path instead of declaring the link broken.
     ++stats_.immediate_fallbacks;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_immediate_fallback(id(), op_item_.dst, sim_.now());
+    }
     if (policy_ != nullptr) policy_->on_immediate_send_failed(op_item_.dst);
     queue_.push_front(std::move(op_item_));
     finish_op();
     return;
   }
   ++stats_.data_tx_failed;
+  if (telemetry_ != nullptr) {
+    telemetry_->on_data_tx_failed(id(), op_item_.dst, sim_.now());
+  }
   if (callbacks_ != nullptr) {
     callbacks_->mac_tx_failed(op_item_.pkt, op_item_.dst);
   }
@@ -479,6 +514,9 @@ void Mac::on_announcement_failed(NodeId dst) {
   }
   for (TxItem& item : failed) {
     ++stats_.data_tx_failed;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_data_tx_failed(id(), dst, sim_.now());
+    }
     if (callbacks_ != nullptr) callbacks_->mac_tx_failed(item.pkt, dst);
   }
 }
@@ -554,8 +592,14 @@ void Mac::handle_atim(const MacFrame& frame) {
   if (commit) {
     must_awake_overhear_ = true;
     ++stats_.overhear_commits;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_overhear_commit(id(), frame.src, frame.oh, sim_.now());
+    }
   } else {
     ++stats_.overhear_declines;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_overhear_decline(id(), frame.src, frame.oh, sim_.now());
+    }
   }
 }
 

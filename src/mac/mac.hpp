@@ -24,6 +24,10 @@
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
+namespace rcast::stats {
+class TelemetryBus;
+}
+
 namespace rcast::mac {
 
 class Mac final : public phy::PhyListener {
@@ -39,6 +43,10 @@ class Mac final : public phy::PhyListener {
 
   void set_callbacks(MacCallbacks* cb) { callbacks_ = cb; }
   void set_power_policy(PowerPolicy* p) { policy_ = p; }
+  /// Attach the telemetry bus (may be null). The MAC emits ATIM outcomes,
+  /// overhearing decisions, sleep/wake choices and data-frame operations;
+  /// emission never affects protocol behavior.
+  void set_telemetry(stats::TelemetryBus* bus) { telemetry_ = bus; }
 
   /// Starts the beacon schedule (PSM mode). Call once at simulation start.
   void start();
@@ -50,26 +58,26 @@ class Mac final : public phy::PhyListener {
   /// Number of packets waiting in the interface queue.
   std::size_t queue_depth() const { return queue_.size(); }
 
-  /// Age of the oldest queued packet (0 when empty) and its destination;
-  /// diagnostic surface for starvation analysis.
-  sim::Time oldest_queued_age() const {
-    sim::Time oldest = 0;
-    for (const TxItem& i : queue_) {
-      oldest = std::max(oldest, sim_.now() - i.enqueued);
-    }
-    return oldest;
-  }
-  NodeId oldest_queued_dst() const {
-    sim::Time best = -1;
+  /// Oldest queued packet: its age (0 when empty) and destination
+  /// (kBroadcastId when empty); diagnostic surface for starvation analysis.
+  struct OldestQueued {
+    sim::Time age = 0;
     NodeId dst = kBroadcastId;
+  };
+  OldestQueued oldest_queued() const {
+    OldestQueued best;
+    bool found = false;
     for (const TxItem& i : queue_) {
-      if (sim_.now() - i.enqueued > best) {
-        best = sim_.now() - i.enqueued;
-        dst = i.dst;
+      const sim::Time age = sim_.now() - i.enqueued;
+      if (!found || age > best.age) {
+        best = OldestQueued{age, i.dst};
+        found = true;
       }
     }
-    return dst;
+    return best;
   }
+  sim::Time oldest_queued_age() const { return oldest_queued().age; }
+  NodeId oldest_queued_dst() const { return oldest_queued().dst; }
 
   bool awake() const { return !phy_.sleeping(); }
   const MacStats& stats() const { return stats_; }
@@ -149,6 +157,7 @@ class Mac final : public phy::PhyListener {
   Rng rng_;
   MacCallbacks* callbacks_ = nullptr;
   PowerPolicy* policy_ = nullptr;
+  stats::TelemetryBus* telemetry_ = nullptr;
 
   // Interface queue and per-BI announcement work.
   std::deque<TxItem> queue_;

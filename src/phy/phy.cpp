@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "stats/telemetry.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
@@ -16,7 +17,6 @@ Phy::Phy(sim::Simulator& simulator, Channel& channel, NodeId id,
 bool Phy::dead() const { return meter_ != nullptr && meter_->depleted(); }
 
 void Phy::update_energy_state() {
-  if (meter_ == nullptr) return;
   energy::RadioState desired;
   if (asleep_) {
     desired = energy::RadioState::kSleep;
@@ -27,7 +27,20 @@ void Phy::update_energy_state() {
   } else {
     desired = energy::RadioState::kIdle;
   }
-  meter_->set_state(desired, sim_.now());
+  // Without a meter the desired state is the actual state; with one, the
+  // meter may pin to kOff (battery depleted).
+  energy::RadioState actual = desired;
+  if (meter_ != nullptr) actual = meter_->set_state(desired, sim_.now());
+  if (telemetry_ != nullptr) {
+    if (actual != last_state_) {
+      telemetry_->on_radio_state(id_, actual, sim_.now());
+    }
+    if (!death_reported_ && meter_ != nullptr && meter_->depleted()) {
+      death_reported_ = true;
+      telemetry_->on_battery_depleted(id_, sim_.now());
+    }
+  }
+  last_state_ = actual;
 }
 
 bool Phy::carrier_busy() const {
@@ -81,10 +94,14 @@ void Phy::start_tx(FramePtr frame) {
     if (it != arrivals_.end()) it->second.corrupted = true;
     locked_arrival_ = 0;
     ++stats_.rx_missed_tx;
+    if (telemetry_ != nullptr) {
+      telemetry_->on_phy_rx_lost(id_, stats::PhyLoss::kWhileTx, sim_.now());
+    }
   }
 
   tx_busy_ = true;
   ++stats_.tx_frames;
+  if (telemetry_ != nullptr) telemetry_->on_phy_tx(id_, frame->bits, sim_.now());
   update_energy_state();
   const sim::Time duration = channel_.duration_of(frame->bits);
   channel_.transmit(frame, duration);
@@ -135,6 +152,10 @@ void Phy::arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
   if (asleep_ || dead()) {
     if (in_rx_range && (frame->rx == id_ || frame->rx == kBroadcastId)) {
       ++stats_.rx_missed_sleep;
+      if (telemetry_ != nullptr) {
+        telemetry_->on_phy_rx_lost(id_, stats::PhyLoss::kWhileAsleep,
+                                   sim_.now());
+      }
     }
     return;
   }
@@ -156,10 +177,16 @@ void Phy::arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
     if (tx_busy_) {
       a.corrupted = true;
       ++stats_.rx_missed_tx;
+      if (telemetry_ != nullptr) {
+        telemetry_->on_phy_rx_lost(id_, stats::PhyLoss::kWhileTx, sim_.now());
+      }
     } else if (locked_arrival_ != 0) {
       // Mid-decode of another frame: cannot re-lock (no preamble capture).
       a.corrupted = true;
       ++stats_.rx_missed_busy;
+      if (telemetry_ != nullptr) {
+        telemetry_->on_phy_rx_lost(id_, stats::PhyLoss::kWhileBusy, sim_.now());
+      }
     } else {
       // Decodable iff every ongoing signal is weak enough to be captured
       // over; energy from an unknown source (sensed while waking) counts
@@ -176,6 +203,10 @@ void Phy::arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
       } else {
         a.corrupted = true;
         ++stats_.rx_missed_busy;
+        if (telemetry_ != nullptr) {
+          telemetry_->on_phy_rx_lost(id_, stats::PhyLoss::kWhileBusy,
+                                     sim_.now());
+        }
       }
     }
   } else {
@@ -203,8 +234,14 @@ void Phy::arrival_end(std::uint64_t arrival_id, const FramePtr& frame,
     update_energy_state();
     if (corrupted) {
       ++stats_.rx_collisions;
+      if (telemetry_ != nullptr) {
+        telemetry_->on_phy_rx_lost(id_, stats::PhyLoss::kCollision, sim_.now());
+      }
     } else {
       ++stats_.rx_ok;
+      if (telemetry_ != nullptr) {
+        telemetry_->on_phy_rx_ok(id_, frame->tx, sim_.now());
+      }
       if (listener_ != nullptr) listener_->phy_rx_ok(frame);
     }
   }

@@ -14,6 +14,10 @@
 #include "phy/frame.hpp"
 #include "sim/simulator.hpp"
 
+namespace rcast::stats {
+class TelemetryBus;
+}
+
 namespace rcast::phy {
 
 /// MAC-side observer of radio events.
@@ -52,6 +56,10 @@ class Phy {
 
   NodeId id() const { return id_; }
   void set_listener(PhyListener* l) { listener_ = l; }
+  /// Attach the telemetry bus (may be null). The radio emits tx/rx events,
+  /// losses, power-state transitions and battery death; emission never
+  /// affects radio behavior.
+  void set_telemetry(stats::TelemetryBus* bus) { telemetry_ = bus; }
   const Channel& channel() const { return channel_; }
 
   // --- MAC-facing control -------------------------------------------------
@@ -111,6 +119,9 @@ class Phy {
   NodeId id_;
   energy::EnergyMeter* meter_;
   PhyListener* listener_ = nullptr;
+  stats::TelemetryBus* telemetry_ = nullptr;
+  energy::RadioState last_state_ = energy::RadioState::kIdle;
+  bool death_reported_ = false;
 
   bool asleep_ = false;
   bool tx_busy_ = false;

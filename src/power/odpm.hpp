@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "mac/mac_types.hpp"
+#include "stats/telemetry.hpp"
 
 namespace rcast::power {
 
@@ -29,6 +30,13 @@ struct OdpmConfig {
 class OdpmPolicy final : public mac::PowerPolicy {
  public:
   explicit OdpmPolicy(const OdpmConfig& config = {}) : cfg_(config) {}
+
+  /// Attach the telemetry bus (may be null); `self` identifies this node in
+  /// the emitted power events.
+  void set_telemetry(stats::TelemetryBus* bus, mac::NodeId self) {
+    telemetry_ = bus;
+    self_ = self;
+  }
 
   bool always_awake() const override { return false; }
 
@@ -76,7 +84,11 @@ class OdpmPolicy final : public mac::PowerPolicy {
         timeout = cfg_.data_am_timeout;
         break;
     }
+    const bool was_ps = now >= am_until_;
     if (now + timeout > am_until_) am_until_ = now + timeout;
+    if (was_ps && am_until_ > now && telemetry_ != nullptr) {
+      telemetry_->on_am_window(self_, am_until_, now);
+    }
   }
 
   sim::Time am_until() const { return am_until_; }
@@ -88,6 +100,8 @@ class OdpmPolicy final : public mac::PowerPolicy {
   };
 
   OdpmConfig cfg_;
+  stats::TelemetryBus* telemetry_ = nullptr;
+  mac::NodeId self_ = 0;
   sim::Time am_until_ = 0;
   std::unordered_map<mac::NodeId, Belief> beliefs_;
 };

@@ -99,7 +99,7 @@ void Aodv::send_data(NodeId dst, std::int64_t payload_bits,
   RCAST_REQUIRE(dst != id());
   RCAST_REQUIRE(payload_bits >= 0);
   auto pkt = std::make_shared<DsrPacket>();
-  pkt->type = DsrType::kData;
+  pkt->type = PacketType::kData;
   pkt->src = id();
   pkt->dst = dst;
   pkt->payload_bits = payload_bits;
@@ -156,7 +156,7 @@ void Aodv::send_rreq(NodeId dst, int ttl) {
   Discovery& d = it->second;
 
   auto pkt = std::make_shared<DsrPacket>();
-  pkt->type = DsrType::kRreq;
+  pkt->type = PacketType::kRreq;
   pkt->src = id();
   pkt->dst = dst;
   pkt->rreq_id = ++next_rreq_id_;
@@ -167,7 +167,7 @@ void Aodv::send_rreq(NodeId dst, int ttl) {
   pkt->ttl = ttl;
   ++stats_.rreq_originated;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRreq, sim_.now());
+    observer_->on_control_transmit(PacketType::kRreq, sim_.now());
   }
   mac_.send(mac::kBroadcastId, std::move(pkt), mac::OverhearingMode::kNone);
 
@@ -257,19 +257,19 @@ void Aodv::mac_deliver(const mac::NetDatagramPtr& pkt, NodeId from) {
   const DsrPacket& p = as_pkt(pkt);
   neighbors_last_heard_[from] = sim_.now();
   switch (p.type) {
-    case DsrType::kRreq:
+    case PacketType::kRreq:
       handle_rreq(p, from);
       break;
-    case DsrType::kRrep:
+    case PacketType::kRrep:
       handle_rrep(p, from);
       break;
-    case DsrType::kRerr:
+    case PacketType::kRerr:
       handle_rerr(p, from);
       break;
-    case DsrType::kHello:
+    case PacketType::kHello:
       handle_hello(p, from);
       break;
-    case DsrType::kData:
+    case PacketType::kData:
       handle_data(p, as_pkt_ptr(pkt), from);
       break;
   }
@@ -305,7 +305,7 @@ void Aodv::handle_rreq(const DsrPacket& pkt, NodeId from) {
   auto reply = [&](std::uint32_t dest_seq, std::uint32_t hops,
                    bool from_target) {
     auto rrep = std::make_shared<DsrPacket>();
-    rrep->type = DsrType::kRrep;
+    rrep->type = PacketType::kRrep;
     rrep->src = pkt.dst;   // route target
     rrep->dst = pkt.src;   // back to the originator
     rrep->dest_seq = dest_seq;
@@ -316,7 +316,7 @@ void Aodv::handle_rreq(const DsrPacket& pkt, NodeId from) {
       ++stats_.rrep_from_intermediate;
     }
     if (observer_ != nullptr) {
-      observer_->on_control_transmit(DsrType::kRrep, sim_.now());
+      observer_->on_control_transmit(PacketType::kRrep, sim_.now());
     }
     mac_.send(table_.at(pkt.src).next_hop, std::move(rrep),
               mac::OverhearingMode::kNone);
@@ -346,7 +346,7 @@ void Aodv::handle_rreq(const DsrPacket& pkt, NodeId from) {
   fwd->ttl = pkt.ttl - 1;
   ++stats_.rreq_forwarded;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRreq, sim_.now());
+    observer_->on_control_transmit(PacketType::kRreq, sim_.now());
   }
   mac_.send(mac::kBroadcastId, std::move(fwd), mac::OverhearingMode::kNone);
 }
@@ -378,7 +378,7 @@ void Aodv::handle_rrep(const DsrPacket& pkt, NodeId from) {
   fwd->hop_count = pkt.hop_count + 1;
   ++stats_.rrep_forwarded;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRrep, sim_.now());
+    observer_->on_control_transmit(PacketType::kRrep, sim_.now());
   }
   mac_.send(table_.at(pkt.dst).next_hop, std::move(fwd),
             mac::OverhearingMode::kNone);
@@ -448,7 +448,7 @@ void Aodv::mac_tx_failed(const mac::NetDatagramPtr& pkt, NodeId next) {
   ++stats_.link_breaks;
   on_link_broken(next);
   const DsrPacket& p = as_pkt(pkt);
-  if (p.type != DsrType::kData) return;
+  if (p.type != PacketType::kData) return;
   if (p.src == id() && p.salvage_count == 0) {
     // Source: buffer and rediscover instead of dropping.
     auto requeued = std::make_shared<DsrPacket>(p);
@@ -475,14 +475,14 @@ void Aodv::on_link_broken(NodeId neighbor) {
 void Aodv::send_rerr(
     std::vector<std::pair<NodeId, std::uint32_t>> unreachable) {
   auto rerr = std::make_shared<DsrPacket>();
-  rerr->type = DsrType::kRerr;
+  rerr->type = PacketType::kRerr;
   rerr->src = id();
   rerr->dst = mac::kBroadcastId;
   rerr->ttl = 1;
   rerr->unreachable = std::move(unreachable);
   ++stats_.rerr_sent;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRerr, sim_.now());
+    observer_->on_control_transmit(PacketType::kRerr, sim_.now());
   }
   mac_.send(mac::kBroadcastId, std::move(rerr), mac::OverhearingMode::kNone);
 }
@@ -497,13 +497,13 @@ void Aodv::on_hello_timer() {
     if (!active) return;
   }
   auto hello = std::make_shared<DsrPacket>();
-  hello->type = DsrType::kHello;
+  hello->type = PacketType::kHello;
   hello->src = id();
   hello->dst = mac::kBroadcastId;
   hello->dest_seq = my_seq_;
   ++stats_.hello_sent;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kHello, sim_.now());
+    observer_->on_control_transmit(PacketType::kHello, sim_.now());
   }
   mac_.send(mac::kBroadcastId, std::move(hello), mac::OverhearingMode::kNone);
 }

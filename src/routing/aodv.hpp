@@ -71,7 +71,7 @@ class Aodv final : public mac::MacCallbacks, public RoutingAgent {
   Aodv& operator=(const Aodv&) = delete;
 
   NodeId id() const override { return mac_.id(); }
-  void set_observer(DsrObserver* obs) override { observer_ = obs; }
+  void set_observer(Observer* obs) override { observer_ = obs; }
 
   void send_data(NodeId dst, std::int64_t payload_bits, std::uint32_t flow_id,
                  std::uint32_t app_seq) override;
@@ -147,7 +147,7 @@ class Aodv final : public mac::MacCallbacks, public RoutingAgent {
   AodvConfig cfg_;
   Rng rng_;
   mac::PowerPolicy* policy_;
-  DsrObserver* observer_ = nullptr;
+  Observer* observer_ = nullptr;
 
   std::unordered_map<NodeId, Route> table_;
   std::unordered_map<NodeId, Discovery> discoveries_;

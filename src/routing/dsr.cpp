@@ -48,7 +48,7 @@ void Dsr::send_data(NodeId dst, std::int64_t payload_bits,
   RCAST_REQUIRE(dst != id());
   RCAST_REQUIRE(payload_bits >= 0);
   auto pkt = util::make_pooled<DsrPacket>(sim_.pools());
-  pkt->type = DsrType::kData;
+  pkt->type = PacketType::kData;
   pkt->src = id();
   pkt->dst = dst;
   pkt->payload_bits = payload_bits;
@@ -105,7 +105,7 @@ void Dsr::send_rreq(NodeId dst, int ttl) {
   Discovery& d = it->second;
 
   auto pkt = util::make_pooled<DsrPacket>(sim_.pools());
-  pkt->type = DsrType::kRreq;
+  pkt->type = PacketType::kRreq;
   pkt->src = id();
   pkt->dst = dst;
   pkt->rreq_id = ++next_rreq_id_;
@@ -113,7 +113,7 @@ void Dsr::send_rreq(NodeId dst, int ttl) {
   pkt->ttl = ttl;
   ++stats_.rreq_originated;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRreq, sim_.now());
+    observer_->on_control_transmit(PacketType::kRreq, sim_.now());
   }
   mac_.send(mac::kBroadcastId, std::move(pkt), cfg_.oh_map.rreq_bcast);
 
@@ -180,19 +180,19 @@ void Dsr::mac_deliver(const mac::NetDatagramPtr& pkt, NodeId from) {
   (void)from;
   const DsrPacket& p = as_dsr(pkt);
   switch (p.type) {
-    case DsrType::kRreq:
+    case PacketType::kRreq:
       handle_rreq(p);
       break;
-    case DsrType::kRrep:
+    case PacketType::kRrep:
       handle_rrep(p);
       break;
-    case DsrType::kData:
+    case PacketType::kData:
       handle_data(p, as_dsr_ptr(pkt));
       break;
-    case DsrType::kRerr:
+    case PacketType::kRerr:
       handle_rerr(p);
       break;
-    case DsrType::kHello:
+    case PacketType::kHello:
       break;  // AODV-only packet type; DSR never originates or expects it
   }
 }
@@ -266,7 +266,7 @@ void Dsr::handle_rreq(const DsrPacket& pkt) {
   fwd->ttl = pkt.ttl - 1;
   ++stats_.rreq_forwarded;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRreq, sim_.now());
+    observer_->on_control_transmit(PacketType::kRreq, sim_.now());
   }
   mac_.send(mac::kBroadcastId, std::move(fwd), cfg_.oh_map.rreq_bcast);
 }
@@ -275,14 +275,14 @@ void Dsr::send_rrep(Route route, std::size_t my_index) {
   RCAST_DCHECK(my_index > 0 && my_index < route.size());
   RCAST_DCHECK(route[my_index] == id());
   auto rrep = util::make_pooled<DsrPacket>(sim_.pools());
-  rrep->type = DsrType::kRrep;
+  rrep->type = PacketType::kRrep;
   rrep->src = id();
   rrep->dst = route.front();
   rrep->route = std::move(route);
   rrep->hop_index = my_index;
   const NodeId next = rrep->route[my_index - 1];
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRrep, sim_.now());
+    observer_->on_control_transmit(PacketType::kRrep, sim_.now());
   }
   mac_.send(next, std::move(rrep), cfg_.oh_map.rrep);
 }
@@ -320,7 +320,7 @@ void Dsr::handle_rrep(const DsrPacket& pkt) {
   fwd->hop_index = my_index;
   ++stats_.rrep_forwarded;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRrep, sim_.now());
+    observer_->on_control_transmit(PacketType::kRrep, sim_.now());
   }
   mac_.send(pkt.route[my_index - 1], std::move(fwd), cfg_.oh_map.rrep);
 }
@@ -391,7 +391,7 @@ void Dsr::handle_rerr(const DsrPacket& pkt) {
   fwd->hop_index = my_index;
   ++stats_.rerr_forwarded;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRerr, sim_.now());
+    observer_->on_control_transmit(PacketType::kRerr, sim_.now());
   }
   mac_.send(pkt.route[my_index + 1], std::move(fwd), cfg_.oh_map.rerr);
 }
@@ -406,23 +406,23 @@ void Dsr::mac_overhear(const mac::NetDatagramPtr& pkt, NodeId from,
   ++stats_.overheard;
   const DsrPacket& p = as_dsr(pkt);
   switch (p.type) {
-    case DsrType::kData:
+    case PacketType::kData:
       if (policy_ != nullptr) {
         policy_->on_routing_event(mac::RoutingEvent::kDataOverheard,
                                   sim_.now());
       }
       cache_from_overheard_route(p.route, from);
       break;
-    case DsrType::kRrep:
+    case PacketType::kRrep:
       cache_from_overheard_route(p.route, from);
       break;
-    case DsrType::kRerr:
+    case PacketType::kRerr:
       // Stale-route purging: this is why RERR is sent with unconditional
       // overhearing (paper §3.3).
       cache_.remove_link(p.broken_from, p.broken_to);
       break;
-    case DsrType::kRreq:
-    case DsrType::kHello:
+    case PacketType::kRreq:
+    case PacketType::kHello:
       break;  // broadcasts are delivered, not overheard; hello is AODV-only
   }
 }
@@ -465,7 +465,7 @@ void Dsr::mac_tx_failed(const mac::NetDatagramPtr& pkt, NodeId next_hop) {
   cache_.remove_link(id(), next_hop);
   const DsrPacket& p = as_dsr(pkt);
 
-  if (p.type != DsrType::kData) return;  // control packets are not salvaged
+  if (p.type != PacketType::kData) return;  // control packets are not salvaged
 
   // Inform the source (unless we are the source ourselves).
   if (p.src != id()) {
@@ -480,6 +480,7 @@ void Dsr::mac_tx_failed(const mac::NetDatagramPtr& pkt, NodeId next_hop) {
       salvaged->hop_index = 0;
       salvaged->salvage_count = p.salvage_count + 1;
       ++stats_.data_salvaged;
+      if (observer_ != nullptr) observer_->on_data_salvaged(id(), sim_.now());
       if (mac_.send(salvaged->route[1], salvaged, cfg_.oh_map.data)) return;
     }
   }
@@ -508,7 +509,7 @@ void Dsr::originate_rerr(const DsrPacket& data_pkt, NodeId broken_to) {
   for (std::size_t i = my_index + 1; i-- > 0;) back.push_back(data_pkt.route[i]);
   if (back.size() < 2) return;
   auto rerr = util::make_pooled<DsrPacket>(sim_.pools());
-  rerr->type = DsrType::kRerr;
+  rerr->type = PacketType::kRerr;
   rerr->src = id();
   rerr->dst = data_pkt.src;
   rerr->route = std::move(back);
@@ -517,7 +518,7 @@ void Dsr::originate_rerr(const DsrPacket& data_pkt, NodeId broken_to) {
   rerr->broken_to = broken_to;
   ++stats_.rerr_originated;
   if (observer_ != nullptr) {
-    observer_->on_control_transmit(DsrType::kRerr, sim_.now());
+    observer_->on_control_transmit(PacketType::kRerr, sim_.now());
   }
   const NodeId next = rerr->route[1];
   mac_.send(next, std::move(rerr), cfg_.oh_map.rerr);

@@ -66,7 +66,7 @@ class Dsr final : public mac::MacCallbacks, public RoutingAgent {
   Dsr& operator=(const Dsr&) = delete;
 
   NodeId id() const override { return mac_.id(); }
-  void set_observer(DsrObserver* obs) override { observer_ = obs; }
+  void set_observer(Observer* obs) override { observer_ = obs; }
 
   /// Application entry point: send `payload_bits` of data to `dst`.
   void send_data(NodeId dst, std::int64_t payload_bits, std::uint32_t flow_id,
@@ -120,7 +120,7 @@ class Dsr final : public mac::MacCallbacks, public RoutingAgent {
   DsrConfig cfg_;
   Rng rng_;
   mac::PowerPolicy* policy_;
-  DsrObserver* observer_ = nullptr;
+  Observer* observer_ = nullptr;
 
   RouteCache cache_;
   SendBuffer buffer_;

@@ -1,5 +1,6 @@
-// Observation interface shared by the routing agents (DSR and AODV); the
-// metrics layer implements it.
+// Observation interface shared by the routing agents (DSR and AODV).
+// Subscribers — the metrics collector, the event tracer, the telemetry
+// bus's routing layer — implement the hooks they care about.
 #pragma once
 
 #include <cstdint>
@@ -36,21 +37,31 @@ constexpr const char* to_string(DropReason r) {
   }
 }
 
-/// Hooks for the metrics layer; all methods have empty defaults.
-class DsrObserver {
+/// Routing-layer event hooks; all methods have empty defaults. Both DSR and
+/// AODV emit through this interface.
+class Observer {
  public:
-  virtual ~DsrObserver() = default;
+  virtual ~Observer() = default;
   virtual void on_data_originated(const DsrPacket&, sim::Time) {}
   virtual void on_data_delivered(const DsrPacket&, sim::Time) {}
   virtual void on_data_dropped(const DsrPacket&, DropReason, sim::Time) {}
   /// Each MAC transmission of a routing control packet (per hop).
-  virtual void on_control_transmit(DsrType, sim::Time) {}
-  /// A source route was attached to an originated data packet — DSR only
-  /// (the paper's role-number accounting input).
+  virtual void on_control_transmit(PacketType, sim::Time) {}
+  /// A source route was attached to an originated data packet — emitted by
+  /// DSR only, since AODV routes hop-by-hop (the paper's role-number
+  /// accounting input).
   virtual void on_route_used(const Route&, sim::Time) {}
   /// A node forwarded a data packet (both protocols; AODV's role measure).
   virtual void on_data_forwarded(NodeId /*by*/, sim::Time) {}
+  /// An intermediate node rescued a data packet onto an alternate cached
+  /// route after a link failure (DSR salvage).
+  virtual void on_data_salvaged(NodeId /*by*/, sim::Time) {}
 };
+
+/// Transitional alias for the old routing-observer name. New code must use
+/// `routing::Observer`; CI greps for uses of the old name outside this
+/// deprecation-shim line.
+using DsrObserver [[deprecated("use routing::Observer")]] = Observer;  // deprecation-shim
 
 /// Both routing agents implement this; traffic sources and the scenario
 /// builder talk to it.
@@ -60,7 +71,7 @@ class RoutingAgent {
   virtual NodeId id() const = 0;
   virtual void send_data(NodeId dst, std::int64_t payload_bits,
                          std::uint32_t flow_id, std::uint32_t app_seq) = 0;
-  virtual void set_observer(DsrObserver* obs) = 0;
+  virtual void set_observer(Observer* obs) = 0;
 };
 
 }  // namespace rcast::routing

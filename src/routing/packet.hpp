@@ -26,7 +26,9 @@ using mac::NodeId;
 /// routes (deep topologies, network_ttl floods) spill to the heap.
 using Route = util::SmallVec<NodeId, 8>;
 
-enum class DsrType : std::uint8_t {
+/// Network-layer packet type, shared by both protocols (HELLO is AODV
+/// only).
+enum class PacketType : std::uint8_t {
   kData = 0,
   kRreq = 1,
   kRrep = 2,
@@ -34,24 +36,28 @@ enum class DsrType : std::uint8_t {
   kHello = 4,  // AODV only
 };
 
-constexpr const char* to_string(DsrType t) {
+/// Transitional alias for the old protocol-specific name; new code must use
+/// `PacketType`.
+using DsrType = PacketType;
+
+constexpr const char* to_string(PacketType t) {
   switch (t) {
-    case DsrType::kData:
+    case PacketType::kData:
       return "DATA";
-    case DsrType::kRreq:
+    case PacketType::kRreq:
       return "RREQ";
-    case DsrType::kRrep:
+    case PacketType::kRrep:
       return "RREP";
-    case DsrType::kRerr:
+    case PacketType::kRerr:
       return "RERR";
-    case DsrType::kHello:
+    case PacketType::kHello:
       return "HELLO";
   }
   return "?";
 }
 
 struct DsrPacket final : mac::NetDatagram {
-  DsrType type = DsrType::kData;
+  PacketType type = PacketType::kData;
   NodeId src = 0;  // end-to-end originator
   NodeId dst = 0;  // end-to-end destination
 
@@ -97,22 +103,22 @@ struct DsrPacket final : mac::NetDatagram {
   std::int64_t size_bits() const override {
     constexpr std::int64_t kIpDsrHeader = (20 + 4) * 8;
     switch (type) {
-      case DsrType::kData:
+      case PacketType::kData:
         return kIpDsrHeader +
                (4 + 4 * static_cast<std::int64_t>(route.size())) * 8 +
                payload_bits;
-      case DsrType::kRreq:
+      case PacketType::kRreq:
         return kIpDsrHeader +
                (8 + 4 * static_cast<std::int64_t>(recorded.size())) * 8;
-      case DsrType::kRrep:
+      case PacketType::kRrep:
         return kIpDsrHeader +
                (8 + 4 * static_cast<std::int64_t>(route.size())) * 8;
-      case DsrType::kRerr:
+      case PacketType::kRerr:
         return kIpDsrHeader +
                (12 + 4 * static_cast<std::int64_t>(route.size()) +
                 8 * static_cast<std::int64_t>(unreachable.size())) *
                    8;
-      case DsrType::kHello:
+      case PacketType::kHello:
         return kIpDsrHeader + 12 * 8;  // AODV hello = minimal RREP
     }
     return kIpDsrHeader;

@@ -35,11 +35,12 @@ bool scheme_uses_psm(Scheme s) { return s != Scheme::k80211; }
 
 Node::Node(sim::Simulator& simulator, phy::Channel& channel,
            mobility::MobilityManager& mobility, const ScenarioConfig& cfg,
-           phy::NodeId id, Rng rng) {
+           phy::NodeId id, Rng rng, stats::TelemetryBus* bus) {
   (void)mobility;
   meter_ = std::make_unique<energy::EnergyMeter>(cfg.power, simulator.now(),
                                                  cfg.battery_joules);
   phy_ = std::make_unique<phy::Phy>(simulator, channel, id, meter_.get());
+  phy_->set_telemetry(bus);
 
   mac::MacConfig mac_cfg = cfg.mac;
   mac_cfg.psm_enabled = scheme_uses_psm(cfg.scheme);
@@ -49,6 +50,7 @@ Node::Node(sim::Simulator& simulator, phy::Channel& channel,
         mac_rng.uniform(0.0, static_cast<double>(cfg.sync_jitter)));
   }
   mac_ = std::make_unique<mac::Mac>(simulator, *phy_, mac_cfg, mac_rng);
+  mac_->set_telemetry(bus);
 
   switch (cfg.scheme) {
     case Scheme::k80211:
@@ -58,9 +60,12 @@ Node::Node(sim::Simulator& simulator, phy::Channel& channel,
     case Scheme::kPsmAll:
       policy_ = std::make_unique<power::PsmPolicy>();
       break;
-    case Scheme::kOdpm:
-      policy_ = std::make_unique<power::OdpmPolicy>(cfg.odpm);
+    case Scheme::kOdpm: {
+      auto odpm = std::make_unique<power::OdpmPolicy>(cfg.odpm);
+      odpm->set_telemetry(bus, id);
+      policy_ = std::move(odpm);
       break;
+    }
     case Scheme::kRcast:
     case Scheme::kRcastBcast: {
       core::RcastConfig rc = cfg.rcast;
@@ -115,6 +120,11 @@ Network::Network(const ScenarioConfig& cfg)
                                   cfg.bitrate_bps}),
       metrics_(cfg.num_nodes) {
   RCAST_REQUIRE(cfg.num_nodes >= 2);
+  // Built-in consumers subscribe first; later subscribers (tracers, custom
+  // analyzers) dispatch after them in subscription order.
+  bus_.subscribe_routing(&metrics_);
+  bus_.subscribe_routing(&counters_);
+  bus_.subscribe_mac(&counters_);
   Rng root(cfg.seed);
 
   // Mobility models. A pause >= duration makes the node effectively static
@@ -136,8 +146,8 @@ Network::Network(const ScenarioConfig& cfg)
   for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
     nodes_.push_back(std::make_unique<Node>(sim_, channel_, mobility_, cfg,
                                             static_cast<phy::NodeId>(i),
-                                            node_rng.fork(i)));
-    nodes_.back()->agent().set_observer(&metrics_);
+                                            node_rng.fork(i), &bus_));
+    nodes_.back()->agent().set_observer(&bus_);
     fleet_.add(&nodes_.back()->meter());
   }
 
@@ -150,12 +160,6 @@ Network::Network(const ScenarioConfig& cfg)
     sources_.push_back(std::make_unique<traffic::CbrSource>(
         sim_, nodes_[f.src]->agent(), f, traffic_rng.fork(f.flow_id)));
   }
-}
-
-void Network::set_secondary_observer(routing::DsrObserver* obs) {
-  RCAST_REQUIRE(obs != nullptr);
-  tee_ = std::make_unique<stats::TeeObserver>(metrics_, *obs);
-  for (auto& n : nodes_) n->agent().set_observer(tee_.get());
 }
 
 RunResult Network::run() {
@@ -188,7 +192,7 @@ RunResult Network::run() {
   return r;
 }
 
-RunResult Network::summarize() {
+RunResult Network::base_summary() {
   RunResult r;
   r.scheme = cfg_.scheme;
   r.duration_s = sim::to_seconds(cfg_.duration);
@@ -217,6 +221,38 @@ RunResult Network::summarize() {
   r.normalized_overhead = metrics_.normalized_overhead();
   r.role_numbers = metrics_.role_numbers();
 
+  for (int d = 0; d < static_cast<int>(routing::DropReason::kCount); ++d) {
+    r.drops[static_cast<std::size_t>(d)] =
+        metrics_.drops(static_cast<routing::DropReason>(d));
+  }
+
+  r.dead_nodes = fleet_.dead_count();
+  if (auto fd = fleet_.first_death()) r.first_death_s = sim::to_seconds(*fd);
+  r.events_executed = sim_.executed_events();
+  return r;
+}
+
+RunResult Network::summarize() {
+  RunResult r = base_summary();
+  // Per-layer aggregates come from the telemetry bus: every counter below is
+  // a LayerCounters event count, so summarize() no longer reaches into
+  // per-node protocol internals.
+  r.atim_tx = counters_.atim_tx();
+  r.data_tx_attempts = counters_.data_tx_attempts();
+  r.overhear_commits = counters_.overhear_commits();
+  r.overhear_declines = counters_.overhear_declines();
+  r.mac_sleeps = counters_.sleeps();
+  r.data_tx_failed = counters_.data_tx_failed();
+  r.data_salvaged = counters_.data_salvaged();
+  r.rreq_tx = counters_.control_tx(routing::PacketType::kRreq);
+  r.rrep_tx = counters_.control_tx(routing::PacketType::kRrep);
+  r.rerr_tx = counters_.control_tx(routing::PacketType::kRerr);
+  r.hello_tx = counters_.control_tx(routing::PacketType::kHello);
+  return r;
+}
+
+RunResult Network::summarize_from_structs() {
+  RunResult r = base_summary();
   for (const auto& n : nodes_) {
     const mac::MacStats& ms = n->mac().stats();
     r.atim_tx += ms.atim_tx;
@@ -241,15 +277,6 @@ RunResult Network::summarize() {
       r.hello_tx += as.hello_sent;
     }
   }
-
-  for (int d = 0; d < static_cast<int>(routing::DropReason::kCount); ++d) {
-    r.drops[static_cast<std::size_t>(d)] =
-        metrics_.drops(static_cast<routing::DropReason>(d));
-  }
-
-  r.dead_nodes = fleet_.dead_count();
-  if (auto fd = fleet_.first_death()) r.first_death_s = sim::to_seconds(*fd);
-  r.events_executed = sim_.executed_events();
   return r;
 }
 

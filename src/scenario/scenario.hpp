@@ -20,7 +20,7 @@
 #include "scenario/scheme.hpp"
 #include "sim/simulator.hpp"
 #include "stats/metrics.hpp"
-#include "stats/trace.hpp"
+#include "stats/telemetry.hpp"
 #include "traffic/cbr.hpp"
 
 namespace rcast::scenario {
@@ -137,9 +137,11 @@ struct RunResult {
 /// One fully-wired simulated node.
 class Node {
  public:
+  /// `bus` (may be null) is attached to every emitting layer: phy, mac, and
+  /// the power policy when it emits (ODPM).
   Node(sim::Simulator& simulator, phy::Channel& channel,
        mobility::MobilityManager& mobility, const ScenarioConfig& cfg,
-       phy::NodeId id, Rng rng);
+       phy::NodeId id, Rng rng, stats::TelemetryBus* bus);
 
   phy::NodeId id() const { return phy_->id(); }
   energy::EnergyMeter& meter() { return *meter_; }
@@ -175,22 +177,34 @@ class Network {
   stats::MetricsCollector& metrics() { return metrics_; }
   phy::Channel& channel() { return channel_; }
 
-  /// Attaches a secondary observer (e.g. stats::EventTracer) alongside the
-  /// built-in metrics collector. `obs` must outlive the network.
-  void set_secondary_observer(routing::DsrObserver* obs);
+  /// The network's telemetry bus. Subscribe any number of consumers (e.g.
+  /// `telemetry().subscribe_routing(&tracer)`); subscribers must outlive the
+  /// network or unsubscribe first. The built-in MetricsCollector and
+  /// LayerCounters are ordinary subscribers registered at construction.
+  stats::TelemetryBus& telemetry() { return bus_; }
+
+  /// Transitional: the pre-bus summary assembled by scraping per-node
+  /// MacStats/DsrStats/AodvStats structs. Kept only so the regression test
+  /// can assert bus-derived and struct-derived summaries are identical;
+  /// goes away with the per-node stats structs.
+  RunResult summarize_from_structs();
 
  private:
   RunResult summarize();
+  /// Fields derived from metrics/fleet/simulator — common to both summary
+  /// paths.
+  RunResult base_summary();
 
   ScenarioConfig cfg_;
   sim::Simulator sim_;
   mobility::MobilityManager mobility_;
   phy::Channel channel_;
   stats::MetricsCollector metrics_;
+  stats::LayerCounters counters_;
+  stats::TelemetryBus bus_;  // must outlive (so precede) nodes_
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<traffic::CbrSource>> sources_;
   energy::FleetAccountant fleet_;
-  std::unique_ptr<routing::DsrObserver> tee_;
 };
 
 /// Convenience: build + run in one call.

@@ -29,7 +29,7 @@ void MetricsCollector::on_data_dropped(const routing::DsrPacket&,
   ++drops_[static_cast<int>(reason)];
 }
 
-void MetricsCollector::on_control_transmit(routing::DsrType type, sim::Time) {
+void MetricsCollector::on_control_transmit(routing::PacketType type, sim::Time) {
   ++control_tx_[static_cast<int>(type)];
 }
 
@@ -47,10 +47,10 @@ double MetricsCollector::pdr_percent() const {
 }
 
 std::uint64_t MetricsCollector::control_transmissions() const {
-  return control_tx_[static_cast<int>(routing::DsrType::kRreq)] +
-         control_tx_[static_cast<int>(routing::DsrType::kRrep)] +
-         control_tx_[static_cast<int>(routing::DsrType::kRerr)] +
-         control_tx_[static_cast<int>(routing::DsrType::kHello)];
+  return control_tx_[static_cast<int>(routing::PacketType::kRreq)] +
+         control_tx_[static_cast<int>(routing::PacketType::kRrep)] +
+         control_tx_[static_cast<int>(routing::PacketType::kRerr)] +
+         control_tx_[static_cast<int>(routing::PacketType::kHello)];
 }
 
 double MetricsCollector::normalized_overhead() const {

@@ -1,5 +1,6 @@
-// Network-wide metrics collection: one collector observes every node's DSR
-// agent and computes the quantities the paper's figures report.
+// Network-wide metrics collection: one collector subscribes to the
+// telemetry bus's routing layer (events from every node's DSR or AODV
+// agent) and computes the quantities the paper's figures report.
 #pragma once
 
 #include <array>
@@ -7,23 +8,23 @@
 #include <unordered_set>
 #include <vector>
 
-#include "routing/dsr.hpp"
+#include "routing/observer.hpp"
 #include "util/stats.hpp"
 
 namespace rcast::stats {
 
-class MetricsCollector final : public routing::DsrObserver {
+class MetricsCollector final : public routing::Observer {
  public:
   explicit MetricsCollector(std::size_t n_nodes) : role_(n_nodes, 0) {}
 
-  // --- routing::DsrObserver ------------------------------------------------
+  // --- routing::Observer ---------------------------------------------------
   void on_data_originated(const routing::DsrPacket& pkt,
                           sim::Time now) override;
   void on_data_delivered(const routing::DsrPacket& pkt,
                          sim::Time now) override;
   void on_data_dropped(const routing::DsrPacket& pkt,
                        routing::DropReason reason, sim::Time now) override;
-  void on_control_transmit(routing::DsrType type, sim::Time now) override;
+  void on_control_transmit(routing::PacketType type, sim::Time now) override;
   void on_route_used(const routing::Route& route,
                      sim::Time now) override;
 
@@ -54,7 +55,7 @@ class MetricsCollector final : public routing::DsrObserver {
   /// Total routing control transmissions per hop (RREQ+RREP+RERR, plus
   /// HELLOs for AODV).
   std::uint64_t control_transmissions() const;
-  std::uint64_t control_transmissions(routing::DsrType t) const {
+  std::uint64_t control_transmissions(routing::PacketType t) const {
     return control_tx_[static_cast<int>(t)];
   }
 
@@ -86,7 +87,7 @@ class MetricsCollector final : public routing::DsrObserver {
   RunningStats route_wait_;
   RunningStats transit_;
   SampleSet delay_samples_;
-  std::array<std::uint64_t, 5> control_tx_{};  // indexed by DsrType
+  std::array<std::uint64_t, 5> control_tx_{};  // indexed by PacketType
   std::array<std::uint64_t, static_cast<int>(routing::DropReason::kCount)>
       drops_{};
   std::vector<std::uint64_t> role_;

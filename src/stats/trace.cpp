@@ -38,7 +38,8 @@ void EventTracer::on_data_dropped(const routing::DsrPacket& pkt,
   line(now, "drop", os.str());
 }
 
-void EventTracer::on_control_transmit(routing::DsrType type, sim::Time now) {
+void EventTracer::on_control_transmit(routing::PacketType type,
+                                      sim::Time now) {
   line(now, "control", to_string(type));
 }
 
@@ -57,6 +58,62 @@ void EventTracer::on_data_forwarded(routing::NodeId by, sim::Time now) {
   std::ostringstream os;
   os << "node=" << by;
   line(now, "forward", os.str());
+}
+
+void EventTracer::on_data_salvaged(routing::NodeId by, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << by;
+  line(now, "salvage", os.str());
+}
+
+void EventTracer::on_atim_tx(NodeId id, NodeId dst, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << id << " dst=" << dst;
+  line(now, "atim-tx", os.str());
+}
+
+void EventTracer::on_atim_acked(NodeId id, NodeId dst, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << id << " dst=" << dst;
+  line(now, "atim-ack", os.str());
+}
+
+void EventTracer::on_atim_failed(NodeId id, NodeId dst, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << id << " dst=" << dst;
+  line(now, "atim-fail", os.str());
+}
+
+void EventTracer::on_overhear_commit(NodeId id, NodeId sender,
+                                     mac::OverhearingMode oh, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << id << " sender=" << sender << " mode=" << to_string(oh);
+  line(now, "overhear-commit", os.str());
+}
+
+void EventTracer::on_overhear_decline(NodeId id, NodeId sender,
+                                      mac::OverhearingMode oh, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << id << " sender=" << sender << " mode=" << to_string(oh);
+  line(now, "overhear-decline", os.str());
+}
+
+void EventTracer::on_mac_sleep(NodeId id, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << id;
+  line(now, "sleep", os.str());
+}
+
+void EventTracer::on_mac_wake(NodeId id, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << id;
+  line(now, "wake", os.str());
+}
+
+void EventTracer::on_queue_drop(NodeId id, sim::Time now) {
+  std::ostringstream os;
+  os << "node=" << id;
+  line(now, "queue-drop", os.str());
 }
 
 }  // namespace rcast::stats

@@ -1,37 +1,54 @@
-// Packet-event tracing and result export.
+// Packet/MAC-event tracing and result export.
 //
-// EventTracer implements the routing observer interface and writes one CSV
-// line per packet event — the raw material for custom post-processing or
-// debugging a protocol exchange. ResultCsv serializes RunResult-style
-// summaries with a stable column set for spreadsheet/plotting pipelines.
+// EventTracer subscribes to the telemetry bus (routing + MAC layers) and
+// writes one CSV line per event — the raw material for custom
+// post-processing or debugging a protocol exchange down to individual
+// sleep/overhear decisions. ResultCsv serializes RunResult-style summaries
+// with a stable column set for spreadsheet/plotting pipelines.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
 #include <string>
 
-#include "routing/observer.hpp"
+#include "stats/telemetry.hpp"
 
 namespace rcast::stats {
 
-/// Streams per-packet routing events as CSV: `time_s,event,detail,...`.
-/// Attach with `dsr.set_observer(&tracer)` or chain behind the metrics
-/// collector via TeeObserver.
-class EventTracer final : public routing::DsrObserver {
+/// Streams per-event CSV: `time_s,event,detail`. Attach with
+/// `bus.subscribe_routing(&tracer)` and/or `bus.subscribe_mac(&tracer)` —
+/// each layer's subscription is independent, so a routing-only trace stays
+/// compact while a full trace also records ATIM outcomes, overhearing
+/// decisions and per-interval sleep/wake choices.
+class EventTracer final : public routing::Observer, public MacEvents {
  public:
   /// `out` must outlive the tracer. Writes a header line immediately.
   explicit EventTracer(std::ostream& out);
 
+  // --- routing::Observer ----------------------------------------------------
   void on_data_originated(const routing::DsrPacket& pkt,
                           sim::Time now) override;
   void on_data_delivered(const routing::DsrPacket& pkt,
                          sim::Time now) override;
   void on_data_dropped(const routing::DsrPacket& pkt,
                        routing::DropReason reason, sim::Time now) override;
-  void on_control_transmit(routing::DsrType type, sim::Time now) override;
+  void on_control_transmit(routing::PacketType type, sim::Time now) override;
   void on_route_used(const routing::Route& route,
                      sim::Time now) override;
   void on_data_forwarded(routing::NodeId by, sim::Time now) override;
+  void on_data_salvaged(routing::NodeId by, sim::Time now) override;
+
+  // --- MacEvents ------------------------------------------------------------
+  void on_atim_tx(NodeId id, NodeId dst, sim::Time now) override;
+  void on_atim_acked(NodeId id, NodeId dst, sim::Time now) override;
+  void on_atim_failed(NodeId id, NodeId dst, sim::Time now) override;
+  void on_overhear_commit(NodeId id, NodeId sender, mac::OverhearingMode oh,
+                          sim::Time now) override;
+  void on_overhear_decline(NodeId id, NodeId sender, mac::OverhearingMode oh,
+                           sim::Time now) override;
+  void on_mac_sleep(NodeId id, sim::Time now) override;
+  void on_mac_wake(NodeId id, sim::Time now) override;
+  void on_queue_drop(NodeId id, sim::Time now) override;
 
   std::uint64_t lines_written() const { return lines_; }
 
@@ -40,44 +57,6 @@ class EventTracer final : public routing::DsrObserver {
 
   std::ostream& out_;
   std::uint64_t lines_ = 0;
-};
-
-/// Fans one observer stream out to two receivers (e.g. metrics + tracer).
-class TeeObserver final : public routing::DsrObserver {
- public:
-  TeeObserver(routing::DsrObserver& a, routing::DsrObserver& b)
-      : a_(a), b_(b) {}
-
-  void on_data_originated(const routing::DsrPacket& p, sim::Time t) override {
-    a_.on_data_originated(p, t);
-    b_.on_data_originated(p, t);
-  }
-  void on_data_delivered(const routing::DsrPacket& p, sim::Time t) override {
-    a_.on_data_delivered(p, t);
-    b_.on_data_delivered(p, t);
-  }
-  void on_data_dropped(const routing::DsrPacket& p, routing::DropReason r,
-                       sim::Time t) override {
-    a_.on_data_dropped(p, r, t);
-    b_.on_data_dropped(p, r, t);
-  }
-  void on_control_transmit(routing::DsrType k, sim::Time t) override {
-    a_.on_control_transmit(k, t);
-    b_.on_control_transmit(k, t);
-  }
-  void on_route_used(const routing::Route& r,
-                     sim::Time t) override {
-    a_.on_route_used(r, t);
-    b_.on_route_used(r, t);
-  }
-  void on_data_forwarded(routing::NodeId n, sim::Time t) override {
-    a_.on_data_forwarded(n, t);
-    b_.on_data_forwarded(n, t);
-  }
-
- private:
-  routing::DsrObserver& a_;
-  routing::DsrObserver& b_;
 };
 
 }  // namespace rcast::stats

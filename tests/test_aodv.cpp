@@ -14,7 +14,7 @@
 namespace rcast::routing {
 namespace {
 
-class Recorder : public DsrObserver {
+class Recorder : public Observer {
  public:
   void on_data_originated(const DsrPacket&, sim::Time) override {
     ++originated;
@@ -25,7 +25,7 @@ class Recorder : public DsrObserver {
   void on_data_dropped(const DsrPacket&, DropReason r, sim::Time) override {
     drops.push_back(r);
   }
-  void on_control_transmit(DsrType t, sim::Time) override {
+  void on_control_transmit(PacketType t, sim::Time) override {
     ++control[static_cast<int>(t)];
   }
   void on_data_forwarded(NodeId by, sim::Time) override {
@@ -327,8 +327,8 @@ TEST_F(AodvTest, ControlTransmissionsTracked) {
   build(4);
   aodvs_[0]->send_data(3, 512, 0, 1);
   sim_.run_until(sim::from_seconds(5));
-  EXPECT_GT(recorder_.control[static_cast<int>(DsrType::kRreq)], 0);
-  EXPECT_GT(recorder_.control[static_cast<int>(DsrType::kRrep)], 0);
+  EXPECT_GT(recorder_.control[static_cast<int>(PacketType::kRreq)], 0);
+  EXPECT_GT(recorder_.control[static_cast<int>(PacketType::kRrep)], 0);
 }
 
 // --- Scenario-level AODV ------------------------------------------------------

@@ -14,7 +14,7 @@
 namespace rcast::routing {
 namespace {
 
-class Recorder : public DsrObserver {
+class Recorder : public Observer {
  public:
   struct Delivery {
     NodeId src, dst;
@@ -31,7 +31,7 @@ class Recorder : public DsrObserver {
   void on_data_dropped(const DsrPacket&, DropReason r, sim::Time) override {
     drops.push_back(r);
   }
-  void on_control_transmit(DsrType t, sim::Time) override {
+  void on_control_transmit(PacketType t, sim::Time) override {
     ++control[static_cast<int>(t)];
   }
   void on_route_used(const Route& route, sim::Time) override {
@@ -96,8 +96,8 @@ TEST_F(DsrTest, SingleHopDiscoveryAndDelivery) {
   ASSERT_EQ(recorder_.deliveries.size(), 1u);
   EXPECT_EQ(recorder_.deliveries[0].src, 0u);
   EXPECT_EQ(recorder_.deliveries[0].dst, 1u);
-  EXPECT_GE(recorder_.control[static_cast<int>(DsrType::kRreq)], 1);
-  EXPECT_GE(recorder_.control[static_cast<int>(DsrType::kRrep)], 1);
+  EXPECT_GE(recorder_.control[static_cast<int>(PacketType::kRreq)], 1);
+  EXPECT_GE(recorder_.control[static_cast<int>(PacketType::kRrep)], 1);
 }
 
 TEST_F(DsrTest, MultiHopDiscoveryAndDelivery) {
@@ -248,7 +248,7 @@ TEST_F(DsrTest, ControlTransmitCountsPerHop) {
   dsrs_[0]->send_data(3, 512, 0, 1);
   sim_.run_until(sim::from_seconds(5));
   // RREP travels 3 hops: originated at 3, forwarded by 2 and 1.
-  EXPECT_GE(recorder_.control[static_cast<int>(DsrType::kRrep)], 3);
+  EXPECT_GE(recorder_.control[static_cast<int>(PacketType::kRrep)], 3);
 }
 
 // --- Link failure / RERR ----------------------------------------------------

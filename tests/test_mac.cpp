@@ -528,5 +528,29 @@ TEST_F(AtimFailureTest, MaxQueueResidencyBounded) {
             (cfg_.atim_fail_limit + 2) * bi());
 }
 
+// --- Queue diagnostics -----------------------------------------------------
+
+TEST_F(MacTest, OldestQueuedReportsAgeAndDstInOneScan) {
+  build(2, true);
+  const auto empty = macs_[0]->oldest_queued();
+  EXPECT_EQ(empty.age, 0);
+  EXPECT_EQ(empty.dst, kBroadcastId);
+
+  // Past the ATIM window the idle node dozes; packets to destinations it
+  // does not believe awake just sit in the queue until the next beacon.
+  sim_.run_until(cfg_.atim_window + sim::kMillisecond);
+  macs_[0]->send(7, dgram(), OverhearingMode::kNone);
+  sim_.run_until(cfg_.atim_window + 3 * sim::kMillisecond);
+  macs_[0]->send(9, dgram(), OverhearingMode::kNone);
+  sim_.run_until(cfg_.atim_window + 5 * sim::kMillisecond);
+
+  ASSERT_EQ(macs_[0]->queue_depth(), 2u);
+  const auto oldest = macs_[0]->oldest_queued();
+  EXPECT_EQ(oldest.age, 4 * sim::kMillisecond);
+  EXPECT_EQ(oldest.dst, 7u);
+  EXPECT_EQ(macs_[0]->oldest_queued_age(), oldest.age);
+  EXPECT_EQ(macs_[0]->oldest_queued_dst(), oldest.dst);
+}
+
 }  // namespace
 }  // namespace rcast::mac

@@ -7,13 +7,13 @@ namespace {
 
 using routing::DropReason;
 using routing::DsrPacket;
-using routing::DsrType;
+using routing::PacketType;
 using sim::from_seconds;
 
 DsrPacket data_pkt(std::uint32_t flow, std::uint32_t seq,
                    sim::Time origin = 0, std::int64_t bits = 512) {
   DsrPacket p;
-  p.type = DsrType::kData;
+  p.type = PacketType::kData;
   p.flow_id = flow;
   p.app_seq = seq;
   p.origin_time = origin;
@@ -59,19 +59,19 @@ TEST(Metrics, EmptyCollectorSafe) {
 
 TEST(Metrics, ControlTransmissionsByType) {
   MetricsCollector m(5);
-  m.on_control_transmit(DsrType::kRreq, 0);
-  m.on_control_transmit(DsrType::kRreq, 0);
-  m.on_control_transmit(DsrType::kRrep, 0);
-  m.on_control_transmit(DsrType::kRerr, 0);
+  m.on_control_transmit(PacketType::kRreq, 0);
+  m.on_control_transmit(PacketType::kRreq, 0);
+  m.on_control_transmit(PacketType::kRrep, 0);
+  m.on_control_transmit(PacketType::kRerr, 0);
   EXPECT_EQ(m.control_transmissions(), 4u);
-  EXPECT_EQ(m.control_transmissions(DsrType::kRreq), 2u);
-  EXPECT_EQ(m.control_transmissions(DsrType::kRrep), 1u);
-  EXPECT_EQ(m.control_transmissions(DsrType::kRerr), 1u);
+  EXPECT_EQ(m.control_transmissions(PacketType::kRreq), 2u);
+  EXPECT_EQ(m.control_transmissions(PacketType::kRrep), 1u);
+  EXPECT_EQ(m.control_transmissions(PacketType::kRerr), 1u);
 }
 
 TEST(Metrics, NormalizedOverheadPerDelivered) {
   MetricsCollector m(5);
-  for (int i = 0; i < 6; ++i) m.on_control_transmit(DsrType::kRreq, 0);
+  for (int i = 0; i < 6; ++i) m.on_control_transmit(PacketType::kRreq, 0);
   m.on_data_originated(data_pkt(0, 1), 0);
   m.on_data_originated(data_pkt(0, 2), 0);
   m.on_data_delivered(data_pkt(0, 1), 0);

@@ -10,7 +10,7 @@ namespace {
 
 TEST(PacketSize, DataGrowsWithRouteLength) {
   DsrPacket p;
-  p.type = DsrType::kData;
+  p.type = PacketType::kData;
   p.payload_bits = 64 * 8;
   p.route = {0, 1};
   const auto two_hop = p.size_bits();
@@ -23,7 +23,7 @@ TEST(PacketSize, DataGrowsWithRouteLength) {
 
 TEST(PacketSize, RreqGrowsWithRecordedRoute) {
   DsrPacket p;
-  p.type = DsrType::kRreq;
+  p.type = PacketType::kRreq;
   p.recorded = {0};
   const auto one = p.size_bits();
   p.recorded = {0, 1, 2};
@@ -33,14 +33,14 @@ TEST(PacketSize, RreqGrowsWithRecordedRoute) {
 
 TEST(PacketSize, RrepCarriesFullRoute) {
   DsrPacket p;
-  p.type = DsrType::kRrep;
+  p.type = PacketType::kRrep;
   p.route = {0, 1, 2, 3};
   EXPECT_EQ(p.size_bits(), (24 + 8 + 16) * 8);
 }
 
 TEST(PacketSize, RerrIncludesUnreachableList) {
   DsrPacket p;
-  p.type = DsrType::kRerr;
+  p.type = PacketType::kRerr;
   p.route = {2, 1, 0};
   const auto base = p.size_bits();
   p.unreachable = {{7, 1}, {9, 2}};
@@ -49,11 +49,11 @@ TEST(PacketSize, RerrIncludesUnreachableList) {
 
 TEST(PacketSize, HelloIsSmall) {
   DsrPacket p;
-  p.type = DsrType::kHello;
+  p.type = PacketType::kHello;
   EXPECT_EQ(p.size_bits(), (24 + 12) * 8);
   // A hello must be far cheaper than a data packet on air.
   DsrPacket d;
-  d.type = DsrType::kData;
+  d.type = PacketType::kData;
   d.payload_bits = 64 * 8;
   d.route = {0, 1, 2};
   EXPECT_LT(p.size_bits(), d.size_bits());
@@ -61,17 +61,17 @@ TEST(PacketSize, HelloIsSmall) {
 
 TEST(PacketSize, ZeroPayloadDataStillHasHeaders) {
   DsrPacket p;
-  p.type = DsrType::kData;
+  p.type = PacketType::kData;
   p.route = {0, 1};
   EXPECT_GT(p.size_bits(), 0);
 }
 
 TEST(PacketTypeNames, Stable) {
-  EXPECT_STREQ(to_string(DsrType::kData), "DATA");
-  EXPECT_STREQ(to_string(DsrType::kRreq), "RREQ");
-  EXPECT_STREQ(to_string(DsrType::kRrep), "RREP");
-  EXPECT_STREQ(to_string(DsrType::kRerr), "RERR");
-  EXPECT_STREQ(to_string(DsrType::kHello), "HELLO");
+  EXPECT_STREQ(to_string(PacketType::kData), "DATA");
+  EXPECT_STREQ(to_string(PacketType::kRreq), "RREQ");
+  EXPECT_STREQ(to_string(PacketType::kRrep), "RREP");
+  EXPECT_STREQ(to_string(PacketType::kRerr), "RERR");
+  EXPECT_STREQ(to_string(PacketType::kHello), "HELLO");
 }
 
 // --- sim::time helpers (airtime math used by the MAC) ------------------------

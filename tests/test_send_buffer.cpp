@@ -9,7 +9,7 @@ using sim::from_seconds;
 
 DsrPacketPtr pkt(NodeId dst, std::uint32_t seq = 0) {
   auto p = std::make_shared<DsrPacket>();
-  p->type = DsrType::kData;
+  p->type = PacketType::kData;
   p->dst = dst;
   p->app_seq = seq;
   return p;

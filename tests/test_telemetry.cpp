@@ -1,0 +1,375 @@
+// Telemetry spine tests: subscriber bookkeeping on the bus itself,
+// re-entrancy during dispatch, a golden-file EventTracer trace for a tiny
+// fixed-seed scenario, and the bus-vs-struct RunResult regression check.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+#include "stats/telemetry.hpp"
+#include "stats/trace.hpp"
+
+namespace rcast::stats {
+namespace {
+
+// --- Subscriber bookkeeping -------------------------------------------------
+
+/// Appends its tag to a shared log on every MAC sleep event; an optional
+/// hook runs inside the callback to exercise re-entrancy.
+class TagRecorder final : public MacEvents {
+ public:
+  TagRecorder(char tag, std::string& log) : tag_(tag), log_(log) {}
+  void on_mac_sleep(NodeId, sim::Time) override {
+    log_.push_back(tag_);
+    if (hook) hook();
+  }
+  std::function<void()> hook;
+
+ private:
+  char tag_;
+  std::string& log_;
+};
+
+TEST(TelemetryBusSubscribers, DispatchFollowsSubscriptionOrder) {
+  TelemetryBus bus;
+  std::string log;
+  TagRecorder a('a', log), b('b', log), c('c', log);
+  bus.subscribe_mac(&a);
+  bus.subscribe_mac(&b);
+  bus.subscribe_mac(&c);
+  EXPECT_EQ(bus.mac_subscribers(), 3u);
+
+  bus.on_mac_sleep(0, 0);
+  bus.on_mac_sleep(0, 1);
+  EXPECT_EQ(log, "abcabc");
+}
+
+TEST(TelemetryBusSubscribers, DuplicateSubscribeKeepsFirstPosition) {
+  TelemetryBus bus;
+  std::string log;
+  TagRecorder a('a', log), b('b', log);
+  bus.subscribe_mac(&a);
+  bus.subscribe_mac(&b);
+  bus.subscribe_mac(&a);  // no-op: already subscribed
+  EXPECT_EQ(bus.mac_subscribers(), 2u);
+
+  bus.on_mac_sleep(0, 0);
+  EXPECT_EQ(log, "ab");
+}
+
+TEST(TelemetryBusSubscribers, UnsubscribeUnknownIsNoOp) {
+  TelemetryBus bus;
+  std::string log;
+  TagRecorder a('a', log), stranger('x', log);
+  bus.subscribe_mac(&a);
+  bus.unsubscribe_mac(&stranger);
+  EXPECT_EQ(bus.mac_subscribers(), 1u);
+  bus.on_mac_sleep(0, 0);
+  EXPECT_EQ(log, "a");
+}
+
+TEST(TelemetryBusSubscribers, LayersAreIndependent) {
+  TelemetryBus bus;
+  std::string log;
+  TagRecorder a('a', log);
+  bus.subscribe_mac(&a);
+  EXPECT_EQ(bus.phy_subscribers(), 0u);
+  EXPECT_EQ(bus.power_subscribers(), 0u);
+  EXPECT_EQ(bus.routing_subscribers(), 0u);
+  // Emissions on other layers with zero subscribers are harmless.
+  bus.on_phy_tx(0, 512, 0);
+  bus.on_am_window(0, 1, 0);
+  bus.on_data_forwarded(0, 0);
+  EXPECT_EQ(log, "");
+}
+
+TEST(TelemetryBusReentrancy, SelfUnsubscribeDuringDispatch) {
+  TelemetryBus bus;
+  std::string log;
+  TagRecorder a('a', log), b('b', log), c('c', log);
+  bus.subscribe_mac(&a);
+  bus.subscribe_mac(&b);
+  bus.subscribe_mac(&c);
+  b.hook = [&] { bus.unsubscribe_mac(&b); };
+
+  bus.on_mac_sleep(0, 0);
+  EXPECT_EQ(log, "abc");  // b still saw the event it was removed during
+  EXPECT_EQ(bus.mac_subscribers(), 2u);
+
+  bus.on_mac_sleep(0, 1);
+  EXPECT_EQ(log, "abcac");
+}
+
+TEST(TelemetryBusReentrancy, RemovingLaterSubscriberSkipsItThisEvent) {
+  TelemetryBus bus;
+  std::string log;
+  TagRecorder a('a', log), b('b', log), c('c', log);
+  bus.subscribe_mac(&a);
+  bus.subscribe_mac(&b);
+  bus.subscribe_mac(&c);
+  a.hook = [&] { bus.unsubscribe_mac(&c); };
+
+  bus.on_mac_sleep(0, 0);
+  EXPECT_EQ(log, "ab");  // c was nulled before its slot was reached
+  EXPECT_EQ(bus.mac_subscribers(), 2u);
+
+  a.hook = nullptr;
+  bus.on_mac_sleep(0, 1);
+  EXPECT_EQ(log, "abab");
+}
+
+TEST(TelemetryBusReentrancy, SubscribeDuringDispatchSeesNextEvent) {
+  TelemetryBus bus;
+  std::string log;
+  TagRecorder a('a', log), b('b', log), late('L', log);
+  bus.subscribe_mac(&a);
+  bus.subscribe_mac(&b);
+  a.hook = [&] { bus.subscribe_mac(&late); };
+
+  bus.on_mac_sleep(0, 0);
+  EXPECT_EQ(log, "ab");  // size captured up front: late misses this event
+
+  bus.on_mac_sleep(0, 1);
+  EXPECT_EQ(log, "ababL");
+}
+
+TEST(TelemetryBusReentrancy, RemoveEveryoneDuringDispatch) {
+  TelemetryBus bus;
+  std::string log;
+  TagRecorder a('a', log), b('b', log), c('c', log);
+  bus.subscribe_mac(&a);
+  bus.subscribe_mac(&b);
+  bus.subscribe_mac(&c);
+  a.hook = [&] {
+    bus.unsubscribe_mac(&a);
+    bus.unsubscribe_mac(&b);
+    bus.unsubscribe_mac(&c);
+  };
+
+  bus.on_mac_sleep(0, 0);
+  EXPECT_EQ(log, "a");
+  EXPECT_EQ(bus.mac_subscribers(), 0u);
+  bus.on_mac_sleep(0, 1);
+  EXPECT_EQ(log, "a");
+}
+
+// --- Golden-file trace ------------------------------------------------------
+
+/// Six static nodes, two short CBR flows, Rcast/DSR, fixed seed: small
+/// enough that the full routing+MAC event trace is reviewable by hand.
+scenario::ScenarioConfig tiny_cfg() {
+  scenario::ScenarioConfig cfg;
+  cfg.num_nodes = 6;
+  cfg.world = {600.0, 300.0};
+  cfg.num_flows = 2;
+  cfg.rate_pps = 4.0;
+  cfg.duration = 2 * sim::kSecond;
+  cfg.pause = cfg.duration;  // static topology
+  cfg.max_speed_mps = 1.0;
+  cfg.seed = 1;
+  cfg.scheme = scenario::Scheme::kRcast;
+  cfg.routing = scenario::RoutingProtocol::kDsr;
+  return cfg;
+}
+
+TEST(TelemetryGoldenTrace, TinyScenarioMatchesCommittedCsv) {
+  std::ostringstream trace;
+  {
+    EventTracer tracer(trace);
+    scenario::Network net(tiny_cfg());
+    net.telemetry().subscribe_routing(&tracer);
+    net.telemetry().subscribe_mac(&tracer);
+    net.run();
+    ASSERT_GT(tracer.lines_written(), 0u);
+  }
+
+  const std::string path =
+      std::string(RCAST_TEST_DATA_DIR) + "/telemetry_trace_golden.csv";
+  if (std::getenv("RCAST_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+    out << trace.str();
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden file " << path
+      << " — regenerate with RCAST_REGEN_GOLDEN=1 ./test_telemetry";
+  std::stringstream golden;
+  golden << in.rdbuf();
+
+  // Compare line-by-line so a mismatch reports the first divergent event
+  // instead of dumping two multi-hundred-line blobs.
+  std::istringstream got(trace.str());
+  std::istringstream want(golden.str());
+  std::string got_line, want_line;
+  std::size_t lineno = 0;
+  for (;;) {
+    const bool g = static_cast<bool>(std::getline(got, got_line));
+    const bool w = static_cast<bool>(std::getline(want, want_line));
+    ++lineno;
+    if (!g && !w) break;
+    ASSERT_TRUE(g && w) << "trace length differs at line " << lineno
+                        << " (got " << (g ? "extra" : "missing")
+                        << " lines vs golden)";
+    ASSERT_EQ(got_line, want_line) << "first divergence at line " << lineno;
+  }
+}
+
+TEST(TelemetryGoldenTrace, TracingDoesNotPerturbTheRun) {
+  const auto cfg = tiny_cfg();
+  std::ostringstream trace;
+  EventTracer tracer(trace);
+  scenario::Network traced(cfg);
+  traced.telemetry().subscribe_routing(&tracer);
+  traced.telemetry().subscribe_mac(&tracer);
+  const auto with = traced.run();
+  const auto without = scenario::run_scenario(cfg);
+  EXPECT_EQ(with.events_executed, without.events_executed);
+  EXPECT_EQ(with.delivered, without.delivered);
+  EXPECT_EQ(with.total_energy_j, without.total_energy_j);
+}
+
+// --- Bus-derived vs struct-derived summaries --------------------------------
+
+/// Every non-perf field must match exactly: doubles are compared with ==
+/// because both paths read the same inputs through base_summary(), and the
+/// per-layer aggregates must be identical counts, not approximations.
+void expect_identical(const scenario::RunResult& bus,
+                      const scenario::RunResult& st) {
+  EXPECT_EQ(bus.scheme, st.scheme);
+  EXPECT_EQ(bus.duration_s, st.duration_s);
+  EXPECT_EQ(bus.total_energy_j, st.total_energy_j);
+  EXPECT_EQ(bus.energy_variance, st.energy_variance);
+  EXPECT_EQ(bus.energy_mean_j, st.energy_mean_j);
+  EXPECT_EQ(bus.energy_min_j, st.energy_min_j);
+  EXPECT_EQ(bus.energy_max_j, st.energy_max_j);
+  EXPECT_EQ(bus.per_node_energy_j, st.per_node_energy_j);
+  EXPECT_EQ(bus.originated, st.originated);
+  EXPECT_EQ(bus.delivered, st.delivered);
+  EXPECT_EQ(bus.pdr_percent, st.pdr_percent);
+  EXPECT_EQ(bus.avg_delay_s, st.avg_delay_s);
+  EXPECT_EQ(bus.delay_p50_s, st.delay_p50_s);
+  EXPECT_EQ(bus.delay_p90_s, st.delay_p90_s);
+  EXPECT_EQ(bus.avg_route_wait_s, st.avg_route_wait_s);
+  EXPECT_EQ(bus.avg_transit_s, st.avg_transit_s);
+  EXPECT_EQ(bus.energy_per_bit_j, st.energy_per_bit_j);
+  EXPECT_EQ(bus.control_tx, st.control_tx);
+  EXPECT_EQ(bus.normalized_overhead, st.normalized_overhead);
+  EXPECT_EQ(bus.role_numbers, st.role_numbers);
+  EXPECT_EQ(bus.atim_tx, st.atim_tx);
+  EXPECT_EQ(bus.data_tx_attempts, st.data_tx_attempts);
+  EXPECT_EQ(bus.overhear_commits, st.overhear_commits);
+  EXPECT_EQ(bus.overhear_declines, st.overhear_declines);
+  EXPECT_EQ(bus.mac_sleeps, st.mac_sleeps);
+  EXPECT_EQ(bus.rreq_tx, st.rreq_tx);
+  EXPECT_EQ(bus.rrep_tx, st.rrep_tx);
+  EXPECT_EQ(bus.rerr_tx, st.rerr_tx);
+  EXPECT_EQ(bus.hello_tx, st.hello_tx);
+  for (std::size_t d = 0; d < bus.drops.size(); ++d) {
+    EXPECT_EQ(bus.drops[d], st.drops[d]) << "drop reason " << d;
+  }
+  EXPECT_EQ(bus.data_tx_failed, st.data_tx_failed);
+  EXPECT_EQ(bus.data_salvaged, st.data_salvaged);
+  EXPECT_EQ(bus.dead_nodes, st.dead_nodes);
+  EXPECT_EQ(bus.first_death_s, st.first_death_s);
+}
+
+scenario::ScenarioConfig regression_cfg() {
+  scenario::ScenarioConfig cfg;
+  cfg.num_nodes = 25;
+  cfg.world = {900.0, 300.0};
+  cfg.num_flows = 6;
+  cfg.rate_pps = 2.0;
+  cfg.duration = 20 * sim::kSecond;
+  cfg.pause = 0;  // keep nodes moving: exercises RERR/salvage paths
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(BusVsStructSummary, RcastDsr) {
+  auto cfg = regression_cfg();
+  cfg.scheme = scenario::Scheme::kRcast;
+  cfg.routing = scenario::RoutingProtocol::kDsr;
+  scenario::Network net(cfg);
+  const auto bus_r = net.run();
+  const auto struct_r = net.summarize_from_structs();
+  EXPECT_GT(bus_r.atim_tx, 0u);
+  expect_identical(bus_r, struct_r);
+}
+
+TEST(BusVsStructSummary, OdpmAodv) {
+  auto cfg = regression_cfg();
+  cfg.scheme = scenario::Scheme::kOdpm;
+  cfg.routing = scenario::RoutingProtocol::kAodv;
+  scenario::Network net(cfg);
+  const auto bus_r = net.run();
+  const auto struct_r = net.summarize_from_structs();
+  EXPECT_GT(bus_r.hello_tx, 0u);
+  expect_identical(bus_r, struct_r);
+}
+
+TEST(BusVsStructSummary, Plain80211Dsr) {
+  auto cfg = regression_cfg();
+  cfg.scheme = scenario::Scheme::k80211;
+  cfg.routing = scenario::RoutingProtocol::kDsr;
+  scenario::Network net(cfg);
+  const auto bus_r = net.run();
+  expect_identical(bus_r, net.summarize_from_structs());
+}
+
+// --- PHY and power layers flow through the bus ------------------------------
+
+class PhyCounter final : public PhyEvents {
+ public:
+  void on_phy_tx(NodeId, std::int64_t, sim::Time) override { ++tx; }
+  void on_phy_rx_ok(NodeId, NodeId, sim::Time) override { ++rx_ok; }
+  void on_phy_rx_lost(NodeId, PhyLoss, sim::Time) override { ++rx_lost; }
+  void on_radio_state(NodeId, energy::RadioState, sim::Time) override {
+    ++transitions;
+  }
+  std::uint64_t tx = 0, rx_ok = 0, rx_lost = 0, transitions = 0;
+};
+
+class PowerCounter final : public PowerEvents {
+ public:
+  void on_am_window(NodeId, sim::Time, sim::Time) override { ++am_windows; }
+  void on_battery_depleted(NodeId, sim::Time) override { ++deaths; }
+  std::uint64_t am_windows = 0, deaths = 0;
+};
+
+TEST(TelemetryLayers, PhyEventsFlowForPsmScheme) {
+  auto cfg = tiny_cfg();
+  PhyCounter phy;
+  scenario::Network net(cfg);
+  net.telemetry().subscribe_phy(&phy);
+  const auto r = net.run();
+  EXPECT_GT(phy.tx, 0u);
+  EXPECT_GT(phy.rx_ok, 0u);
+  // PSM schemes toggle idle<->sleep constantly, so transitions must dwarf
+  // the node count.
+  EXPECT_GT(phy.transitions, static_cast<std::uint64_t>(cfg.num_nodes));
+  EXPECT_GT(r.mac_sleeps, 0u);
+}
+
+TEST(TelemetryLayers, OdpmEmitsAmWindowsAndBatteryDeaths) {
+  auto cfg = regression_cfg();
+  cfg.scheme = scenario::Scheme::kOdpm;
+  cfg.battery_joules = 8.0;  // tiny: some nodes must die within 20 s
+  PowerCounter power;
+  scenario::Network net(cfg);
+  net.telemetry().subscribe_power(&power);
+  const auto r = net.run();
+  EXPECT_GT(power.am_windows, 0u);
+  EXPECT_GT(r.dead_nodes, 0u);
+  EXPECT_EQ(power.deaths, static_cast<std::uint64_t>(r.dead_nodes));
+}
+
+}  // namespace
+}  // namespace rcast::stats

@@ -11,7 +11,7 @@ namespace {
 
 routing::DsrPacket data_pkt(std::uint32_t flow, std::uint32_t seq) {
   routing::DsrPacket p;
-  p.type = routing::DsrType::kData;
+  p.type = routing::PacketType::kData;
   p.flow_id = flow;
   p.app_seq = seq;
   p.src = 1;
@@ -44,7 +44,7 @@ TEST(EventTracer, RecordsOriginateDeliverDrop) {
 TEST(EventTracer, RecordsControlAndRoutes) {
   std::ostringstream os;
   EventTracer t(os);
-  t.on_control_transmit(routing::DsrType::kRreq, 0);
+  t.on_control_transmit(routing::PacketType::kRreq, 0);
   t.on_route_used({0, 3, 7}, 0);
   t.on_data_forwarded(3, 0);
   const std::string s = os.str();
@@ -53,12 +53,14 @@ TEST(EventTracer, RecordsControlAndRoutes) {
   EXPECT_NE(s.find("forward,node=3"), std::string::npos);
 }
 
-TEST(TeeObserver, FansOutToBoth) {
+TEST(TelemetryBusFanOut, MultipleRoutingSubscribersSeeEverything) {
   MetricsCollector a(5), b(5);
-  TeeObserver tee(a, b);
-  tee.on_data_originated(data_pkt(0, 1), 0);
-  tee.on_data_delivered(data_pkt(0, 1), sim::from_seconds(2));
-  tee.on_control_transmit(routing::DsrType::kRrep, 0);
+  TelemetryBus bus;
+  bus.subscribe_routing(&a);
+  bus.subscribe_routing(&b);
+  bus.on_data_originated(data_pkt(0, 1), 0);
+  bus.on_data_delivered(data_pkt(0, 1), sim::from_seconds(2));
+  bus.on_control_transmit(routing::PacketType::kRrep, 0);
   EXPECT_EQ(a.originated(), 1u);
   EXPECT_EQ(b.originated(), 1u);
   EXPECT_EQ(a.delivered(), 1u);
@@ -77,10 +79,10 @@ TEST(EventTracer, EndToEndThroughNetwork) {
   scenario::Network net(cfg);
   std::ostringstream os;
   EventTracer tracer(os);
-  net.set_secondary_observer(&tracer);
+  net.telemetry().subscribe_routing(&tracer);
   const auto r = net.run();
   EXPECT_GT(tracer.lines_written(), 0u);
-  // The metrics collector still saw everything through the tee.
+  // The metrics collector still saw everything alongside the tracer.
   EXPECT_EQ(net.metrics().originated(), r.originated);
   EXPECT_GT(r.delivered, 0u);
   EXPECT_NE(os.str().find("originate"), std::string::npos);
@@ -99,7 +101,8 @@ TEST(EventTracer, TraceDoesNotPerturbSimulation) {
   scenario::Network net(cfg);
   std::ostringstream os;
   EventTracer tracer(os);
-  net.set_secondary_observer(&tracer);
+  net.telemetry().subscribe_routing(&tracer);
+  net.telemetry().subscribe_mac(&tracer);
   const auto traced = net.run();
 
   EXPECT_EQ(plain.events_executed, traced.events_executed);

@@ -8,6 +8,7 @@
 //
 //   rcast_campaign run    manifest.txt --out=DIR [--threads=N]
 //                         [--timeout-s=S] [--max-jobs=N] [--quiet]
+//                         [--trace=FILE [--trace-job=ID]]
 //   rcast_campaign resume manifest.txt --out=DIR [same knobs]
 //   rcast_campaign status manifest.txt --out=DIR
 //   rcast_campaign export manifest.txt --out=DIR [--csv=FILE]
@@ -41,6 +42,8 @@ void print_usage() {
       "  --timeout-s=S    per-job wall budget  (default: none)\n"
       "  --max-jobs=N     stop after N new jobs (interruption testing)\n"
       "  --csv=FILE       export target        (default: stdout)\n"
+      "  --trace=FILE     attach a routing+MAC event trace to one job\n"
+      "  --trace-job=ID   job id to trace      (default: first pending)\n"
       "  --quiet          suppress progress lines\n"
       "\n"
       "Manifest keys: name, schemes, routings, rates_pps, pauses_s (numbers\n"
@@ -67,6 +70,12 @@ int cmd_run(const campaign::Manifest& manifest, const std::string& out_dir,
   opt.job_timeout_s = flags.get_double("timeout-s", 0.0);
   opt.max_jobs = static_cast<std::size_t>(flags.get_int("max-jobs", 0));
   opt.progress = !flags.get_bool("quiet", false);
+  opt.trace_path = flags.get_string("trace", "");
+  opt.trace_job = flags.get_string("trace-job", "");
+  if (opt.trace_path.empty() && !opt.trace_job.empty()) {
+    std::fprintf(stderr, "--trace-job requires --trace=FILE\n");
+    return 2;
+  }
 
   const campaign::CampaignResult r = campaign::run_campaign(manifest, opt);
   std::fprintf(stderr,

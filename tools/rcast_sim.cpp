@@ -43,7 +43,7 @@ void print_usage() {
       "  --estimator=NAME   neighbors | sender-id | mobility | battery |\n"
       "                     combined                  (default neighbors)\n"
       "  --csv              one CSV row per run (with header)\n"
-      "  --trace=FILE       per-packet event trace (single-run only)\n"
+      "  --trace=FILE       per-event trace, routing + MAC (single-run only)\n"
       "  --help             this text");
 }
 
@@ -194,7 +194,8 @@ int main(int argc, char** argv) {
         }
         stats::EventTracer tracer(out);
         scenario::Network net(run_cfg);
-        net.set_secondary_observer(&tracer);
+        net.telemetry().subscribe_routing(&tracer);
+        net.telemetry().subscribe_mac(&tracer);
         r = net.run();
         std::fprintf(stderr, "trace: %llu events -> %s\n",
                      static_cast<unsigned long long>(tracer.lines_written()),

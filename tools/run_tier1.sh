@@ -4,16 +4,19 @@
 # to BENCH_hotpath JSON (compare against the committed baseline at the repo
 # root; DESIGN.md §8 explains the fields).
 #
-# Usage: tools/run_tier1.sh [build-dir] [sanitizers]
-#   build-dir   defaults to "build"
-#   sanitizers  optional RCAST_SANITIZE value (e.g. "address,undefined");
-#               sanitized runs skip the benchmark pass.
+# Usage: tools/run_tier1.sh [build-dir] [sanitizers] [ctest-filter]
+#   build-dir    defaults to "build"
+#   sanitizers   optional RCAST_SANITIZE value (e.g. "address,undefined");
+#                sanitized runs skip the benchmark pass.
+#   ctest-filter optional ctest -R regex; CI's TSan leg uses it to run just
+#                the multi-threaded suites (campaign runner, repetitions).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 SANITIZE="${2:-}"
+FILTER="${3:-}"
 
 CMAKE_ARGS=(-B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release)
 if [[ -n "$SANITIZE" ]]; then
@@ -22,7 +25,11 @@ fi
 
 cmake "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-ctest --test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure
+CTEST_ARGS=(--test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure)
+if [[ -n "$FILTER" ]]; then
+  CTEST_ARGS+=(-R "$FILTER")
+fi
+ctest "${CTEST_ARGS[@]}"
 
 if [[ -z "$SANITIZE" ]]; then
   RCAST_BENCH_JSON="${RCAST_BENCH_JSON:-$BUILD_DIR/BENCH_hotpath.json}" \
