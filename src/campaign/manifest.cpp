@@ -1,10 +1,12 @@
 #include "campaign/manifest.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <set>
 #include <sstream>
 
+#include "scenario/params.hpp"
 #include "util/flags.hpp"
 
 namespace rcast::campaign {
@@ -88,6 +90,22 @@ std::string num_id(double v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%g", v);
   return buf;
+}
+
+// Registered params owned by the classic grid keys; as manifest overrides
+// or extra axes they would fight the expansion loops, so the parser points
+// at the legacy spelling instead.
+constexpr std::pair<std::string_view, std::string_view> kAxisOwned[] = {
+    {"scheme", "schemes"},   {"routing", "routings"},
+    {"rate_pps", "rates_pps"}, {"pause_s", "pauses_s"},
+    {"nodes", "nodes"},      {"seed", "seeds / seed_base"},
+};
+
+std::string_view axis_owner(std::string_view param) {
+  for (const auto& [p, owner] : kAxisOwned) {
+    if (p == param) return owner;
+  }
+  return {};
 }
 
 }  // namespace
@@ -187,8 +205,33 @@ Manifest parse_manifest(std::string_view text) {
       if (m.world_w_m <= 0.0 || m.world_h_m <= 0.0) {
         fail(line_no, "world_m: dimensions must be > 0");
       }
+    } else if (const scenario::Param* p = scenario::find_param(key)) {
+      // Any registered scenario parameter: single value = scalar override,
+      // comma-separated list = extra sweep axis.
+      if (const auto owner = axis_owner(key); !owner.empty()) {
+        fail(line_no, "'" + key + "' is a grid axis; use the '" +
+                          std::string(owner) + "' key");
+      }
+      const auto items = split_list(value);
+      if (items.empty()) fail(line_no, key + ": empty value");
+      std::vector<std::string> canonical;
+      canonical.reserve(items.size());
+      for (const auto& item : items) {
+        try {
+          canonical.push_back(p->parse(item).text());
+        } catch (const scenario::ParamError& e) {
+          fail(line_no, e.what());
+        }
+      }
+      if (value.find(',') != std::string::npos) {
+        m.axes.push_back(SweepAxis{key, std::move(canonical)});
+      } else {
+        m.overrides.emplace_back(key, std::move(canonical.front()));
+      }
     } else {
-      fail(line_no, "unknown key '" + key + "'");
+      fail(line_no, "unknown key '" + key +
+                        "' (not a manifest key or a registered scenario "
+                        "parameter; see rcast_sim --help-params)");
     }
   }
   return m;
@@ -202,28 +245,35 @@ Manifest parse_manifest_file(const std::string& path) {
   return parse_manifest(buf.str());
 }
 
-std::string config_digest(const scenario::ScenarioConfig& cfg) {
+namespace {
+
+// Both digests iterate the parameter registry, so every behavior-affecting
+// ScenarioConfig field is mixed (the ParamRegistry completeness test pins
+// this). The version tag makes registry changes an explicit invalidation:
+// adding/renaming/reordering a parameter changes every digest, which
+// retires existing campaign journals — bump the tag when you change the
+// registry so the incompatibility is visible in code review (DESIGN.md §11).
+std::string registry_digest(const scenario::ScenarioConfig& cfg,
+                            const char* tag, bool with_seed) {
   Digest d;
-  d.mix(scenario::scheme_name(cfg.scheme));
-  d.mix(scenario::to_string(cfg.routing));
-  d.mix(static_cast<std::uint64_t>(cfg.num_nodes));
-  d.mix(static_cast<std::uint64_t>(cfg.num_flows));
-  d.mix(cfg.rate_pps);
-  d.mix(static_cast<std::int64_t>(cfg.pause));
-  d.mix(static_cast<std::int64_t>(cfg.duration));
-  d.mix(cfg.seed);
-  d.mix(static_cast<std::int64_t>(cfg.payload_bits));
-  d.mix(cfg.max_speed_mps);
-  d.mix(cfg.battery_joules);
-  d.mix(cfg.world.width);
-  d.mix(cfg.world.height);
-  d.mix(cfg.tx_range_m);
-  d.mix(cfg.cs_range_m);
-  d.mix(static_cast<std::int64_t>(cfg.bitrate_bps));
-  d.mix(static_cast<std::uint64_t>(cfg.rcast.estimator));
-  d.mix(static_cast<std::uint64_t>(cfg.rcast_oracle_neighbors));
-  d.mix(static_cast<std::int64_t>(cfg.sync_jitter));
+  d.mix(tag);
+  for (const scenario::Param& p : scenario::param_registry()) {
+    if (!p.in_digest) continue;
+    if (!with_seed && p.name == "seed") continue;
+    d.mix(p.name);
+    d.mix(p.get(cfg).text());
+  }
   return d.hex();
+}
+
+}  // namespace
+
+std::string config_digest(const scenario::ScenarioConfig& cfg) {
+  return registry_digest(cfg, "cfg/v2", /*with_seed=*/true);
+}
+
+std::string config_cell_digest(const scenario::ScenarioConfig& cfg) {
+  return registry_digest(cfg, "cell/v2", /*with_seed=*/false);
 }
 
 std::vector<Job> expand(const Manifest& m, const scenario::ScenarioConfig& base) {
@@ -231,6 +281,45 @@ std::vector<Job> expand(const Manifest& m, const scenario::ScenarioConfig& base)
       m.pauses.empty() || m.node_counts.empty() || m.seeds == 0) {
     throw ManifestError("manifest '" + m.name + "': every grid axis must be non-empty");
   }
+  for (const auto& axis : m.axes) {
+    if (axis.values.empty()) {
+      throw ManifestError("manifest '" + m.name + "': axis '" + axis.param +
+                          "' has no values");
+    }
+  }
+
+  // Resolve override/axis params once; parse_manifest validated the names.
+  auto resolve = [&](const std::string& name) -> const scenario::Param& {
+    const scenario::Param* p = scenario::find_param(name);
+    if (p == nullptr) {
+      throw ManifestError("manifest '" + m.name + "': unknown parameter '" +
+                          name + "'");
+    }
+    return *p;
+  };
+
+  // Base config with every scalar override applied, cloned per job.
+  scenario::ScenarioConfig overridden = base;
+  for (const auto& [name, text] : m.overrides) {
+    const scenario::Param& p = resolve(name);
+    try {
+      p.set(overridden, p.parse(text));
+    } catch (const scenario::ParamError& e) {
+      throw ManifestError("manifest '" + m.name + "': " + e.what());
+    }
+  }
+
+  // Odometer over the extra axes (first axis slowest, matching the nesting
+  // of the classic loops); empty when there are none.
+  std::vector<std::size_t> odo(m.axes.size(), 0);
+  const auto advance_odo = [&]() -> bool {
+    for (std::size_t i = odo.size(); i-- > 0;) {
+      if (++odo[i] < m.axes[i].values.size()) return true;
+      odo[i] = 0;
+    }
+    return false;
+  };
+
   std::vector<Job> jobs;
   jobs.reserve(m.job_count());
   for (const auto scheme : m.schemes) {
@@ -238,36 +327,53 @@ std::vector<Job> expand(const Manifest& m, const scenario::ScenarioConfig& base)
       for (const double rate : m.rates_pps) {
         for (const auto& pause : m.pauses) {
           for (const std::size_t nodes : m.node_counts) {
-            for (std::size_t k = 0; k < m.seeds; ++k) {
-              Job job;
-              job.index = jobs.size();
-              job.cfg = base;
-              job.cfg.scheme = scheme;
-              job.cfg.routing = routing;
-              job.cfg.rate_pps = rate;
-              job.cfg.num_nodes = nodes;
-              job.cfg.num_flows = m.flows > 0 ? m.flows : nodes / 5;
-              job.cfg.duration = sim::from_seconds(m.duration_s);
-              job.cfg.pause = pause.is_static
-                                  ? job.cfg.duration
-                                  : sim::from_seconds(pause.seconds);
-              job.cfg.seed = m.seed_base + k;
-              job.cfg.payload_bits =
-                  static_cast<std::int64_t>(m.payload_bytes) * 8;
-              job.cfg.max_speed_mps = m.speed_mps;
-              job.cfg.battery_joules = m.battery_j;
-              job.cfg.world = {m.world_w_m, m.world_h_m};
-              job.digest = config_digest(job.cfg);
+            bool more_axes = true;
+            for (; more_axes; more_axes = advance_odo()) {
+              for (std::size_t k = 0; k < m.seeds; ++k) {
+                Job job;
+                job.index = jobs.size();
+                job.cfg = overridden;
+                job.cfg.scheme = scheme;
+                job.cfg.routing = routing;
+                job.cfg.rate_pps = rate;
+                job.cfg.num_nodes = nodes;
+                job.cfg.num_flows =
+                    m.flows > 0 ? m.flows
+                                : std::max<std::size_t>(1, nodes / 5);
+                job.cfg.duration = sim::from_seconds(m.duration_s);
+                job.cfg.pause = pause.is_static
+                                    ? job.cfg.duration
+                                    : sim::from_seconds(pause.seconds);
+                job.cfg.seed = m.seed_base + k;
+                job.cfg.payload_bits =
+                    static_cast<std::int64_t>(m.payload_bytes) * 8;
+                job.cfg.max_speed_mps = m.speed_mps;
+                job.cfg.battery_joules = m.battery_j;
+                job.cfg.world = {m.world_w_m, m.world_h_m};
 
-              std::ostringstream id;
-              id << scenario::scheme_name(scheme) << '/'
-                 << scenario::to_string(routing) << "/r" << num_id(rate)
-                 << "/p"
-                 << (pause.is_static ? std::string("static")
-                                     : num_id(pause.seconds))
-                 << "/n" << nodes << "/s" << job.cfg.seed;
-              job.id = id.str();
-              jobs.push_back(std::move(job));
+                std::ostringstream id;
+                id << scenario::scheme_name(scheme) << '/'
+                   << scenario::to_string(routing) << "/r" << num_id(rate)
+                   << "/p"
+                   << (pause.is_static ? std::string("static")
+                                       : num_id(pause.seconds))
+                   << "/n" << nodes;
+                for (std::size_t i = 0; i < m.axes.size(); ++i) {
+                  const scenario::Param& p = resolve(m.axes[i].param);
+                  const auto value = p.parse(m.axes[i].values[odo[i]]);
+                  p.set(job.cfg, value);
+                  id << '/' << m.axes[i].param << '=' << value.pretty();
+                }
+                id << "/s" << job.cfg.seed;
+
+                if (job.cfg.num_flows == 0) {
+                  throw ManifestError("manifest '" + m.name + "': job '" +
+                                      id.str() + "' expands to 0 flows");
+                }
+                job.digest = config_digest(job.cfg);
+                job.id = id.str();
+                jobs.push_back(std::move(job));
+              }
             }
           }
         }

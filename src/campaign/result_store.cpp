@@ -13,6 +13,7 @@
 
 #include "campaign/json.hpp"
 #include "scenario/experiment.hpp"
+#include "scenario/params.hpp"
 
 namespace rcast::campaign {
 
@@ -63,26 +64,35 @@ std::string record_to_json(const Job& job, const scenario::RunResult& r,
                            double wall_ms) {
   json::Writer w;
   w.begin_object();
+  w.key("v").value(std::uint64_t{2});
   w.key("job").value(static_cast<std::uint64_t>(job.index));
   w.key("id").value(job.id);
   w.key("cfg_digest").value(job.digest);
   w.key("wall_ms").value(wall_ms);
 
-  const auto& cfg = job.cfg;
+  // The full config, one member per registered parameter in registry order
+  // (typed: numbers, booleans, enum token strings). Round-trips through
+  // record_from_json with digest equality — test_params pins this per
+  // parameter.
   w.key("config").begin_object();
-  w.key("scheme").value(scenario::scheme_name(cfg.scheme));
-  w.key("routing").value(scenario::to_string(cfg.routing));
-  w.key("nodes").value(static_cast<std::uint64_t>(cfg.num_nodes));
-  w.key("flows").value(static_cast<std::uint64_t>(cfg.num_flows));
-  w.key("rate_pps").value(cfg.rate_pps);
-  w.key("pause_s").value(sim::to_seconds(cfg.pause));
-  w.key("duration_s").value(sim::to_seconds(cfg.duration));
-  w.key("seed").value(cfg.seed);
-  w.key("payload_bytes").value(static_cast<double>(cfg.payload_bits) / 8.0);
-  w.key("speed_mps").value(cfg.max_speed_mps);
-  w.key("battery_j").value(cfg.battery_joules);
-  w.key("world_w_m").value(cfg.world.width);
-  w.key("world_h_m").value(cfg.world.height);
+  for (const scenario::Param& p : scenario::param_registry()) {
+    w.key(p.name);
+    const scenario::ParamValue v = p.get(job.cfg);
+    switch (p.type) {
+      case scenario::ParamType::kDouble:
+        w.value(v.d);
+        break;
+      case scenario::ParamType::kUInt:
+        w.value(v.u);
+        break;
+      case scenario::ParamType::kBool:
+        w.value(v.b);
+        break;
+      case scenario::ParamType::kEnum:
+        w.value(std::string_view(v.token));
+        break;
+    }
+  }
   w.end_object();
 
   w.key("result").begin_object();
@@ -152,26 +162,45 @@ JobRecord record_from_json(const json::Value& v) {
   rec.digest = v.at("cfg_digest").as_string();
   rec.wall_ms = v.at("wall_ms").as_double();
 
+  // Reconstruct the full config through the registry: every registered
+  // parameter present in the record's "config" object is applied; absent
+  // keys keep their defaults (records always carry the full set since v2).
   const json::Value& cfg = v.at("config");
-  const auto scheme = scenario::scheme_from_string(cfg.at("scheme").as_string());
-  if (!scheme) {
-    throw ResultStoreError("record has unknown scheme '" +
-                           cfg.at("scheme").as_string() + "'");
+  for (const scenario::Param& p : scenario::param_registry()) {
+    const json::Value* member = cfg.find(std::string(p.name));
+    if (member == nullptr) continue;
+    scenario::ParamValue value;
+    try {
+      switch (p.type) {
+        case scenario::ParamType::kDouble:
+          value = scenario::ParamValue::of(member->as_double());
+          break;
+        case scenario::ParamType::kUInt:
+          value = scenario::ParamValue::of(member->as_u64());
+          break;
+        case scenario::ParamType::kBool:
+          value = scenario::ParamValue::of(member->as_bool());
+          break;
+        case scenario::ParamType::kEnum:
+          // Validate + canonicalize the stored token.
+          value = p.parse(member->as_string());
+          break;
+      }
+      p.set(rec.cfg, value);
+    } catch (const scenario::ParamError& e) {
+      throw ResultStoreError("record config." + std::string(p.name) + ": " +
+                             e.what());
+    }
   }
-  rec.scheme = *scheme;
-  const auto routing =
-      scenario::routing_from_string(cfg.at("routing").as_string());
-  if (!routing) {
-    throw ResultStoreError("record has unknown routing '" +
-                           cfg.at("routing").as_string() + "'");
-  }
-  rec.routing = *routing;
-  rec.nodes = static_cast<std::size_t>(cfg.at("nodes").as_u64());
-  rec.flows = static_cast<std::size_t>(cfg.at("flows").as_u64());
-  rec.rate_pps = cfg.at("rate_pps").as_double();
-  rec.pause_s = cfg.at("pause_s").as_double();
-  rec.duration_s = cfg.at("duration_s").as_double();
-  rec.seed = cfg.at("seed").as_u64();
+  rec.cell = config_cell_digest(rec.cfg);
+  rec.scheme = rec.cfg.scheme;
+  rec.routing = rec.cfg.routing;
+  rec.nodes = rec.cfg.num_nodes;
+  rec.flows = rec.cfg.num_flows;
+  rec.rate_pps = rec.cfg.rate_pps;
+  rec.pause_s = sim::to_seconds(rec.cfg.pause);
+  rec.duration_s = sim::to_seconds(rec.cfg.duration);
+  rec.seed = rec.cfg.seed;
 
   const json::Value& res = v.at("result");
   scenario::RunResult& r = rec.result;
@@ -263,23 +292,20 @@ std::vector<JobRecord> load_results(const std::string& path) {
 }
 
 std::vector<AggregateRow> aggregate(const std::vector<JobRecord>& records) {
-  // Group key: everything but the seed. Walk in input (job-index) order so
-  // the output row order matches expansion order deterministically.
+  // Group key: the seed-excluded cell digest, which distinguishes cells by
+  // *every* config parameter — nested sweep axes (mac.*, odpm.*, ...) form
+  // their own cells even though the CSV's classic columns coincide. Walk in
+  // input (job-index) order so the output row order matches expansion order
+  // deterministically.
   struct Cell {
     AggregateRow row;
     std::vector<scenario::RunResult> runs;
   };
   std::vector<Cell> cells;
-  auto matches = [](const AggregateRow& a, const JobRecord& r) {
-    return a.scheme == r.scheme && a.routing == r.routing &&
-           a.nodes == r.nodes && a.flows == r.flows &&
-           a.rate_pps == r.rate_pps && a.pause_s == r.pause_s &&
-           a.duration_s == r.duration_s;
-  };
   for (const auto& rec : records) {
     Cell* cell = nullptr;
     for (auto& c : cells) {
-      if (matches(c.row, rec)) {
+      if (c.row.cell == rec.cell) {
         cell = &c;
         break;
       }
@@ -287,6 +313,7 @@ std::vector<AggregateRow> aggregate(const std::vector<JobRecord>& records) {
     if (!cell) {
       cells.emplace_back();
       cell = &cells.back();
+      cell->row.cell = rec.cell;
       cell->row.scheme = rec.scheme;
       cell->row.routing = rec.routing;
       cell->row.nodes = rec.nodes;

@@ -60,7 +60,13 @@ struct JobRecord {
   std::string id;
   std::string digest;
   double wall_ms = 0.0;
-  // The grid coordinates (enough to group/aggregate without the manifest).
+  /// The full scenario config, reconstructed through the parameter registry
+  /// (every registered key present in the record's "config" object).
+  scenario::ScenarioConfig cfg;
+  /// Seed-excluded cell digest of `cfg` (config_cell_digest): jobs sharing
+  /// it are seeds of the same grid point, whatever axes produced them.
+  std::string cell;
+  // Convenience grid coordinates, derived from `cfg`.
   scenario::Scheme scheme = scenario::Scheme::kRcast;
   scenario::RoutingProtocol routing = scenario::RoutingProtocol::kDsr;
   std::size_t nodes = 0;
@@ -76,9 +82,11 @@ struct JobRecord {
 /// (last record wins), returns records sorted by job index.
 std::vector<JobRecord> load_results(const std::string& path);
 
-/// One aggregated cell: every seed of one (scheme, routing, nodes, flows,
-/// rate, pause, duration) grid point, averaged via scenario::average.
+/// One aggregated cell: every seed of one grid point (identified by the
+/// seed-excluded cell digest, so extra sweep axes form distinct cells),
+/// averaged via scenario::average.
 struct AggregateRow {
+  std::string cell;  // config_cell_digest shared by the cell's records
   scenario::Scheme scheme = scenario::Scheme::kRcast;
   scenario::RoutingProtocol routing = scenario::RoutingProtocol::kDsr;
   std::size_t nodes = 0;
@@ -90,7 +98,7 @@ struct AggregateRow {
   scenario::RunResult mean;
 };
 
-/// Groups records by grid cell (seed excluded) in first-appearance order
+/// Groups records by cell digest (seed excluded) in first-appearance order
 /// and averages each group. Input must be job-index-sorted (load_results
 /// output qualifies).
 std::vector<AggregateRow> aggregate(const std::vector<JobRecord>& records);

@@ -58,11 +58,6 @@ class Observer {
   virtual void on_data_salvaged(NodeId /*by*/, sim::Time) {}
 };
 
-/// Transitional alias for the old routing-observer name. New code must use
-/// `routing::Observer`; CI greps for uses of the old name outside this
-/// deprecation-shim line.
-using DsrObserver [[deprecated("use routing::Observer")]] = Observer;  // deprecation-shim
-
 /// Both routing agents implement this; traffic sources and the scenario
 /// builder talk to it.
 class RoutingAgent {

@@ -36,10 +36,6 @@ enum class PacketType : std::uint8_t {
   kHello = 4,  // AODV only
 };
 
-/// Transitional alias for the old protocol-specific name; new code must use
-/// `PacketType`.
-using DsrType = PacketType;
-
 constexpr const char* to_string(PacketType t) {
   switch (t) {
     case PacketType::kData:

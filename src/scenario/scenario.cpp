@@ -251,35 +251,6 @@ RunResult Network::summarize() {
   return r;
 }
 
-RunResult Network::summarize_from_structs() {
-  RunResult r = base_summary();
-  for (const auto& n : nodes_) {
-    const mac::MacStats& ms = n->mac().stats();
-    r.atim_tx += ms.atim_tx;
-    r.data_tx_attempts += ms.data_tx_attempts;
-    r.overhear_commits += ms.overhear_commits;
-    r.overhear_declines += ms.overhear_declines;
-    r.mac_sleeps += ms.sleeps;
-    r.data_tx_failed += ms.data_tx_failed;
-    if (cfg_.routing == RoutingProtocol::kDsr) {
-      const routing::DsrStats& ds = n->dsr().stats();
-      r.data_salvaged += ds.data_salvaged;
-      r.rreq_tx += ds.rreq_originated + ds.rreq_forwarded;
-      r.rrep_tx +=
-          ds.rrep_from_target + ds.rrep_from_cache + ds.rrep_forwarded;
-      r.rerr_tx += ds.rerr_originated + ds.rerr_forwarded;
-    } else {
-      const routing::AodvStats& as = n->aodv().stats();
-      r.rreq_tx += as.rreq_originated + as.rreq_forwarded;
-      r.rrep_tx += as.rrep_from_target + as.rrep_from_intermediate +
-                   as.rrep_forwarded;
-      r.rerr_tx += as.rerr_sent;
-      r.hello_tx += as.hello_sent;
-    }
-  }
-  return r;
-}
-
 RunResult run_scenario(const ScenarioConfig& cfg) {
   Network net(cfg);
   return net.run();

@@ -183,12 +183,6 @@ class Network {
   /// LayerCounters are ordinary subscribers registered at construction.
   stats::TelemetryBus& telemetry() { return bus_; }
 
-  /// Transitional: the pre-bus summary assembled by scraping per-node
-  /// MacStats/DsrStats/AodvStats structs. Kept only so the regression test
-  /// can assert bus-derived and struct-derived summaries are identical;
-  /// goes away with the per-node stats structs.
-  RunResult summarize_from_structs();
-
  private:
   RunResult summarize();
   /// Fields derived from metrics/fleet/simulator — common to both summary

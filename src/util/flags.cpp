@@ -17,13 +17,19 @@ Flags::Flags(int argc, const char* const* argv) {
     }
     arg = arg.substr(2);
     const auto eq = arg.find('=');
+    std::string name, value;
     if (eq != std::string::npos) {
-      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      values_[arg] = argv[++i];
+      name = arg;
+      value = argv[++i];
     } else {
-      values_[arg] = "true";
+      name = arg;
+      value = "true";
     }
+    values_[name] = value;
+    occurrences_.emplace_back(std::move(name), std::move(value));
   }
 }
 
@@ -58,6 +64,15 @@ bool Flags::get_bool(const std::string& name, bool fallback) const {
   const auto v = raw(name);
   if (!v) return fallback;
   return *v == "true" || *v == "1" || *v == "yes" || *v == "on";
+}
+
+std::vector<std::string> Flags::get_all(const std::string& name) const {
+  queried_[name] = true;
+  std::vector<std::string> out;
+  for (const auto& [k, v] : occurrences_) {
+    if (k == name) out.push_back(v);
+  }
+  return out;
 }
 
 std::vector<std::string> Flags::unknown() const {

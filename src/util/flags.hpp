@@ -25,6 +25,10 @@ class Flags {
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
 
+  /// Every value the flag was given, in command-line order (the get_*
+  /// accessors see only the last one). For repeatable flags like --set.
+  std::vector<std::string> get_all(const std::string& name) const;
+
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
 
@@ -49,6 +53,8 @@ class Flags {
   std::optional<std::string> raw(const std::string& name) const;
 
   std::map<std::string, std::string> values_;
+  /// Every (name, value) occurrence in command-line order.
+  std::vector<std::pair<std::string, std::string>> occurrences_;
   mutable std::map<std::string, bool> queried_;
   std::vector<std::string> positional_;
 };

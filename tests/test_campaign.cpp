@@ -16,6 +16,7 @@
 #include "campaign/manifest.hpp"
 #include "campaign/result_store.hpp"
 #include "campaign/runner.hpp"
+#include "scenario/params.hpp"
 
 namespace rcast::campaign {
 namespace {
@@ -330,6 +331,130 @@ TEST(ResultStore, AggregateGroupsBySchemeAcrossSeeds) {
   });
   EXPECT_DOUBLE_EQ(rows[0].mean.total_energy_j, cell.total_energy_j);
   EXPECT_EQ(rows[0].mean.delivered, cell.delivered);
+}
+
+// --- Registry-keyed manifests: nested overrides and sweep axes --------------
+
+constexpr const char* kNestedManifestText = R"(
+name = nested
+schemes = rcast
+routings = dsr
+rates_pps = 1.0
+pauses_s = static
+nodes = 12
+flows = 3
+duration_s = 4
+seeds = 2
+seed_base = 1
+world_m = 600x300
+mac.atim_window_ms = 25, 50    # registry key, list => extra sweep axis
+odpm.rrep_timeout_s = 7.5      # registry key, scalar => override
+)";
+
+TEST(Manifest, RegistryKeysBecomeOverridesAndAxes) {
+  const Manifest m = parse_manifest(kNestedManifestText);
+  ASSERT_EQ(m.overrides.size(), 1u);
+  EXPECT_EQ(m.overrides[0].first, "odpm.rrep_timeout_s");
+  EXPECT_EQ(m.overrides[0].second, "7.5");
+  ASSERT_EQ(m.axes.size(), 1u);
+  EXPECT_EQ(m.axes[0].param, "mac.atim_window_ms");
+  EXPECT_EQ(m.axes[0].values, (std::vector<std::string>{"25", "50"}));
+  // 1 scheme x 1 routing x 1 rate x 1 pause x 1 node count x 2 axis values
+  // x 2 seeds.
+  EXPECT_EQ(m.job_count(), 4u);
+}
+
+TEST(Manifest, NestedAxisExpandsSeedMinor) {
+  const Manifest m = parse_manifest(kNestedManifestText);
+  const auto jobs = expand(m);
+  ASSERT_EQ(jobs.size(), 4u);
+  // Axis-major, seed-minor; ids carry a name=value segment before the seed.
+  EXPECT_NE(jobs[0].id.find("mac.atim_window_ms=25/s1"), std::string::npos)
+      << jobs[0].id;
+  EXPECT_NE(jobs[1].id.find("mac.atim_window_ms=25/s2"), std::string::npos);
+  EXPECT_NE(jobs[2].id.find("mac.atim_window_ms=50/s1"), std::string::npos);
+  EXPECT_NE(jobs[3].id.find("mac.atim_window_ms=50/s2"), std::string::npos);
+  // The axis value and the scalar override both land in the job config.
+  EXPECT_EQ(scenario::param_text(jobs[0].cfg, "mac.atim_window_ms"), "25");
+  EXPECT_EQ(scenario::param_text(jobs[2].cfg, "mac.atim_window_ms"), "50");
+  for (const auto& j : jobs) {
+    EXPECT_EQ(scenario::param_text(j.cfg, "odpm.rrep_timeout_s"), "7.5");
+  }
+  // Distinct axis values produce distinct digests (same classic columns).
+  EXPECT_NE(jobs[0].digest, jobs[2].digest);
+  EXPECT_NE(config_cell_digest(jobs[0].cfg), config_cell_digest(jobs[2].cfg));
+  EXPECT_EQ(config_cell_digest(jobs[0].cfg), config_cell_digest(jobs[1].cfg));
+}
+
+TEST(Manifest, RejectsAxisOwnedAndInvalidRegistryKeys) {
+  // Axis-owned parameters must use their legacy manifest spelling.
+  EXPECT_THROW(parse_manifest("scheme = rcast"), ManifestError);
+  EXPECT_THROW(parse_manifest("routing = dsr"), ManifestError);
+  EXPECT_THROW(parse_manifest("rate_pps = 1.0"), ManifestError);
+  EXPECT_THROW(parse_manifest("pause_s = 0"), ManifestError);
+  EXPECT_THROW(parse_manifest("seed = 3"), ManifestError);
+  // Registry values are bounds-checked at parse time.
+  EXPECT_THROW(parse_manifest("mac.atim_window_ms = -5"), ManifestError);
+  EXPECT_THROW(parse_manifest("rcast.min_pr = 1.5"), ManifestError);
+  EXPECT_THROW(parse_manifest("rcast.estimator = warpdrive"), ManifestError);
+  // Unknown dotted names are still unknown keys.
+  EXPECT_THROW(parse_manifest("mac.bogus_knob = 1"), ManifestError);
+}
+
+TEST(Manifest, FlowFallbackClampsToOneFlow) {
+  // nodes/5 == 0 for tiny networks; the fallback must still produce a
+  // runnable (>= 1 flow) job rather than a silent zero-traffic campaign.
+  const Manifest m = parse_manifest(R"(
+name = tiny
+schemes = rcast
+routings = dsr
+rates_pps = 1.0
+pauses_s = static
+nodes = 4
+duration_s = 4
+seeds = 1
+world_m = 300x300
+)");
+  const auto jobs = expand(m);
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].cfg.num_flows, 1u);
+}
+
+TEST(Runner, NestedAxisCampaignResumesByteIdentical) {
+  const Manifest m = parse_manifest(kNestedManifestText);
+  TempDir dir;
+
+  RunnerOptions ref_opt;
+  ref_opt.threads = 1;
+  ref_opt.journal_path = dir.file("ref.journal");
+  ref_opt.results_path = dir.file("ref.jsonl");
+  const CampaignResult ref = run_campaign(m, ref_opt);
+  ASSERT_TRUE(ref.all_done());
+
+  RunnerOptions opt;
+  opt.threads = 1;
+  opt.max_jobs = 2;
+  opt.journal_path = dir.file("int.journal");
+  opt.results_path = dir.file("int.jsonl");
+  const CampaignResult part = run_campaign(m, opt);
+  EXPECT_EQ(part.completed, 2u);
+  opt.max_jobs = 0;
+  const CampaignResult rest = run_campaign(m, opt);
+  EXPECT_EQ(rest.skipped, 2u);
+  EXPECT_EQ(rest.remaining, 0u);
+
+  const auto ref_records = load_results(ref_opt.results_path);
+  const auto res_records = load_results(opt.results_path);
+  EXPECT_EQ(aggregate_csv(aggregate(ref_records)),
+            aggregate_csv(aggregate(res_records)));
+
+  // One aggregate cell per axis value even though every classic CSV column
+  // (scheme, routing, nodes, ...) coincides; the cell digest separates them.
+  const auto rows = aggregate(ref_records);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_NE(rows[0].cell, rows[1].cell);
+  EXPECT_EQ(rows[0].seeds, 2u);
+  EXPECT_EQ(rows[1].seeds, 2u);
 }
 
 }  // namespace

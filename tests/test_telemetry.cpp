@@ -1,8 +1,10 @@
 // Telemetry spine tests: subscriber bookkeeping on the bus itself,
 // re-entrancy during dispatch, a golden-file EventTracer trace for a tiny
-// fixed-seed scenario, and the bus-vs-struct RunResult regression check.
+// fixed-seed scenario, and golden RunResult checkpoints per scheme panel.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
@@ -236,49 +238,80 @@ TEST(TelemetryGoldenTrace, TracingDoesNotPerturbTheRun) {
   EXPECT_EQ(with.total_energy_j, without.total_energy_j);
 }
 
-// --- Bus-derived vs struct-derived summaries --------------------------------
+// --- Golden RunResult checkpoints -------------------------------------------
+//
+// The bus is the only summary path now (the transitional struct-scraping
+// summarize_from_structs() is gone), so the regression anchor is a committed
+// golden RunResult per scheme/routing panel: every field of the bus-derived
+// summary, rendered exactly (%.17g doubles), captured from the build that
+// had both paths and verified identical. Any behavior drift in the summary
+// pipeline shows up as a field-level diff against these files.
 
-/// Every non-perf field must match exactly: doubles are compared with ==
-/// because both paths read the same inputs through base_summary(), and the
-/// per-layer aggregates must be identical counts, not approximations.
-void expect_identical(const scenario::RunResult& bus,
-                      const scenario::RunResult& st) {
-  EXPECT_EQ(bus.scheme, st.scheme);
-  EXPECT_EQ(bus.duration_s, st.duration_s);
-  EXPECT_EQ(bus.total_energy_j, st.total_energy_j);
-  EXPECT_EQ(bus.energy_variance, st.energy_variance);
-  EXPECT_EQ(bus.energy_mean_j, st.energy_mean_j);
-  EXPECT_EQ(bus.energy_min_j, st.energy_min_j);
-  EXPECT_EQ(bus.energy_max_j, st.energy_max_j);
-  EXPECT_EQ(bus.per_node_energy_j, st.per_node_energy_j);
-  EXPECT_EQ(bus.originated, st.originated);
-  EXPECT_EQ(bus.delivered, st.delivered);
-  EXPECT_EQ(bus.pdr_percent, st.pdr_percent);
-  EXPECT_EQ(bus.avg_delay_s, st.avg_delay_s);
-  EXPECT_EQ(bus.delay_p50_s, st.delay_p50_s);
-  EXPECT_EQ(bus.delay_p90_s, st.delay_p90_s);
-  EXPECT_EQ(bus.avg_route_wait_s, st.avg_route_wait_s);
-  EXPECT_EQ(bus.avg_transit_s, st.avg_transit_s);
-  EXPECT_EQ(bus.energy_per_bit_j, st.energy_per_bit_j);
-  EXPECT_EQ(bus.control_tx, st.control_tx);
-  EXPECT_EQ(bus.normalized_overhead, st.normalized_overhead);
-  EXPECT_EQ(bus.role_numbers, st.role_numbers);
-  EXPECT_EQ(bus.atim_tx, st.atim_tx);
-  EXPECT_EQ(bus.data_tx_attempts, st.data_tx_attempts);
-  EXPECT_EQ(bus.overhear_commits, st.overhear_commits);
-  EXPECT_EQ(bus.overhear_declines, st.overhear_declines);
-  EXPECT_EQ(bus.mac_sleeps, st.mac_sleeps);
-  EXPECT_EQ(bus.rreq_tx, st.rreq_tx);
-  EXPECT_EQ(bus.rrep_tx, st.rrep_tx);
-  EXPECT_EQ(bus.rerr_tx, st.rerr_tx);
-  EXPECT_EQ(bus.hello_tx, st.hello_tx);
-  for (std::size_t d = 0; d < bus.drops.size(); ++d) {
-    EXPECT_EQ(bus.drops[d], st.drops[d]) << "drop reason " << d;
+/// Renders every RunResult field in a fixed order with exact formatting, so
+/// equality of the text implies bit-identical doubles and counters.
+std::string golden_text(const scenario::RunResult& r) {
+  char buf[64];
+  std::string out;
+  auto add_d = [&](const char* k, double v) {
+    std::snprintf(buf, sizeof(buf), "%s %.17g\n", k, v);
+    out += buf;
+  };
+  auto add_u = [&](const char* k, std::uint64_t v) {
+    std::snprintf(buf, sizeof(buf), "%s %llu\n", k,
+                  static_cast<unsigned long long>(v));
+    out += buf;
+  };
+  out += "scheme ";
+  out += scenario::to_string(r.scheme);
+  out += "\n";
+  add_d("duration_s", r.duration_s);
+  add_d("total_energy_j", r.total_energy_j);
+  add_d("energy_variance", r.energy_variance);
+  add_d("energy_mean_j", r.energy_mean_j);
+  add_d("energy_min_j", r.energy_min_j);
+  add_d("energy_max_j", r.energy_max_j);
+  add_u("originated", r.originated);
+  add_u("delivered", r.delivered);
+  add_d("pdr_percent", r.pdr_percent);
+  add_d("avg_delay_s", r.avg_delay_s);
+  add_d("delay_p50_s", r.delay_p50_s);
+  add_d("delay_p90_s", r.delay_p90_s);
+  add_d("avg_route_wait_s", r.avg_route_wait_s);
+  add_d("avg_transit_s", r.avg_transit_s);
+  add_d("energy_per_bit_j", r.energy_per_bit_j);
+  add_u("control_tx", r.control_tx);
+  add_d("normalized_overhead", r.normalized_overhead);
+  add_u("atim_tx", r.atim_tx);
+  add_u("data_tx_attempts", r.data_tx_attempts);
+  add_u("overhear_commits", r.overhear_commits);
+  add_u("overhear_declines", r.overhear_declines);
+  add_u("mac_sleeps", r.mac_sleeps);
+  add_u("rreq_tx", r.rreq_tx);
+  add_u("rrep_tx", r.rrep_tx);
+  add_u("rerr_tx", r.rerr_tx);
+  add_u("hello_tx", r.hello_tx);
+  add_u("data_tx_failed", r.data_tx_failed);
+  add_u("data_salvaged", r.data_salvaged);
+  add_u("dead_nodes", r.dead_nodes);
+  add_d("first_death_s", r.first_death_s);
+  add_u("events_executed", r.events_executed);
+  out += "per_node_energy_j";
+  for (const double e : r.per_node_energy_j) {
+    std::snprintf(buf, sizeof(buf), " %.17g", e);
+    out += buf;
   }
-  EXPECT_EQ(bus.data_tx_failed, st.data_tx_failed);
-  EXPECT_EQ(bus.data_salvaged, st.data_salvaged);
-  EXPECT_EQ(bus.dead_nodes, st.dead_nodes);
-  EXPECT_EQ(bus.first_death_s, st.first_death_s);
+  out += "\nrole_numbers";
+  for (const auto n : r.role_numbers) {
+    std::snprintf(buf, sizeof(buf), " %llu", static_cast<unsigned long long>(n));
+    out += buf;
+  }
+  out += "\ndrops";
+  for (const auto d : r.drops) {
+    std::snprintf(buf, sizeof(buf), " %llu", static_cast<unsigned long long>(d));
+    out += buf;
+  }
+  out += "\n";
+  return out;
 }
 
 scenario::ScenarioConfig regression_cfg() {
@@ -293,35 +326,61 @@ scenario::ScenarioConfig regression_cfg() {
   return cfg;
 }
 
-TEST(BusVsStructSummary, RcastDsr) {
+/// Runs the panel and compares the rendered summary against the committed
+/// golden file, line by line. RCAST_REGEN_GOLDEN=1 rewrites the golden
+/// instead (for intentional behavior changes — review the diff).
+void check_against_golden(const scenario::ScenarioConfig& cfg,
+                          const char* file) {
+  const std::string got = golden_text(scenario::run_scenario(cfg));
+  const std::string path = std::string(RCAST_TEST_DATA_DIR) + "/" + file;
+
+  if (std::getenv("RCAST_REGEN_GOLDEN") != nullptr) {
+    std::ofstream out(path);
+    ASSERT_TRUE(out.is_open()) << "cannot write " << path;
+    out << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open())
+      << "missing golden file " << path
+      << " — regenerate with RCAST_REGEN_GOLDEN=1 ./test_telemetry";
+  std::stringstream golden;
+  golden << in.rdbuf();
+
+  std::istringstream got_s(got);
+  std::istringstream want_s(golden.str());
+  std::string got_line, want_line;
+  std::size_t lineno = 0;
+  for (;;) {
+    const bool g = static_cast<bool>(std::getline(got_s, got_line));
+    const bool w = static_cast<bool>(std::getline(want_s, want_line));
+    ++lineno;
+    if (!g && !w) break;
+    ASSERT_TRUE(g && w) << "summary length differs at line " << lineno;
+    ASSERT_EQ(got_line, want_line) << "first divergence at line " << lineno;
+  }
+}
+
+TEST(GoldenRunSummary, RcastDsr) {
   auto cfg = regression_cfg();
   cfg.scheme = scenario::Scheme::kRcast;
   cfg.routing = scenario::RoutingProtocol::kDsr;
-  scenario::Network net(cfg);
-  const auto bus_r = net.run();
-  const auto struct_r = net.summarize_from_structs();
-  EXPECT_GT(bus_r.atim_tx, 0u);
-  expect_identical(bus_r, struct_r);
+  check_against_golden(cfg, "golden_run_rcast_dsr.txt");
 }
 
-TEST(BusVsStructSummary, OdpmAodv) {
+TEST(GoldenRunSummary, OdpmAodv) {
   auto cfg = regression_cfg();
   cfg.scheme = scenario::Scheme::kOdpm;
   cfg.routing = scenario::RoutingProtocol::kAodv;
-  scenario::Network net(cfg);
-  const auto bus_r = net.run();
-  const auto struct_r = net.summarize_from_structs();
-  EXPECT_GT(bus_r.hello_tx, 0u);
-  expect_identical(bus_r, struct_r);
+  check_against_golden(cfg, "golden_run_odpm_aodv.txt");
 }
 
-TEST(BusVsStructSummary, Plain80211Dsr) {
+TEST(GoldenRunSummary, Plain80211Dsr) {
   auto cfg = regression_cfg();
   cfg.scheme = scenario::Scheme::k80211;
   cfg.routing = scenario::RoutingProtocol::kDsr;
-  scenario::Network net(cfg);
-  const auto bus_r = net.run();
-  expect_identical(bus_r, net.summarize_from_structs());
+  check_against_golden(cfg, "golden_run_80211_dsr.txt");
 }
 
 // --- PHY and power layers flow through the bus ------------------------------

@@ -21,6 +21,7 @@
 #include "campaign/manifest.hpp"
 #include "campaign/result_store.hpp"
 #include "campaign/runner.hpp"
+#include "scenario/params.hpp"
 #include "util/flags.hpp"
 
 namespace {
@@ -44,15 +45,22 @@ void print_usage() {
       "  --csv=FILE       export target        (default: stdout)\n"
       "  --trace=FILE     attach a routing+MAC event trace to one job\n"
       "  --trace-job=ID   job id to trace      (default: first pending)\n"
+      "  --set KEY=VALUE  override any registered scenario parameter in the\n"
+      "                   base config (repeatable; affects job digests, so\n"
+      "                   pass the same --set flags to run/resume/status)\n"
+      "  --help-params    list every registered parameter\n"
       "  --quiet          suppress progress lines\n"
       "\n"
       "Manifest keys: name, schemes, routings, rates_pps, pauses_s (numbers\n"
       "or 'static'), nodes, seeds, seed_base, duration_s, flows,\n"
-      "payload_bytes, speed_mps, battery_j, world_m (WxH). Lists are\n"
-      "comma-separated; '#' starts a comment.");
+      "payload_bytes, speed_mps, battery_j, world_m (WxH) — plus any\n"
+      "registered scenario parameter (e.g. mac.atim_window_ms): a single\n"
+      "value overrides every job, a comma-separated list adds a sweep axis.\n"
+      "Lists are comma-separated; '#' starts a comment.");
 }
 
-int cmd_run(const campaign::Manifest& manifest, const std::string& out_dir,
+int cmd_run(const campaign::Manifest& manifest,
+            const scenario::ScenarioConfig& base, const std::string& out_dir,
             const Flags& flags, bool resume) {
   const std::string journal_path = out_dir + "/journal.log";
   if (!resume && fs::exists(journal_path)) {
@@ -77,7 +85,8 @@ int cmd_run(const campaign::Manifest& manifest, const std::string& out_dir,
     return 2;
   }
 
-  const campaign::CampaignResult r = campaign::run_campaign(manifest, opt);
+  const campaign::CampaignResult r =
+      campaign::run_campaign(manifest, opt, base);
   std::fprintf(stderr,
                "campaign '%s': %zu jobs — %zu ok, %zu failed, %zu resumed "
                "from journal, %zu not run\n",
@@ -89,8 +98,10 @@ int cmd_run(const campaign::Manifest& manifest, const std::string& out_dir,
   return r.failed > 0 ? 1 : 0;
 }
 
-int cmd_status(const campaign::Manifest& manifest, const std::string& out_dir) {
-  const auto jobs = campaign::expand(manifest);
+int cmd_status(const campaign::Manifest& manifest,
+               const scenario::ScenarioConfig& base,
+               const std::string& out_dir) {
+  const auto jobs = campaign::expand(manifest, base);
   const std::string journal_path = out_dir + "/journal.log";
   if (!fs::exists(journal_path)) {
     std::printf("campaign '%s': 0/%zu jobs done (no journal at %s)\n",
@@ -142,6 +153,10 @@ int cmd_export(const campaign::Manifest& manifest, const std::string& out_dir,
 
 int main(int argc, char** argv) {
   Flags flags(argc, argv);
+  if (flags.has("help-params")) {
+    std::fputs(scenario::params_help().c_str(), stdout);
+    return 0;
+  }
   if (flags.has("help") || flags.positional().size() < 2) {
     print_usage();
     return flags.has("help") ? 0 : 2;
@@ -155,12 +170,39 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // Base config the manifest grid expands over; --set overrides land here.
+  // Grid-owned parameters must come from the manifest, not --set.
+  scenario::ScenarioConfig base;
+  for (const std::string& kv : flags.get_all("set")) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "--set expects KEY=VALUE, got '%s'\n", kv.c_str());
+      return 2;
+    }
+    const std::string key = kv.substr(0, eq);
+    for (const char* owned :
+         {"scheme", "routing", "rate_pps", "pause_s", "nodes", "seed"}) {
+      if (key == owned) {
+        std::fprintf(stderr,
+                     "--set %s: grid axes come from the manifest, not --set\n",
+                     key.c_str());
+        return 2;
+      }
+    }
+    try {
+      scenario::set_param(base, key, kv.substr(eq + 1));
+    } catch (const scenario::ParamError& e) {
+      std::fprintf(stderr, "--set %s: %s\n", kv.c_str(), e.what());
+      return 2;
+    }
+  }
+
   try {
     const campaign::Manifest manifest =
         campaign::parse_manifest_file(manifest_path);
-    if (cmd == "run") return cmd_run(manifest, out_dir, flags, false);
-    if (cmd == "resume") return cmd_run(manifest, out_dir, flags, true);
-    if (cmd == "status") return cmd_status(manifest, out_dir);
+    if (cmd == "run") return cmd_run(manifest, base, out_dir, flags, false);
+    if (cmd == "resume") return cmd_run(manifest, base, out_dir, flags, true);
+    if (cmd == "status") return cmd_status(manifest, base, out_dir);
     if (cmd == "export") return cmd_export(manifest, out_dir, flags);
     std::fprintf(stderr, "unknown subcommand '%s' (see --help)\n", cmd.c_str());
     return 2;

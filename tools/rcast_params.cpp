@@ -1,0 +1,126 @@
+// rcast_params — the parameter-registry tool.
+//
+// The registry (src/scenario/params.hpp) is the single source of truth for
+// every behavior-affecting scenario parameter; this tool exposes it to
+// humans and to CI:
+//
+//   rcast_params                      plain-text listing (same as
+//                                     rcast_sim --help-params)
+//   rcast_params --markdown           the generated markdown table
+//   rcast_params --update=FILE        regenerate the marked block in FILE
+//                                     (EXPERIMENTS.md parameter reference)
+//   rcast_params --check=FILE        exit 1 if FILE's block is stale — the
+//                                     tier-1 stale-docs gate
+//   rcast_params --self-check         registry completeness/consistency
+//                                     check; exit 1 and list problems
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "scenario/params.hpp"
+#include "util/flags.hpp"
+
+namespace {
+
+using namespace rcast;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "rcast_params: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Replaces the marker-delimited block in `doc` with the freshly generated
+/// table (markers included); appends a new section when no markers exist.
+std::string with_generated_block(const std::string& doc) {
+  const std::string generated = scenario::params_markdown();
+  const auto begin = doc.find(scenario::kParamsDocBegin);
+  if (begin == std::string::npos) {
+    std::string out = doc;
+    if (!out.empty() && out.back() != '\n') out += '\n';
+    out += "\n## Scenario parameter reference\n\n"
+           "Generated from the registry in `src/scenario/params.hpp` by\n"
+           "`rcast_params --update=EXPERIMENTS.md`; the tier-1 gate fails if\n"
+           "this table is stale. Any of these names is a `--set` key, a\n"
+           "campaign manifest override, or a manifest sweep axis.\n\n";
+    out += generated + "\n";
+    return out;
+  }
+  const auto end = doc.find(scenario::kParamsDocEnd, begin);
+  if (end == std::string::npos) {
+    std::fprintf(stderr,
+                 "rcast_params: begin marker without end marker in file\n");
+    std::exit(1);
+  }
+  return doc.substr(0, begin) + generated +
+         doc.substr(end + scenario::kParamsDocEnd.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+
+  if (flags.has("self-check")) {
+    const auto problems = scenario::registry_self_check();
+    for (const auto& p : problems) {
+      std::fprintf(stderr, "registry problem: %s\n", p.c_str());
+    }
+    if (problems.empty()) {
+      std::printf("parameter registry OK (%zu parameters)\n",
+                  scenario::param_registry().size());
+    }
+    return problems.empty() ? 0 : 1;
+  }
+
+  if (flags.has("markdown")) {
+    std::printf("%s\n", scenario::params_markdown().c_str());
+    return 0;
+  }
+
+  const std::string update = flags.get_string("update", "");
+  if (!update.empty()) {
+    const std::string doc = read_file(update);
+    const std::string fresh = with_generated_block(doc);
+    if (fresh == doc) {
+      std::fprintf(stderr, "%s: parameter reference already current\n",
+                   update.c_str());
+      return 0;
+    }
+    std::ofstream out(update, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "rcast_params: cannot write %s\n", update.c_str());
+      return 1;
+    }
+    out << fresh;
+    std::fprintf(stderr, "%s: parameter reference updated\n", update.c_str());
+    return 0;
+  }
+
+  const std::string check = flags.get_string("check", "");
+  if (!check.empty()) {
+    const std::string doc = read_file(check);
+    if (with_generated_block(doc) != doc) {
+      std::fprintf(stderr,
+                   "%s: parameter reference is stale — run\n"
+                   "  ./build/tools/rcast_params --update=%s\n",
+                   check.c_str(), check.c_str());
+      return 1;
+    }
+    std::printf("%s: parameter reference is current\n", check.c_str());
+    return 0;
+  }
+
+  for (const auto& unknown : flags.unknown()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unknown.c_str());
+    return 2;
+  }
+  std::fputs(scenario::params_help().c_str(), stdout);
+  return 0;
+}

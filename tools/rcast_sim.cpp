@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "scenario/experiment.hpp"
+#include "scenario/params.hpp"
 #include "scenario/scenario.hpp"
 #include "scenario/scheme.hpp"
 #include "stats/trace.hpp"
@@ -42,8 +43,13 @@ void print_usage() {
       "  --seed=N --seeds=K first seed / repetitions  (default 1 / 1)\n"
       "  --estimator=NAME   neighbors | sender-id | mobility | battery |\n"
       "                     combined                  (default neighbors)\n"
+      "  --set KEY=VALUE    set any registered scenario parameter by its\n"
+      "                     dotted name (e.g. --set mac.atim_window_ms=25\n"
+      "                     --set odpm.rrep_timeout_s=10); repeatable,\n"
+      "                     applied after the flags above\n"
       "  --csv              one CSV row per run (with header)\n"
       "  --trace=FILE       per-event trace, routing + MAC (single-run only)\n"
+      "  --help-params      list every registered parameter\n"
       "  --help             this text");
 }
 
@@ -114,6 +120,10 @@ int main(int argc, char** argv) {
     print_usage();
     return 0;
   }
+  if (flags.has("help-params")) {
+    std::fputs(scenario::params_help().c_str(), stdout);
+    return 0;
+  }
 
   scenario::ScenarioConfig cfg;
   cfg.num_nodes = static_cast<std::size_t>(flags.get_int("nodes", 100));
@@ -162,6 +172,28 @@ int main(int argc, char** argv) {
   } else {
     std::fprintf(stderr, "unknown --scheme=%s\n", scheme_arg.c_str());
     return 2;
+  }
+
+  // Generic overrides, applied on top of the legacy flags above. The scheme
+  // and seed stay flag-owned because the run loops below iterate them.
+  for (const std::string& kv : flags.get_all("set")) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "--set expects KEY=VALUE, got '%s'\n", kv.c_str());
+      return 2;
+    }
+    const std::string key = kv.substr(0, eq);
+    if (key == "scheme" || key == "seed") {
+      std::fprintf(stderr, "--set %s: use --%s instead\n", key.c_str(),
+                   key.c_str());
+      return 2;
+    }
+    try {
+      scenario::set_param(cfg, key, kv.substr(eq + 1));
+    } catch (const scenario::ParamError& e) {
+      std::fprintf(stderr, "--set %s: %s\n", kv.c_str(), e.what());
+      return 2;
+    }
   }
 
   const bool csv = flags.get_bool("csv", false);

@@ -25,6 +25,13 @@ fi
 
 cmake "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+# Parameter-registry gates: the registry must be internally consistent (it
+# runs under whatever sanitizer this leg built with), and the generated
+# parameter reference in EXPERIMENTS.md must match it.
+"./$BUILD_DIR/tools/rcast_params" --self-check
+"./$BUILD_DIR/tools/rcast_params" --check=EXPERIMENTS.md
+
 CTEST_ARGS=(--test-dir "$BUILD_DIR" -j "$(nproc)" --output-on-failure)
 if [[ -n "$FILTER" ]]; then
   CTEST_ARGS+=(-R "$FILTER")
