@@ -1,0 +1,71 @@
+// Shared google-benchmark scaffolding for the micro/scaling bench binaries:
+// a console reporter that also records every run and tees it to a flat JSON
+// file (name, real_time, user counters) so throughput numbers can be
+// committed and compared across PRs. tools/check_bench.py consumes these
+// files in CI. Kept dependency-free; the schema is documented in DESIGN.md
+// "Performance".
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace rcast::bench {
+
+class TeeJsonReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      recorded_.push_back(run);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  bool WriteJson(const std::string& path) const {
+    std::ofstream out(path);
+    if (!out) return false;
+    out << "{\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < recorded_.size(); ++i) {
+      const Run& run = recorded_[i];
+      out << "    {\"name\": \"" << run.benchmark_name() << "\", "
+          << "\"real_time\": " << run.GetAdjustedRealTime() << ", "
+          << "\"time_unit\": \"" << benchmark::GetTimeUnitString(run.time_unit)
+          << "\"";
+      for (const auto& [name, counter] : run.counters) {
+        out << ", \"" << name << "\": " << static_cast<double>(counter);
+      }
+      out << "}" << (i + 1 < recorded_.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  std::vector<Run> recorded_;
+};
+
+/// Runs the registered benchmarks and tees the record to `env_var` (or
+/// `default_path` when unset). Returns the process exit code.
+inline int run_and_tee(int argc, char** argv, const char* env_var,
+                       const char* default_path) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  TeeJsonReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  const char* path = std::getenv(env_var);
+  const std::string json_path = path != nullptr ? path : default_path;
+  if (!reporter.WriteJson(json_path)) {
+    std::fprintf(stderr, "bench: could not write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
+}  // namespace rcast::bench

@@ -6,11 +6,7 @@
 // be committed and compared across PRs.
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <cstdlib>
-#include <fstream>
-#include <string>
-
+#include "bench/bench_json.hpp"
 #include "geo/grid_index.hpp"
 #include "mobility/mobility_manager.hpp"
 #include "phy/channel.hpp"
@@ -231,57 +227,9 @@ void BM_FullScenarioSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_FullScenarioSecond)->Unit(benchmark::kMillisecond);
 
-// Console output plus a flat JSON record of every run: name, wall time per
-// iteration, and user counters (items_per_second among them). Kept
-// dependency-free; the schema is documented in DESIGN.md "Performance".
-class TeeJsonReporter : public benchmark::ConsoleReporter {
- public:
-  void ReportRuns(const std::vector<Run>& runs) override {
-    for (const Run& run : runs) {
-      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
-      recorded_.push_back(run);
-    }
-    ConsoleReporter::ReportRuns(runs);
-  }
-
-  bool WriteJson(const std::string& path) const {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << "{\n  \"benchmarks\": [\n";
-    for (std::size_t i = 0; i < recorded_.size(); ++i) {
-      const Run& run = recorded_[i];
-      out << "    {\"name\": \"" << run.benchmark_name() << "\", "
-          << "\"real_time\": " << run.GetAdjustedRealTime() << ", "
-          << "\"time_unit\": \"" << benchmark::GetTimeUnitString(run.time_unit)
-          << "\"";
-      for (const auto& [name, counter] : run.counters) {
-        out << ", \"" << name << "\": " << static_cast<double>(counter);
-      }
-      out << "}" << (i + 1 < recorded_.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    return out.good();
-  }
-
- private:
-  std::vector<Run> recorded_;
-};
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  TeeJsonReporter reporter;
-  benchmark::RunSpecifiedBenchmarks(&reporter);
-  benchmark::Shutdown();
-  const char* path = std::getenv("RCAST_BENCH_JSON");
-  const std::string json_path = path != nullptr ? path : "BENCH_hotpath.json";
-  if (!reporter.WriteJson(json_path)) {
-    std::fprintf(stderr, "bench_micro: could not write %s\n",
-                 json_path.c_str());
-    return 1;
-  }
-  std::printf("wrote %s\n", json_path.c_str());
-  return 0;
+  return rcast::bench::run_and_tee(argc, argv, "RCAST_BENCH_JSON",
+                                   "BENCH_hotpath.json");
 }

@@ -144,6 +144,10 @@ std::string record_to_json(const Job& job, const scenario::RunResult& r,
   w.key("pool_hits").value(r.perf.pool_hits);
   w.key("pool_misses").value(r.perf.pool_misses);
   w.key("bytes_allocated").value(r.perf.bytes_allocated);
+  w.key("spatial_queries").value(r.perf.spatial_queries);
+  w.key("spatial_candidates_scanned").value(r.perf.spatial_candidates_scanned);
+  w.key("segment_refreshes").value(r.perf.segment_refreshes);
+  w.key("cs_cells_visited").value(r.perf.cs_cells_visited);
   w.key("wall_seconds").value(r.perf.wall_seconds);
   w.key("events_per_sec").value(r.perf.events_per_sec);
   w.end_object();
@@ -255,6 +259,19 @@ JobRecord record_from_json(const json::Value& v) {
   r.perf.pool_hits = perf.at("pool_hits").as_u64();
   r.perf.pool_misses = perf.at("pool_misses").as_u64();
   r.perf.bytes_allocated = perf.at("bytes_allocated").as_u64();
+  // Geo/CS counters postdate early stores: tolerate their absence.
+  if (const json::Value* g = perf.find("spatial_queries")) {
+    r.perf.spatial_queries = g->as_u64();
+  }
+  if (const json::Value* g = perf.find("spatial_candidates_scanned")) {
+    r.perf.spatial_candidates_scanned = g->as_u64();
+  }
+  if (const json::Value* g = perf.find("segment_refreshes")) {
+    r.perf.segment_refreshes = g->as_u64();
+  }
+  if (const json::Value* g = perf.find("cs_cells_visited")) {
+    r.perf.cs_cells_visited = g->as_u64();
+  }
   r.perf.wall_seconds = perf.at("wall_seconds").as_double();
   r.perf.events_per_sec = perf.at("events_per_sec").as_double();
 

@@ -71,35 +71,11 @@ bool GridIndex::contains(ItemId id) const {
   return id < slots_.size() && slots_[id].live;
 }
 
-void GridIndex::query(Vec2 center, double radius, ItemId exclude,
-                      std::vector<ItemId>& out) const {
-  RCAST_REQUIRE(radius >= 0.0);
-  const double r2 = radius * radius;
-  const auto col_lo = static_cast<std::int64_t>(
-      std::floor((center.x - radius) / cell_size_));
-  const auto col_hi = static_cast<std::int64_t>(
-      std::floor((center.x + radius) / cell_size_));
-  const auto row_lo = static_cast<std::int64_t>(
-      std::floor((center.y - radius) / cell_size_));
-  const auto row_hi = static_cast<std::int64_t>(
-      std::floor((center.y + radius) / cell_size_));
-  for (std::int64_t row = std::max<std::int64_t>(0, row_lo);
-       row <= std::min<std::int64_t>(rows_ - 1, row_hi); ++row) {
-    for (std::int64_t col = std::max<std::int64_t>(0, col_lo);
-         col <= std::min<std::int64_t>(cols_ - 1, col_hi); ++col) {
-      for (ItemId id : cells_[static_cast<std::size_t>(row) * cols_ + col]) {
-        if (id == exclude) continue;
-        if (distance_sq(slots_[id].pos, center) <= r2) out.push_back(id);
-      }
-    }
-  }
-}
-
 std::size_t GridIndex::count_within(ItemId id, double radius) const {
   RCAST_REQUIRE(contains(id));
-  std::vector<ItemId> tmp;
-  query(slots_[id].pos, radius, id, tmp);
-  return tmp.size();
+  std::size_t n = 0;
+  for_each_within(slots_[id].pos, radius, id, [&n](ItemId) { ++n; });
+  return n;
 }
 
 }  // namespace rcast::geo

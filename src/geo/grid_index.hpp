@@ -4,8 +4,15 @@
 // transmission; with 100 nodes a linear scan would do, but the grid keeps the
 // simulator comfortably fast for the denser ablation scenarios (up to
 // thousands of nodes) and bounds the cost at O(nodes in 3x3 cells).
+//
+// Queries are allocation-free: the core primitive is for_each_within, which
+// visits matching items in a deterministic order (row-major cells, insertion
+// order within a cell); query() appends to any push_back-able container the
+// caller provides (std::vector, util::SmallVec scratch, ...).
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -30,21 +37,56 @@ class GridIndex {
   /// Updates an item's position.
   void move(ItemId id, Vec2 pos);
 
-  /// Removes an item (e.g. a dead node in lifetime studies).
+  /// Removes an item (e.g. a dead node in lifetime studies). The id may be
+  /// re-inserted later.
   void remove(ItemId id);
 
   Vec2 position(ItemId id) const;
   bool contains(ItemId id) const;
   std::size_t size() const { return live_count_; }
+  const Rect& world() const { return world_; }
+
+  static constexpr ItemId npos = static_cast<ItemId>(-1);
+
+  /// Invokes `fn(id)` for every live item within `radius` of `center`
+  /// (inclusive), excluding `exclude` (pass npos to exclude nothing).
+  /// Deterministic visit order; no allocation.
+  template <class Fn>
+  void for_each_within(Vec2 center, double radius, ItemId exclude,
+                       Fn&& fn) const {
+    RCAST_REQUIRE(radius >= 0.0);
+    const double r2 = radius * radius;
+    const auto col_lo =
+        static_cast<std::int64_t>(std::floor((center.x - radius) / cell_size_));
+    const auto col_hi =
+        static_cast<std::int64_t>(std::floor((center.x + radius) / cell_size_));
+    const auto row_lo =
+        static_cast<std::int64_t>(std::floor((center.y - radius) / cell_size_));
+    const auto row_hi =
+        static_cast<std::int64_t>(std::floor((center.y + radius) / cell_size_));
+    for (std::int64_t row = std::max<std::int64_t>(0, row_lo);
+         row <= std::min<std::int64_t>(rows_ - 1, row_hi); ++row) {
+      for (std::int64_t col = std::max<std::int64_t>(0, col_lo);
+           col <= std::min<std::int64_t>(cols_ - 1, col_hi); ++col) {
+        for (ItemId id : cells_[static_cast<std::size_t>(row) * cols_ + col]) {
+          if (id == exclude) continue;
+          if (distance_sq(slots_[id].pos, center) <= r2) fn(id);
+        }
+      }
+    }
+  }
 
   /// Appends all live items within `radius` of `center` (inclusive) to
-  /// `out`, excluding `exclude` (pass npos to exclude nothing).
-  static constexpr ItemId npos = static_cast<ItemId>(-1);
-  void query(Vec2 center, double radius, ItemId exclude,
-             std::vector<ItemId>& out) const;
+  /// `out`, excluding `exclude`. `out` is any container with push_back
+  /// (callers on the hot path pass a reused SmallVec scratch).
+  template <class Out>
+  void query(Vec2 center, double radius, ItemId exclude, Out& out) const {
+    for_each_within(center, radius, exclude,
+                    [&out](ItemId id) { out.push_back(id); });
+  }
 
   /// Convenience: count of items within radius of the given item, excluding
-  /// itself (the paper's "number of neighbors").
+  /// itself (the paper's "number of neighbors"). Allocation-free.
   std::size_t count_within(ItemId id, double radius) const;
 
  private:

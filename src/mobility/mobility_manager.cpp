@@ -20,47 +20,38 @@ void MobilityManager::add_node(NodeId id,
   RCAST_REQUIRE(model != nullptr);
   RCAST_REQUIRE_MSG(id == models_.size(), "node ids must be dense from 0");
   max_speed_ = std::max(max_speed_, model->max_speed());
-  grid_.insert(id, model->position_at(sim_.now()));
+  segments_.push_back(model->segment_at(sim_.now()));
+  grid_.insert(id, segments_.back().eval(sim_.now()));
   models_.push_back(std::move(model));
   last_refresh_ = sim_.now();
 }
 
 void MobilityManager::refresh_grid() {
-  for (NodeId id = 0; id < models_.size(); ++id) {
-    grid_.move(id, models_[id]->position_at(sim_.now()));
+  const sim::Time now = sim_.now();
+  for (NodeId id = 0; id < segments_.size(); ++id) {
+    grid_.move(id, cached_position(id, now));
   }
-  last_refresh_ = sim_.now();
-}
-
-geo::Vec2 MobilityManager::position(NodeId id) const {
-  RCAST_REQUIRE(id < models_.size());
-  return models_[id]->position_at(sim_.now());
+  last_refresh_ = now;
 }
 
 std::vector<NodeId> MobilityManager::nodes_within(geo::Vec2 center,
                                                   double radius,
                                                   NodeId exclude) const {
-  // Anyone farther than radius + 2*slack from the last grid refresh cannot
-  // be within radius now (both endpoints can have moved).
-  const double slack =
-      2.0 * max_speed_ * sim::to_seconds(sim_.now() - last_refresh_);
-  scratch_.clear();
-  grid_.query(center, radius + slack, exclude, scratch_);
   std::vector<NodeId> out;
-  out.reserve(scratch_.size());
-  const double r2 = radius * radius;
-  for (NodeId cand : scratch_) {
-    if (geo::distance_sq(models_[cand]->position_at(sim_.now()), center) <=
-        r2) {
-      out.push_back(cand);
-    }
-  }
+  nodes_within(center, radius, exclude, out);
   return out;
 }
 
 std::vector<NodeId> MobilityManager::neighbors_within(NodeId id,
                                                       double radius) const {
   return nodes_within(position(id), radius, id);
+}
+
+std::size_t MobilityManager::count_neighbors(NodeId id, double radius) const {
+  std::size_t n = 0;
+  for_each_within(position(id), radius, id,
+                  [&n](NodeId, double) { ++n; });
+  return n;
 }
 
 bool MobilityManager::in_range(NodeId a, NodeId b, double radius) const {

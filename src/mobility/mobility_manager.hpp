@@ -5,8 +5,17 @@
 // queries over-approximate with that slack against the grid and then filter
 // with exact model positions. Queries are therefore exact while staying
 // O(candidates) instead of O(n).
+//
+// Positions are computed from a per-node cache of the model's current
+// piecewise-linear MotionSegment (refreshed lazily when a segment expires at
+// a leg boundary), so the exact filter is a couple of fused multiply-adds
+// per candidate instead of a virtual position_at call. Query results land in
+// caller-provided scratch (or run through a callback), keeping the whole
+// path allocation-free; the std::vector-returning overloads remain as
+// conveniences for tests and tools off the hot path.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -20,6 +29,13 @@ using NodeId = geo::ItemId;
 
 class MobilityManager {
  public:
+  /// Counters for the spatial hot path (see sim::PerfCounters).
+  struct GeoPerf {
+    std::uint64_t spatial_queries = 0;
+    std::uint64_t spatial_candidates_scanned = 0;
+    std::uint64_t segment_refreshes = 0;
+  };
+
   /// `refresh_period` bounds grid staleness (and thus query slack).
   MobilityManager(sim::Simulator& simulator, geo::Rect world,
                   double grid_cell_size,
@@ -28,32 +44,88 @@ class MobilityManager {
   /// Registers a node with its mobility model; ids must be dense from 0.
   void add_node(NodeId id, std::unique_ptr<MobilityModel> model);
 
-  std::size_t node_count() const { return models_.size(); }
+  std::size_t node_count() const { return segments_.size(); }
+  const geo::Rect& world() const { return grid_.world(); }
 
   /// Exact position now.
-  geo::Vec2 position(NodeId id) const;
+  geo::Vec2 position(NodeId id) const {
+    RCAST_REQUIRE(id < segments_.size());
+    return cached_position(id, sim_.now());
+  }
+
+  /// Invokes `fn(id, dist_sq)` for every node within `radius` of `center`
+  /// now (excluding `exclude`; pass geo::GridIndex::npos to exclude
+  /// nothing). dist_sq is the exact squared distance to `center`.
+  /// Deterministic order, allocation-free.
+  template <class Fn>
+  void for_each_within(geo::Vec2 center, double radius, NodeId exclude,
+                       Fn&& fn) const {
+    // Anyone farther than radius + 2*slack from the last grid refresh cannot
+    // be within radius now (both endpoints can have moved).
+    const double slack =
+        2.0 * max_speed_ * sim::to_seconds(sim_.now() - last_refresh_);
+    const double r2 = radius * radius;
+    const sim::Time now = sim_.now();
+    ++perf_.spatial_queries;
+    grid_.for_each_within(center, radius + slack, exclude, [&](NodeId cand) {
+      ++perf_.spatial_candidates_scanned;
+      const double d2 = geo::distance_sq(cached_position(cand, now), center);
+      if (d2 <= r2) fn(cand, d2);
+    });
+  }
+
+  /// Appends the exact set of nodes within `radius` of a point to `out`
+  /// (any push_back-able container; hot callers pass a reused SmallVec).
+  template <class Out>
+  void nodes_within(geo::Vec2 center, double radius, NodeId exclude,
+                    Out& out) const {
+    for_each_within(center, radius, exclude,
+                    [&out](NodeId id, double) { out.push_back(id); });
+  }
+
+  /// Exact set of nodes within `radius` of a point (allocating convenience).
+  std::vector<NodeId> nodes_within(geo::Vec2 center, double radius,
+                                   NodeId exclude) const;
 
   /// Exact set of nodes within `radius` of node `id` (excluding id) now.
   std::vector<NodeId> neighbors_within(NodeId id, double radius) const;
 
-  /// Exact set of nodes within `radius` of a point.
-  std::vector<NodeId> nodes_within(geo::Vec2 center, double radius,
-                                   NodeId exclude) const;
+  /// Exact count of nodes within `radius` of node `id` (excluding id) now;
+  /// same semantics as neighbors_within().size() without materializing the
+  /// set.
+  std::size_t count_neighbors(NodeId id, double radius) const;
 
   /// True if the two nodes are within `radius` of each other now.
   bool in_range(NodeId a, NodeId b, double radius) const;
 
+  const GeoPerf& perf() const { return perf_; }
+
  private:
   void refresh_grid();
+
+  /// Position at `now` from the cached segment, refreshing it from the model
+  /// when expired. `now` must be the current simulation time (models are
+  /// queried monotonically).
+  geo::Vec2 cached_position(NodeId id, sim::Time now) const {
+    MotionSegment& s = segments_[id];
+    if (now >= s.expires) {
+      s = models_[id]->segment_at(now);
+      ++perf_.segment_refreshes;
+    }
+    return s.eval(now);
+  }
 
   sim::Simulator& sim_;
   geo::GridIndex grid_;
   std::vector<std::unique_ptr<MobilityModel>> models_;
+  /// Per-node cached motion segment, evaluated inline on every position
+  /// lookup; segments_[i] is refreshed from models_[i] when it expires.
+  mutable std::vector<MotionSegment> segments_;
   double max_speed_ = 0.0;
   sim::Time refresh_period_;
   sim::Time last_refresh_ = 0;
   sim::PeriodicTimer refresh_timer_;
-  mutable std::vector<geo::ItemId> scratch_;
+  mutable GeoPerf perf_;
 };
 
 }  // namespace rcast::mobility

@@ -3,12 +3,47 @@
 // Models are queried with monotonically non-decreasing simulation times (the
 // simulator clock), which lets them generate their trajectory lazily and
 // deterministically from a forked RNG stream.
+//
+// Besides the exact point query (position_at), a model can export its current
+// piecewise-linear motion segment. Callers cache the segment and evaluate
+// positions inline — no virtual dispatch — until it expires, which is what
+// makes spatial queries over thousands of nodes cheap (see MobilityManager).
 #pragma once
+
+#include <limits>
 
 #include "geo/vec2.hpp"
 #include "sim/time.hpp"
 
 namespace rcast::mobility {
+
+/// One piece of a piecewise-linear trajectory: the node travels from `from`
+/// (at time `begin`) to `to` (at time `end`), then rests at `to` until the
+/// segment `expires`. Stationary stretches are encoded as from == to.
+///
+/// eval() reproduces MobilityModel::position_at bit-for-bit for any t in
+/// [query time, expires): it is the same interpolation expression the models
+/// use internally, so caching segments is purely representational and cannot
+/// change simulation results.
+struct MotionSegment {
+  geo::Vec2 from;
+  geo::Vec2 to;
+  sim::Time begin = 0;
+  sim::Time end = 0;      // motion ends; position == `to` afterwards
+  sim::Time expires = 0;  // first time at which the segment must be refreshed
+
+  geo::Vec2 eval(sim::Time t) const {
+    if (t <= begin) return from;
+    if (end <= begin) return to;  // zero-length leg (dest ~= origin)
+    const double frac = static_cast<double>(t - begin) /
+                        static_cast<double>(end - begin);
+    return from + (to - from) * std::min(frac, 1.0);
+  }
+};
+
+/// Expiry for segments that never change (static nodes).
+inline constexpr sim::Time kSegmentNeverExpires =
+    std::numeric_limits<sim::Time>::max();
 
 class MobilityModel {
  public:
@@ -16,6 +51,16 @@ class MobilityModel {
 
   /// Exact position at time t. t must be >= any previously queried time.
   virtual geo::Vec2 position_at(sim::Time t) = 0;
+
+  /// The motion segment covering time t (same monotonicity contract as
+  /// position_at). segment_at(t).eval(u) must equal position_at(u) for all
+  /// u in [t, expires). The default degenerates to a point segment that
+  /// expires immediately, so models that only implement position_at stay
+  /// correct (just uncached).
+  virtual MotionSegment segment_at(sim::Time t) {
+    const geo::Vec2 p = position_at(t);
+    return MotionSegment{p, p, t, t, t};
+  }
 
   /// Maximum speed this model can ever move at (m/s); used by spatial
   /// indexes to bound staleness slack. 0 for static models.
@@ -27,6 +72,9 @@ class StaticModel final : public MobilityModel {
  public:
   explicit StaticModel(geo::Vec2 pos) : pos_(pos) {}
   geo::Vec2 position_at(sim::Time) override { return pos_; }
+  MotionSegment segment_at(sim::Time t) override {
+    return MotionSegment{pos_, pos_, t, t, kSegmentNeverExpires};
+  }
   double max_speed() const override { return 0.0; }
 
  private:

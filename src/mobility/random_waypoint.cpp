@@ -51,6 +51,27 @@ geo::Vec2 RandomWaypointModel::position_at(sim::Time t) {
   return from_ + (to_ - from_) * std::min(frac, 1.0);
 }
 
+MotionSegment RandomWaypointModel::segment_at(sim::Time t) {
+  advance_past(t);
+  MotionSegment s;
+  if (moving_) {
+    // The rest of the current leg. Expires at leg_end (not pause_end):
+    // position_at returns the waypoint *exactly* once the leg is over, and
+    // from + (to - from) * 1.0 is not guaranteed bit-equal to `to`.
+    s.from = from_;
+    s.to = to_;
+    s.begin = leg_start_;
+    s.end = leg_end_;
+    s.expires = leg_end_;  // advance_past guarantees t < leg_end_ here
+  } else {
+    // Paused at a waypoint: constant until the pause ends.
+    s.from = s.to = from_;
+    s.begin = s.end = t;
+    s.expires = pause_end_;  // advance_past guarantees t < pause_end_
+  }
+  return s;
+}
+
 bool RandomWaypointModel::paused_at(sim::Time t) {
   advance_past(t);
   return !moving_ || t <= leg_start_;

@@ -25,6 +25,7 @@ class RandomWaypointModel final : public MobilityModel {
   RandomWaypointModel(const RandomWaypointConfig& config, Rng rng);
 
   geo::Vec2 position_at(sim::Time t) override;
+  MotionSegment segment_at(sim::Time t) override;
   double max_speed() const override { return cfg_.max_speed_mps; }
 
   /// Current leg endpoints (for tests/visualization).

@@ -1,6 +1,7 @@
 #include "phy/channel.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "phy/phy.hpp"
 #include "util/assert.hpp"
@@ -15,10 +16,10 @@ sim::Time propagation_delay(double meters) {
 }
 
 // Expired in-flight entries are harmless to keep around (their busy window
-// lies in the past), so pruning only has to bound the list, not keep it
-// exact: sweep when it grows past the watermark or a coarse interval passed.
-constexpr std::size_t kPruneWatermark = 64;
-constexpr sim::Time kPruneInterval = 10 * sim::kMillisecond;
+// lies in the past — see the horizon note in add_in_flight), so pruning only
+// has to bound each cell, not keep it exact: sweep a cell when it grows past
+// the watermark.
+constexpr std::size_t kCellPruneWatermark = 32;
 
 }  // namespace
 
@@ -29,6 +30,20 @@ Channel::Channel(sim::Simulator& simulator,
   RCAST_REQUIRE(cfg_.tx_range_m > 0.0);
   RCAST_REQUIRE(cfg_.cs_range_m >= cfg_.tx_range_m);
   RCAST_REQUIRE(cfg_.bitrate_bps > 0);
+  capture_ratio_ =
+      cfg_.capture_db > 0.0 ? std::pow(10.0, cfg_.capture_db / 40.0) : 0.0;
+
+  // Carrier-sense cells sized to the cs range: a disc of that radius always
+  // fits in <= 3x3 cells. Same geometry/clamping as geo::GridIndex so
+  // positions slightly outside the world land in edge cells.
+  const geo::Rect& world = mobility.world();
+  cs_cell_size_ = cfg_.cs_range_m;
+  cs_cols_ = static_cast<std::uint32_t>(
+                 std::ceil(world.width / cs_cell_size_)) + 1;
+  cs_rows_ = static_cast<std::uint32_t>(
+                 std::ceil(world.height / cs_cell_size_)) + 1;
+  cs_cells_.resize(static_cast<std::size_t>(cs_cols_) * cs_rows_);
+  max_prop_ = propagation_delay(cfg_.cs_range_m);
 }
 
 void Channel::attach(Phy* phy) {
@@ -39,21 +54,36 @@ void Channel::attach(Phy* phy) {
   phys_[id] = phy;
 }
 
-void Channel::prune_in_flight() {
-  if (in_flight_.size() < kPruneWatermark &&
-      sim_.now() - last_prune_ < kPruneInterval) {
-    return;
+std::uint32_t Channel::cs_cell_of(geo::Vec2 p) const {
+  const geo::Rect& world = mobility_.world();
+  const double cx = std::clamp(p.x, 0.0, world.width);
+  const double cy = std::clamp(p.y, 0.0, world.height);
+  const auto col = static_cast<std::uint32_t>(cx / cs_cell_size_);
+  const auto row = static_cast<std::uint32_t>(cy / cs_cell_size_);
+  return row * cs_cols_ + col;
+}
+
+void Channel::add_in_flight(geo::Vec2 tx_pos, sim::Time end) {
+  CsCell& cell = cs_cells_[cs_cell_of(tx_pos)];
+  if (cell.entries.size() >= kCellPruneWatermark) {
+    // An entry can only still matter while end + propagation >= now, and
+    // propagation within cs range is bounded by max_prop_; anything older
+    // produced a busy window entirely in the past.
+    const sim::Time horizon = sim_.now() - (max_prop_ + sim::kMicrosecond);
+    std::erase_if(cell.entries,
+                  [horizon](const InFlight& f) { return f.end < horizon; });
+    cell.max_end = 0;
+    for (const InFlight& f : cell.entries) {
+      cell.max_end = std::max(cell.max_end, f.end);
+    }
   }
-  last_prune_ = sim_.now();
-  const sim::Time horizon = sim_.now() - 10 * sim::kMicrosecond;
-  std::erase_if(in_flight_,
-                [horizon](const InFlight& f) { return f.end < horizon; });
+  cell.entries.push_back(InFlight{tx_pos, end});
+  cell.max_end = std::max(cell.max_end, end);
 }
 
 void Channel::transmit(FramePtr frame, sim::Time duration) {
   RCAST_REQUIRE(frame != nullptr);
   RCAST_REQUIRE(duration > 0);
-  static thread_local std::uint64_t next_arrival_id = 0;
 
   const geo::Vec2 tx_pos = mobility_.position(frame->tx);
   const sim::Time now = sim_.now();
@@ -61,52 +91,82 @@ void Channel::transmit(FramePtr frame, sim::Time duration) {
   ++stats_.frames_transmitted;
   stats_.bits_transmitted += static_cast<std::uint64_t>(frame->bits);
 
-  prune_in_flight();
-  in_flight_.push_back(InFlight{tx_pos, now + duration});
+  add_in_flight(tx_pos, now + duration);
 
-  const auto sensed =
-      mobility_.nodes_within(tx_pos, cfg_.cs_range_m, frame->tx);
+  // Fan out to every radio that senses the frame, straight from the spatial
+  // query (no intermediate result list): the callback fires in deterministic
+  // grid order with the exact squared distance already computed.
   const double rx2 = cfg_.tx_range_m * cfg_.tx_range_m;
-  for (NodeId r : sensed) {
-    if (r >= phys_.size() || phys_[r] == nullptr) continue;
-    Phy* phy = phys_[r];
-    const double d2 = geo::distance_sq(mobility_.position(r), tx_pos);
-    const bool in_rx_range = d2 <= rx2;
-    const double dist = std::sqrt(d2);
-    const sim::Time prop = propagation_delay(dist);
-    const std::uint64_t arrival_id = ++next_arrival_id;
-    const sim::Time start = now + prop;
-    const sim::Time end = start + duration;
-    auto on_start = [phy, arrival_id, frame, in_rx_range, dist, end] {
-      phy->arrival_start(arrival_id, frame, in_rx_range, dist, end);
-    };
-    auto on_end = [phy, arrival_id, frame, in_rx_range] {
-      phy->arrival_end(arrival_id, frame, in_rx_range);
-    };
-    // Two of these are scheduled per sensed receiver per frame — the single
-    // hottest schedule site; they must never spill to the heap.
-    static_assert(
-        sim::EventQueue::Handler::fits_inline<decltype(on_start)>());
-    static_assert(sim::EventQueue::Handler::fits_inline<decltype(on_end)>());
-    sim_.at(start, std::move(on_start));
-    sim_.at(end, std::move(on_end));
-  }
+  mobility_.for_each_within(
+      tx_pos, cfg_.cs_range_m, frame->tx, [&](NodeId r, double d2) {
+        if (r >= phys_.size() || phys_[r] == nullptr) return;
+        Phy* phy = phys_[r];
+        const bool in_rx_range = d2 <= rx2;
+        const double dist = std::sqrt(d2);
+        const sim::Time prop = propagation_delay(dist);
+        const std::uint64_t arrival_id = ++next_arrival_id_;
+        const sim::Time start = now + prop;
+        const sim::Time end = start + duration;
+        auto on_start = [phy, arrival_id, frame, in_rx_range, dist, end] {
+          phy->arrival_start(arrival_id, frame, in_rx_range, dist, end);
+        };
+        auto on_end = [phy, arrival_id, frame, in_rx_range] {
+          phy->arrival_end(arrival_id, frame, in_rx_range);
+        };
+        // Two of these are scheduled per sensed receiver per frame — the
+        // single hottest schedule site; they must never spill to the heap.
+        static_assert(
+            sim::EventQueue::Handler::fits_inline<decltype(on_start)>());
+        static_assert(
+            sim::EventQueue::Handler::fits_inline<decltype(on_end)>());
+        sim_.at(start, std::move(on_start));
+        sim_.at(end, std::move(on_end));
+      });
 }
 
 sim::Time Channel::sensed_busy_until(geo::Vec2 pos) const {
   sim::Time latest = 0;
   const double cs2 = cfg_.cs_range_m * cfg_.cs_range_m;
-  for (const InFlight& f : in_flight_) {
-    const double d2 = geo::distance_sq(f.tx_pos, pos);
-    if (d2 > cs2) continue;
-    const sim::Time arrival_end = f.end + propagation_delay(std::sqrt(d2));
-    latest = std::max(latest, arrival_end);
+  const auto col_lo = static_cast<std::int64_t>(
+      std::floor((pos.x - cfg_.cs_range_m) / cs_cell_size_));
+  const auto col_hi = static_cast<std::int64_t>(
+      std::floor((pos.x + cfg_.cs_range_m) / cs_cell_size_));
+  const auto row_lo = static_cast<std::int64_t>(
+      std::floor((pos.y - cfg_.cs_range_m) / cs_cell_size_));
+  const auto row_hi = static_cast<std::int64_t>(
+      std::floor((pos.y + cfg_.cs_range_m) / cs_cell_size_));
+  for (std::int64_t row = std::max<std::int64_t>(0, row_lo);
+       row <= std::min<std::int64_t>(cs_rows_ - 1, row_hi); ++row) {
+    for (std::int64_t col = std::max<std::int64_t>(0, col_lo);
+         col <= std::min<std::int64_t>(cs_cols_ - 1, col_hi); ++col) {
+      const CsCell& cell =
+          cs_cells_[static_cast<std::size_t>(row) * cs_cols_ + col];
+      ++stats_.cs_cells_visited;
+      if (cell.entries.empty()) continue;
+      // Every arrival-end in this cell is <= max_end + max_prop_: skip the
+      // scan when even that bound cannot beat the current maximum.
+      if (cell.max_end + max_prop_ <= latest) continue;
+      for (const InFlight& f : cell.entries) {
+        ++stats_.cs_entries_scanned;
+        const double d2 = geo::distance_sq(f.tx_pos, pos);
+        if (d2 > cs2) continue;
+        const sim::Time arrival_end =
+            f.end + propagation_delay(std::sqrt(d2));
+        latest = std::max(latest, arrival_end);
+      }
+    }
   }
   return latest;
 }
 
 std::size_t Channel::neighbor_count(NodeId id) const {
-  return mobility_.neighbors_within(id, cfg_.tx_range_m).size();
+  return mobility_.count_neighbors(id, cfg_.tx_range_m);
+}
+
+std::size_t Channel::in_flight_size() const {
+  std::size_t n = 0;
+  for (const CsCell& cell : cs_cells_) n += cell.entries.size();
+  return n;
 }
 
 geo::Vec2 Channel::position_of(NodeId id) const {

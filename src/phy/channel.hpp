@@ -6,6 +6,13 @@
 // A frame is decodable by an awake radio iff the radio is within reception
 // range and no other signal (within interference range) overlaps it in time
 // at that radio; there is no capture. Propagation delay is distance / c.
+//
+// Scaling (DESIGN.md §12): the sensed set per transmission comes straight
+// from the mobility layer's allocation-free range query, and in-flight
+// transmissions are bucketed into a per-channel uniform grid of
+// carrier-sense cells (cell size = cs_range) with a per-cell max-busy-until
+// aggregate, so sensed_busy_until inspects only the <= 3x3 cells overlapping
+// the carrier-sense disc instead of the global in-flight list.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +42,11 @@ class Phy;
 struct ChannelStats {
   std::uint64_t frames_transmitted = 0;
   std::uint64_t bits_transmitted = 0;
+  /// Carrier-sense cells inspected across all sensed_busy_until calls (the
+  /// cell-aggregated replacement for scanning the whole in-flight list).
+  std::uint64_t cs_cells_visited = 0;
+  /// In-flight entries distance-checked inside those cells.
+  std::uint64_t cs_entries_scanned = 0;
 };
 
 class Channel {
@@ -44,6 +56,11 @@ class Channel {
 
   const ChannelConfig& config() const { return cfg_; }
   std::int64_t bitrate() const { return cfg_.bitrate_bps; }
+
+  /// Interferer-over-signal distance ratio above which a locked reception
+  /// survives (10^(capture_db/40) under two-ray d^-4); 0 when capture is
+  /// disabled. Precomputed once — it sits on the arrival hot path.
+  double capture_ratio() const { return capture_ratio_; }
 
   /// Registers a radio; its node id indexes into the mobility manager.
   void attach(Phy* phy);
@@ -70,20 +87,45 @@ class Channel {
 
   const ChannelStats& stats() const { return stats_; }
 
+  /// Live in-flight entries across all carrier-sense cells (expired entries
+  /// are pruned lazily, so this is an upper bound on the active count).
+  std::size_t in_flight_size() const;
+
  private:
   struct InFlight {
     geo::Vec2 tx_pos;
     sim::Time end;  // end of serialization at the transmitter
   };
-  void prune_in_flight();
+  /// One carrier-sense cell: the in-flight transmissions whose transmitter
+  /// sits in this cell, plus the max serialization-end over them. The max is
+  /// an upper bound between prunes; entries expire lazily on insert sweeps.
+  struct CsCell {
+    std::vector<InFlight> entries;
+    sim::Time max_end = 0;
+  };
+
+  std::uint32_t cs_cell_of(geo::Vec2 p) const;
+  void add_in_flight(geo::Vec2 tx_pos, sim::Time end);
 
   sim::Simulator& sim_;
   mobility::MobilityManager& mobility_;
   ChannelConfig cfg_;
+  double capture_ratio_ = 0.0;
   std::vector<Phy*> phys_;
-  std::vector<InFlight> in_flight_;
-  sim::Time last_prune_ = 0;
-  ChannelStats stats_;
+
+  // Carrier-sense cell grid (same clamped-cell geometry as geo::GridIndex).
+  double cs_cell_size_ = 0.0;
+  std::uint32_t cs_cols_ = 0;
+  std::uint32_t cs_rows_ = 0;
+  std::vector<CsCell> cs_cells_;
+  sim::Time max_prop_ = 0;  // propagation delay across cs_range
+
+  /// Arrival-id stream for this channel. A per-channel member (not
+  /// thread_local) so id streams are per-run deterministic state even when
+  /// campaign workers reuse threads across jobs.
+  std::uint64_t next_arrival_id_ = 0;
+
+  mutable ChannelStats stats_;
 };
 
 }  // namespace rcast::phy

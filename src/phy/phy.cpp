@@ -90,8 +90,9 @@ void Phy::start_tx(FramePtr frame) {
 
   // Transmitting deafens the radio: abort any in-progress reception.
   if (locked_arrival_ != 0) {
-    auto it = arrivals_.find(locked_arrival_);
-    if (it != arrivals_.end()) it->second.corrupted = true;
+    if (Arrival* locked = find_arrival(locked_arrival_)) {
+      locked->corrupted = true;
+    }
     locked_arrival_ = 0;
     ++stats_.rx_missed_tx;
     if (telemetry_ != nullptr) {
@@ -139,11 +140,19 @@ void Phy::wake() {
 }
 
 bool Phy::interferes(double d_interferer, double d_signal) const {
-  const double capture_db = channel_.config().capture_db;
-  if (capture_db <= 0.0) return true;  // capture disabled: overlap corrupts
-  // Two-ray d^-4: SIR(dB) = 40*log10(d_i/d_s) >= capture_db to survive.
-  const double ratio = std::pow(10.0, capture_db / 40.0);
+  // Two-ray d^-4: SIR(dB) = 40*log10(d_i/d_s) >= capture_db to survive. The
+  // 10^(dB/40) ratio is precomputed by the channel (0 = capture disabled:
+  // any overlap corrupts) — this predicate runs per overlapping arrival.
+  const double ratio = channel_.capture_ratio();
+  if (ratio <= 0.0) return true;
   return d_interferer < ratio * d_signal;
+}
+
+Phy::Arrival* Phy::find_arrival(std::uint64_t arrival_id) {
+  for (Arrival& a : arrivals_) {
+    if (a.id == arrival_id) return &a;
+  }
+  return nullptr;
 }
 
 void Phy::arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
@@ -161,15 +170,15 @@ void Phy::arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
   }
 
   Arrival a;
+  a.id = arrival_id;
   a.frame = frame;
   a.distance_m = distance_m;
 
   // Does this new arrival corrupt an ongoing locked reception?
   if (locked_arrival_ != 0) {
-    auto it = arrivals_.find(locked_arrival_);
-    if (it != arrivals_.end() &&
-        interferes(distance_m, it->second.distance_m)) {
-      it->second.corrupted = true;
+    Arrival* locked = find_arrival(locked_arrival_);
+    if (locked != nullptr && interferes(distance_m, locked->distance_m)) {
+      locked->corrupted = true;
     }
   }
 
@@ -192,7 +201,7 @@ void Phy::arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
       // over; energy from an unknown source (sensed while waking) counts
       // as an unconditional interferer.
       bool clean = arrivals_.empty() ? sim_.now() >= busy_until_ : true;
-      for (const auto& [oid, ongoing] : arrivals_) {
+      for (const Arrival& ongoing : arrivals_) {
         if (interferes(ongoing.distance_m, distance_m)) {
           clean = false;
           break;
@@ -213,10 +222,8 @@ void Phy::arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
     a.corrupted = true;  // carrier-sense-only signal, never decodable here
   }
 
-  arrivals_.emplace(arrival_id, std::move(a));
-  if (arrivals_.at(arrival_id).locked) {
-    locked_arrival_ = arrival_id;
-  }
+  if (a.locked) locked_arrival_ = arrival_id;
+  arrivals_.push_back(std::move(a));
   update_energy_state();
   extend_busy(end_time);
 }
@@ -224,11 +231,12 @@ void Phy::arrival_start(std::uint64_t arrival_id, const FramePtr& frame,
 void Phy::arrival_end(std::uint64_t arrival_id, const FramePtr& frame,
                       bool in_rx_range) {
   (void)in_rx_range;
-  auto it = arrivals_.find(arrival_id);
-  if (it == arrivals_.end()) return;  // slept (or was asleep) meanwhile
+  Arrival* it = find_arrival(arrival_id);
+  if (it == nullptr) return;  // slept (or was asleep) meanwhile
   const bool was_locked = (arrival_id == locked_arrival_);
-  const bool corrupted = it->second.corrupted;
-  arrivals_.erase(it);
+  const bool corrupted = it->corrupted;
+  *it = std::move(arrivals_.back());  // swap-erase; order is irrelevant
+  arrivals_.pop_back();
   if (was_locked) {
     locked_arrival_ = 0;
     update_energy_state();

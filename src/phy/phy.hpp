@@ -7,7 +7,7 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
 #include "energy/energy_model.hpp"
 #include "phy/channel.hpp"
@@ -99,11 +99,14 @@ class Phy {
 
  private:
   struct Arrival {
+    std::uint64_t id = 0;     // channel arrival id (0 is never assigned)
     FramePtr frame;
     double distance_m = 0.0;  // transmitter-to-us distance at frame start
     bool corrupted = false;
     bool locked = false;  // we are attempting to decode this one
   };
+
+  Arrival* find_arrival(std::uint64_t arrival_id);
 
   /// True if an interferer at `d_interferer` corrupts a signal being decoded
   /// from `d_signal` (pairwise SINR under two-ray d^-4 with the channel's
@@ -125,8 +128,11 @@ class Phy {
 
   bool asleep_ = false;
   bool tx_busy_ = false;
-  std::unordered_map<std::uint64_t, Arrival> arrivals_;  // sensed, in flight
-  std::uint64_t locked_arrival_ = 0;  // key into arrivals_, 0 = none
+  /// Sensed in-flight arrivals. A handful at most at any instant, so a flat
+  /// reused vector (linear find, swap-erase) beats a node-per-entry map and
+  /// keeps the steady-state arrival path allocation-free.
+  std::vector<Arrival> arrivals_;
+  std::uint64_t locked_arrival_ = 0;  // Arrival::id, 0 = none
   sim::Time busy_until_ = 0;
   bool carrier_was_busy_ = false;
   sim::EventId idle_check_;

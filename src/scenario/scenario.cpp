@@ -183,6 +183,11 @@ RunResult Network::run() {
   RunResult r = summarize();
   r.perf = sim_.perf_counters();
   r.perf.bytes_allocated = util::AllocTracker::bytes();
+  const mobility::MobilityManager::GeoPerf& geo = mobility_.perf();
+  r.perf.spatial_queries = geo.spatial_queries;
+  r.perf.spatial_candidates_scanned = geo.spatial_candidates_scanned;
+  r.perf.segment_refreshes = geo.segment_refreshes;
+  r.perf.cs_cells_visited = channel_.stats().cs_cells_visited;
   r.perf.wall_seconds =
       std::chrono::duration<double>(wall_end - wall_start).count();
   r.perf.events_per_sec =

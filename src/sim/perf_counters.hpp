@@ -24,6 +24,16 @@ struct PerfCounters {
   /// Bytes passed through global operator new while the run's thread had
   /// util::AllocTracker enabled; 0 when the hook is compiled out or off.
   std::uint64_t bytes_allocated = 0;
+  /// Spatial range queries answered by the mobility layer, and grid
+  /// candidates scanned inside them (exact-filter work per query).
+  std::uint64_t spatial_queries = 0;
+  std::uint64_t spatial_candidates_scanned = 0;
+  /// Motion-segment cache refreshes (leg/pause boundary crossings); between
+  /// refreshes every position lookup is a branch-light inline interpolation.
+  std::uint64_t segment_refreshes = 0;
+  /// Carrier-sense cells visited by sensed_busy_until (cell-aggregated scan
+  /// instead of the global in-flight list).
+  std::uint64_t cs_cells_visited = 0;
   double wall_seconds = 0.0;
   double events_per_sec = 0.0;
 };

@@ -132,6 +132,57 @@ TEST_F(GridIndexTest, LargeQueryRadiusCoversWholeWorld) {
   EXPECT_EQ(out.size(), 20u);
 }
 
+TEST_F(GridIndexTest, RemoveThenReinsertSameId) {
+  grid_.insert(0, {10.0, 10.0});
+  grid_.remove(0);
+  grid_.insert(0, {1400.0, 200.0});  // same id, different cell
+  EXPECT_TRUE(grid_.contains(0));
+  EXPECT_EQ(grid_.size(), 1u);
+  EXPECT_EQ(grid_.position(0), (Vec2{1400.0, 200.0}));
+  std::vector<ItemId> out;
+  grid_.query({10.0, 10.0}, 100.0, GridIndex::npos, out);
+  EXPECT_TRUE(out.empty()) << "stale link to the old cell survived remove()";
+  grid_.query({1400.0, 200.0}, 50.0, GridIndex::npos, out);
+  EXPECT_EQ(out, std::vector<ItemId>{0});
+}
+
+TEST_F(GridIndexTest, QueryRadiusLargerThanCellSize) {
+  // Radius 600 > cell 250: the disc spans several cell rings in each
+  // direction and the scan must still be exact at the rim.
+  grid_.insert(0, {200.0, 150.0});
+  grid_.insert(1, {800.0, 150.0});  // exactly on the rim (inclusive)
+  grid_.insert(2, {801.0, 150.0});  // just outside
+  std::vector<ItemId> out;
+  grid_.query({200.0, 150.0}, 600.0, GridIndex::npos, out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, (std::vector<ItemId>{0, 1}));
+}
+
+TEST_F(GridIndexTest, ItemsOnWorldBoundaryAreIndexed) {
+  // All four corners plus edge midpoints land in valid (clamped) cells.
+  const Vec2 corners[] = {{0.0, 0.0},    {1500.0, 0.0}, {0.0, 300.0},
+                          {1500.0, 300.0}, {750.0, 0.0},  {750.0, 300.0}};
+  for (ItemId i = 0; i < 6; ++i) grid_.insert(i, corners[i]);
+  EXPECT_EQ(grid_.size(), 6u);
+  for (ItemId i = 0; i < 6; ++i) {
+    std::vector<ItemId> out;
+    grid_.query(corners[i], 1.0, GridIndex::npos, out);
+    EXPECT_EQ(out, std::vector<ItemId>{i}) << "corner " << i;
+  }
+}
+
+TEST_F(GridIndexTest, CountWithinMatchesQuerySize) {
+  Rng rng(79);
+  for (ItemId i = 0; i < 50; ++i) {
+    grid_.insert(i, {rng.uniform(0.0, 1500.0), rng.uniform(0.0, 300.0)});
+  }
+  for (ItemId i = 0; i < 50; ++i) {
+    std::vector<ItemId> out;
+    grid_.query(grid_.position(i), 300.0, i, out);
+    EXPECT_EQ(grid_.count_within(i, 300.0), out.size()) << "item " << i;
+  }
+}
+
 TEST(GridIndexRandomized, AgreesWithBruteForce) {
   Rng rng(77);
   const Rect world{1500.0, 300.0};

@@ -103,6 +103,53 @@ TEST(RandomWaypoint, RejectsBadConfig) {
   EXPECT_THROW(RandomWaypointModel(c, Rng(1)), ContractViolation);
 }
 
+// --- Motion segments -------------------------------------------------------
+
+TEST(MotionSegments, StaticSegmentNeverExpires) {
+  StaticModel m({10.0, 20.0});
+  const MotionSegment s = m.segment_at(sim::from_seconds(3));
+  EXPECT_EQ(s.expires, kSegmentNeverExpires);
+  EXPECT_EQ(s.eval(sim::from_seconds(3)), (geo::Vec2{10.0, 20.0}));
+  EXPECT_EQ(s.eval(sim::from_seconds(1e6)), (geo::Vec2{10.0, 20.0}));
+}
+
+TEST(MotionSegments, EvalIsBitIdenticalToPositionAt) {
+  // Two models, same seed: one queried directly, one through the cached
+  // segment (refreshed exactly when it expires — the manager's policy). The
+  // positions must match to the last bit, including at leg boundaries, or
+  // the golden runs would drift.
+  for (sim::Time pause : {sim::Time{0}, sim::from_seconds(2)}) {
+    auto cfg = base_cfg();
+    cfg.pause = pause;
+    RandomWaypointModel direct(cfg, Rng(42));
+    RandomWaypointModel cached(cfg, Rng(42));
+    MotionSegment seg = cached.segment_at(0);
+    for (int ms = 0; ms <= 300000; ms += 73) {
+      const sim::Time t = sim::from_millis(ms);
+      if (t >= seg.expires) seg = cached.segment_at(t);
+      const geo::Vec2 want = direct.position_at(t);
+      const geo::Vec2 got = seg.eval(t);
+      ASSERT_EQ(got.x, want.x) << "t=" << ms << "ms pause=" << pause;
+      ASSERT_EQ(got.y, want.y) << "t=" << ms << "ms pause=" << pause;
+    }
+  }
+}
+
+TEST(MotionSegments, SegmentRefreshPreservesRngStream) {
+  // Querying segments must consume the same waypoint draws as position_at:
+  // after a long excursion through either interface the models still agree.
+  RandomWaypointModel a(base_cfg(), Rng(43));
+  RandomWaypointModel b(base_cfg(), Rng(43));
+  MotionSegment seg = a.segment_at(0);
+  for (int s = 0; s <= 1000; s += 11) {
+    const sim::Time t = sim::from_seconds(s);
+    if (t >= seg.expires) seg = a.segment_at(t);
+    (void)b.position_at(t);
+  }
+  const sim::Time end = sim::from_seconds(1001);
+  EXPECT_EQ(a.position_at(end), b.position_at(end));
+}
+
 // --- MobilityManager -------------------------------------------------------
 
 class ManagerTest : public ::testing::Test {
@@ -142,6 +189,52 @@ TEST_F(ManagerTest, QueriesExactBetweenRefreshes) {
     const auto got = mgr_.neighbors_within(0, 250.0);
     const bool in = geo::distance(mgr_.position(0), mgr_.position(1)) <= 250.0;
     EXPECT_EQ(got.size(), in ? 1u : 0u) << "t=" << ms;
+  }
+}
+
+TEST_F(ManagerTest, ManagerPositionsMatchDirectModel) {
+  // The manager's segment cache must reproduce the model bit-for-bit even
+  // though it queries segments lazily and the grid refresh timer interleaves
+  // its own position lookups.
+  mgr_.add_node(0, std::make_unique<RandomWaypointModel>(base_cfg(), Rng(44)));
+  RandomWaypointModel direct(base_cfg(), Rng(44));
+  for (int ms = 0; ms <= 60000; ms += 241) {
+    sim_.run_until(sim::from_millis(ms));
+    const geo::Vec2 got = mgr_.position(0);
+    const geo::Vec2 want = direct.position_at(sim::from_millis(ms));
+    ASSERT_EQ(got.x, want.x) << "t=" << ms << "ms";
+    ASSERT_EQ(got.y, want.y) << "t=" << ms << "ms";
+  }
+  EXPECT_GT(mgr_.perf().segment_refreshes, 0u);
+}
+
+TEST_F(ManagerTest, CountNeighborsMatchesNeighborsWithin) {
+  Rng rng(45);
+  for (NodeId i = 0; i < 30; ++i) {
+    mgr_.add_node(i, std::make_unique<RandomWaypointModel>(base_cfg(),
+                                                           rng.fork(i)));
+  }
+  for (int ms = 0; ms <= 3000; ms += 501) {
+    sim_.run_until(sim::from_millis(ms));
+    for (NodeId i = 0; i < 30; ++i) {
+      EXPECT_EQ(mgr_.count_neighbors(i, 250.0),
+                mgr_.neighbors_within(i, 250.0).size())
+          << "node " << i << " t=" << ms;
+    }
+  }
+}
+
+TEST_F(ManagerTest, ScratchQueryMatchesAllocatingQuery) {
+  Rng rng(46);
+  for (NodeId i = 0; i < 20; ++i) {
+    mgr_.add_node(i, std::make_unique<StaticModel>(geo::Vec2{
+                         rng.uniform(0.0, 1500.0), rng.uniform(0.0, 300.0)}));
+  }
+  std::vector<NodeId> scratch;
+  for (NodeId i = 0; i < 20; ++i) {
+    scratch.clear();
+    mgr_.nodes_within(mgr_.position(i), 300.0, i, scratch);
+    EXPECT_EQ(scratch, mgr_.neighbors_within(i, 300.0)) << "node " << i;
   }
 }
 

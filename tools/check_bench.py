@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Gate a fresh benchmark run against a committed BENCH record.
+
+The committed records at the repo root (BENCH_hotpath.json, BENCH_scale.json)
+carry named columns ("baseline", "after") of per-benchmark numbers measured
+on one reference machine. A fresh run — the flat {"benchmarks": [...]} file
+teed by bench_micro/bench_scale — is compared per benchmark name on
+items_per_second:
+
+    ratio = fresh / committed_column_value
+
+CI machines are slower and noisier than the reference box, so the default
+gate is deliberately loose (--min-ratio 0.25): it exists to catch
+catastrophic regressions (an accidentally quadratic scan, a reintroduced
+per-event allocation) and renamed-but-not-rerecorded benchmarks, not 5%
+drift. Tighten --min-ratio when running on the reference machine itself.
+
+Usage:
+    tools/check_bench.py FRESH.json COMMITTED.json [--column after]
+                         [--min-ratio 0.25] [--require-all]
+
+Exit codes: 0 ok, 1 regression or missing benchmark, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def fresh_by_name(doc):
+    runs = doc.get("benchmarks")
+    if not isinstance(runs, list):
+        print("check_bench: fresh file has no 'benchmarks' array",
+              file=sys.stderr)
+        sys.exit(2)
+    return {r["name"]: r for r in runs if "name" in r}
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("fresh", help="flat JSON teed by a bench binary")
+    ap.add_argument("committed", help="committed BENCH record (repo root)")
+    ap.add_argument("--column", default="after",
+                    help="record column to compare against (default: after)")
+    ap.add_argument("--min-ratio", type=float, default=0.25,
+                    help="fail when fresh/committed < this (default: 0.25)")
+    ap.add_argument("--require-all", action="store_true",
+                    help="also fail when the fresh run lacks a benchmark "
+                         "that the committed column records (default: warn)")
+    args = ap.parse_args()
+
+    fresh = fresh_by_name(load(args.fresh))
+    record = load(args.committed)
+    column = record.get(args.column)
+    if not isinstance(column, dict):
+        print(f"check_bench: {args.committed} has no '{args.column}' column",
+              file=sys.stderr)
+        sys.exit(2)
+
+    failures = []
+    width = max((len(n) for n in column), default=10)
+    for name, want in sorted(column.items()):
+        ips = want.get("items_per_second") if isinstance(want, dict) else None
+        if ips is None:
+            continue  # time-only entries are informational
+        got = fresh.get(name)
+        if got is None or "items_per_second" not in got:
+            msg = f"{name:<{width}}  missing from fresh run"
+            if args.require_all:
+                failures.append(msg)
+                print(f"FAIL  {msg}")
+            else:
+                print(f"warn  {msg}")
+            continue
+        ratio = got["items_per_second"] / ips
+        status = "ok  " if ratio >= args.min_ratio else "FAIL"
+        print(f"{status}  {name:<{width}}  {got['items_per_second']:>12.3e} "
+              f"vs {ips:>10.3e}  ratio {ratio:5.2f}")
+        if ratio < args.min_ratio:
+            failures.append(f"{name}: ratio {ratio:.2f} < {args.min_ratio}")
+
+    if failures:
+        print(f"\ncheck_bench: {len(failures)} failure(s) against "
+              f"{args.committed}:{args.column}", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\ncheck_bench: all benchmarks within tolerance of "
+          f"{args.committed}:{args.column} (min ratio {args.min_ratio})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
