@@ -91,6 +91,82 @@ void BM_EventChurn(benchmark::State& state) {
 }
 BENCHMARK(BM_EventChurn)->Arg(1024)->Arg(16384);
 
+// Synced-beacon shape: every PSM node arms its beacon timer at the same
+// instant, so the queue sees large same-timestamp cohorts. Batched dispatch
+// should drain each cohort in one bottom-tier sweep.
+void BM_EventSameTimeBurst(benchmark::State& state) {
+  const int burst = static_cast<int>(state.range(0));
+  constexpr int kBursts = 64;
+  std::uint64_t n = 0;
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int b = 0; b < kBursts; ++b) {
+      const auto t = static_cast<sim::Time>(b + 1) * 100 * sim::kMillisecond;
+      for (int i = 0; i < burst; ++i) q.push(t, [] {});
+    }
+    while (!q.empty()) {
+      q.pop_batch([&n](sim::EventQueue::Handler& h) {
+        ++n;
+        h();
+      });
+    }
+  }
+  benchmark::DoNotOptimize(n);
+  state.SetItemsProcessed(state.iterations() * burst * kBursts);
+}
+BENCHMARK(BM_EventSameTimeBurst)->Arg(50)->Arg(1000);
+
+// Bimodal horizon: the mix a routing node actually produces — microsecond
+// PHY/MAC events interleaved with route-cache expiries seconds out. The far
+// cohort must sit in the top/rung tiers without taxing near-horizon pops.
+void BM_EventBimodalHorizon(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(9);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    sim::Time now = 0;
+    for (int i = 0; i < batch; ++i) {
+      now += static_cast<sim::Time>(rng.uniform_u64(20 * sim::kMicrosecond));
+      q.push(now + static_cast<sim::Time>(
+                       rng.uniform_u64(2 * sim::kMillisecond)),
+             [] {});
+      if (i % 8 == 0) {  // route-cache expiry, 5-30 s out
+        q.push(now + 5 * sim::kSecond +
+                   static_cast<sim::Time>(rng.uniform_u64(25 * sim::kSecond)),
+               [] {});
+      }
+      if (q.size() > 128) now = q.pop().first;
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventBimodalHorizon)->Arg(16384);
+
+// Cancel storm at compaction scale: arm a large timer population, cancel
+// ~94% of it (ACK timeouts that never fire), then drain. Exercises the
+// tombstone sweep and the 4:1 storage bound.
+void BM_EventCancelStorm(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  Rng rng(13);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    std::vector<sim::EventId> ids;
+    ids.reserve(static_cast<std::size_t>(batch));
+    sim::Time t = 0;
+    for (int i = 0; i < batch; ++i) {
+      t += static_cast<sim::Time>(rng.uniform_u64(50 * sim::kMicrosecond));
+      ids.push_back(q.push(t, [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i % 16 != 0) q.cancel(ids[i]);
+    }
+    while (!q.empty()) q.pop();
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventCancelStorm)->Arg(16384);
+
 // The DSR forward path: clone an incoming DATA packet out of the pool,
 // advance its position on the source route, release the clone back (what
 // every intermediate hop does). After the first iteration this is

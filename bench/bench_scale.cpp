@@ -117,6 +117,7 @@ void BM_TransmitStorm(benchmark::State& state) {
   const std::size_t kFrames = 200;
   const geo::Rect world = world_for(n, 450.0);  // 1000 nodes in 1500x300
   std::uint64_t events = 0;
+  sim::PerfCounters last{};
   for (auto _ : state) {
     sim::Simulator sim;
     mobility::MobilityManager mobility(sim, world, 550.0);
@@ -145,11 +146,20 @@ void BM_TransmitStorm(benchmark::State& state) {
     }
     sim.run_until(kFrames * 50 * sim::kMicrosecond + sim::kSecond);
     events += sim.executed_events();
+    last = sim.perf_counters();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
   state.counters["events"] =
       benchmark::Counter(static_cast<double>(events) /
                          static_cast<double>(state.iterations()));
+  state.counters["heap_fallbacks"] =
+      benchmark::Counter(static_cast<double>(last.handler_heap_fallbacks));
+  state.counters["queue_rung_spawns"] =
+      benchmark::Counter(static_cast<double>(last.queue_rung_spawns));
+  state.counters["queue_depth_high_water"] =
+      benchmark::Counter(static_cast<double>(last.queue_depth_high_water));
+  state.counters["dispatch_batches"] =
+      benchmark::Counter(static_cast<double>(last.dispatch_batches));
 }
 BENCHMARK(BM_TransmitStorm)->Arg(1000)->Arg(4096)->Unit(benchmark::kMillisecond);
 

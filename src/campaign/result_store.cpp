@@ -141,6 +141,12 @@ std::string record_to_json(const Job& job, const scenario::RunResult& r,
   w.key("events_executed").value(r.perf.events_executed);
   w.key("events_scheduled").value(r.perf.events_scheduled);
   w.key("handler_heap_fallbacks").value(r.perf.handler_heap_fallbacks);
+  w.key("queue_depth_high_water").value(r.perf.queue_depth_high_water);
+  w.key("queue_rung_spawns").value(r.perf.queue_rung_spawns);
+  w.key("dispatch_batches").value(r.perf.dispatch_batches);
+  w.key("batch_size_hist").begin_array();
+  for (const std::uint64_t n : r.perf.batch_size_hist) w.value(n);
+  w.end_array();
   w.key("pool_hits").value(r.perf.pool_hits);
   w.key("pool_misses").value(r.perf.pool_misses);
   w.key("bytes_allocated").value(r.perf.bytes_allocated);
@@ -259,7 +265,24 @@ JobRecord record_from_json(const json::Value& v) {
   r.perf.pool_hits = perf.at("pool_hits").as_u64();
   r.perf.pool_misses = perf.at("pool_misses").as_u64();
   r.perf.bytes_allocated = perf.at("bytes_allocated").as_u64();
-  // Geo/CS counters postdate early stores: tolerate their absence.
+  // Counters added after the v2 schema shipped postdate early stores:
+  // tolerate their absence (they read back as zero).
+  if (const json::Value* g = perf.find("queue_depth_high_water")) {
+    r.perf.queue_depth_high_water = g->as_u64();
+  }
+  if (const json::Value* g = perf.find("queue_rung_spawns")) {
+    r.perf.queue_rung_spawns = g->as_u64();
+  }
+  if (const json::Value* g = perf.find("dispatch_batches")) {
+    r.perf.dispatch_batches = g->as_u64();
+  }
+  if (const json::Value* g = perf.find("batch_size_hist")) {
+    const auto& hist = g->as_array();
+    for (std::size_t i = 0;
+         i < hist.size() && i < r.perf.batch_size_hist.size(); ++i) {
+      r.perf.batch_size_hist[i] = hist[i].as_u64();
+    }
+  }
   if (const json::Value* g = perf.find("spatial_queries")) {
     r.perf.spatial_queries = g->as_u64();
   }

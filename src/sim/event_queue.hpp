@@ -3,17 +3,63 @@
 // Ties at the same timestamp fire in scheduling order (FIFO), which keeps
 // protocol traces deterministic and intuitive.
 //
-// Layout: a flat binary min-heap of (time, seq, slot) entries over a
-// generation-checked slot map holding the handlers. Handlers are
-// small-buffer-optimized callables (`kEventInlineCapacity` bytes inline, heap
-// fallback only for oversized captures — counted, so the hot paths can prove
-// they never take it). Cancellation is O(1): the slot is released and its
-// generation bumped; the heap entry stays behind and is skipped at pop time
-// because its generation no longer matches. Slots are recycled through a free
-// list, so a steady-state run performs no allocation at all.
+// Layout: a ladder queue (Tang/Goh/Thng) over the ns integer clock instead
+// of a binary heap — push and pop are O(1) amortized, independent of queue
+// depth, because events are spread across time buckets and only the bucket
+// about to fire is ever sorted. Three tiers, nearest first:
+//
+//   bottom  a sorted vector of (time, seq, slot) entries — the contents of
+//           the one bucket currently being drained. Pops advance a cursor;
+//           pushes landing inside its window insert in order (rare: only
+//           handlers scheduling into the immediate present do this).
+//   rungs   a stack of bucket arrays, coarsest first. Each rung covers a
+//           contiguous half-open time window with power-of-two bucket
+//           widths (bucket index = (t - base) >> shift, no division). When
+//           the bottom drains, the next non-empty bucket of the finest rung
+//           refills it; an overfull bucket is subdivided into a finer rung
+//           (width / kRungBuckets) instead of being sorted, so sort cost
+//           stays bounded by kSpawnThreshold regardless of burst size.
+//   top     an unsorted overflow vector for the far future (route-cache
+//           expiry, lifetime timers). Pushes beyond the ladder horizon are
+//           a plain append. When the ladder drains, the top is swept into a
+//           fresh coarsest rung sized to its [min, max] span.
+//
+// The tiers partition time: [last_popped, bottom_limit) is the bottom,
+// contiguous rung windows cover [bottom_limit, top_start), and the top owns
+// [top_start, inf). Every entry routes by two or three comparisons.
+//
+// Determinism: entries are sorted by (time, seq) — a total order, since seq
+// is unique — whenever a bucket becomes the bottom, so the pop sequence is
+// identical to the old binary heap's regardless of which tier an event
+// passed through. tests/test_event_queue_differential.cpp pins this against
+// the retained reference heap over millions of randomized operations.
+//
+// Handlers are small-buffer-optimized callables (`kEventInlineCapacity`
+// bytes inline, heap fallback only for oversized captures — counted, so
+// the hot paths can prove they never take it) held in a generation-checked
+// slot map; tier entries reference slots by index, so the slim entries
+// move through buckets without touching handler storage until fire time.
+// Cancellation is O(1): the slot is released and its generation bumped; the
+// tier entry stays behind and is skipped (bottom) or dropped (bucket
+// transfer, top sweep) once its generation no longer matches. A global
+// compaction sweeps all tiers when dead entries outnumber live ones 4:1.
+//
+// Zero steady-state allocation: buckets are intrusive singly-linked lists
+// through one recycled node pool (a bucket is {head, tail, count}), so
+// bucket transfer, rung subdivision and compaction are pure index relinks.
+// The only vectors that grow are the node pool, the slot map, the bottom
+// and the top — each a single monotone-capacity vector that reaches its
+// high-water mark and stays there. Slots and nodes recycle through free
+// lists and retired rungs through a rung pool; once warm, push/cancel/pop
+// never touch the heap (ChannelAlloc.SteadyStateTransmitIsHeapFree pins
+// this through the whole PHY stack).
 #pragma once
 
+#include <algorithm>
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -54,20 +100,32 @@ class EventQueue {
  public:
   using Handler = util::InlineFunction<kEventInlineCapacity>;
 
+  /// Memoized routing decision for a burst of pushes into nearby times (the
+  /// channel fan-out scheduling one arrival pair per sensed receiver, a
+  /// MAC's every-interval beacon). While the cached tier window still
+  /// covers the pushed time and the tier layout has not changed, the push
+  /// skips routing entirely. Purely an accelerator: hinted and unhinted
+  /// pushes are indistinguishable in ordering and effect.
+  struct ScheduleHint {
+    ScheduleHint() = default;
+
+   private:
+    friend class EventQueue;
+    static constexpr std::uint32_t kTop = 0xFFFFFFFFu;
+    Time lo = 0;
+    Time hi = 0;  // half-open validity window; empty by default
+    std::uint64_t epoch = ~std::uint64_t{0};
+    std::uint32_t rung = kTop;
+  };
+
   /// Schedules `h` at absolute time `t` (must not be in the past relative to
   /// the last popped event).
-  EventId push(Time t, Handler h) {
-    RCAST_REQUIRE_MSG(t >= last_popped_, "scheduling into the past");
-    if (h.heap_allocated()) ++heap_fallbacks_;
-    const std::uint32_t slot = acquire_slot();
-    Slot& s = slots_[slot];
-    s.handler = std::move(h);
-    s.live = true;
-    heap_.push_back(Entry{t, ++next_seq_, slot, s.gen});
-    sift_up(heap_.size() - 1);
-    ++live_;
-    maybe_compact();
-    return EventId(slot, s.gen);
+  EventId push(Time t, Handler h) { return push_impl(t, h, nullptr); }
+
+  /// Hinted variant for hot call sites pushing runs of nearby timestamps;
+  /// the hint is filled on the first push and consulted on the rest.
+  EventId push(Time t, Handler h, ScheduleHint& hint) {
+    return push_impl(t, h, &hint);
   }
 
   /// Cancels a pending event; no-op if it already fired or was cancelled.
@@ -86,19 +144,22 @@ class EventQueue {
   bool empty() const { return live_ == 0; }
   std::size_t size() const { return live_; }
 
-  /// Earliest pending event time. Requires !empty().
-  Time next_time() {
-    skip_dead();
-    RCAST_REQUIRE(!heap_.empty());
-    return heap_.front().time;
+  /// Earliest pending event time. Requires !empty(). Logically const: the
+  /// lazy skip over cancelled entries normalizes the representation without
+  /// changing the pending set, so peeking is a const operation (and the
+  /// Simulator exposes it on a const inspection surface).
+  Time next_time() const {
+    const_cast<EventQueue*>(this)->prepare_front();
+    RCAST_REQUIRE(bottom_pos_ < bottom_.size());
+    return bottom_[bottom_pos_].time;
   }
 
   /// Pops and returns the earliest event. Requires !empty().
   std::pair<Time, Handler> pop() {
-    skip_dead();
-    RCAST_REQUIRE(!heap_.empty());
-    const Entry e = heap_.front();
-    remove_top();
+    prepare_front();
+    RCAST_REQUIRE(bottom_pos_ < bottom_.size());
+    const Entry e = bottom_[bottom_pos_++];
+    --stored_;
     Slot& s = slots_[e.slot];
     RCAST_DCHECK(s.live && s.gen == e.gen);
     Handler h = std::move(s.handler);
@@ -108,6 +169,40 @@ class EventQueue {
     return {e.time, std::move(h)};
   }
 
+  /// Drains every event at the earliest pending timestamp in scheduling
+  /// (seq) order, calling `fire(handler)` for each — one bucket lookup per
+  /// burst instead of one structure fixup per event. Requires !empty().
+  /// Handlers may push events at the batch timestamp (they join the tail of
+  /// the same batch, exactly as repeated pop() would order them) and may
+  /// cancel not-yet-fired members (skipped via the generation check). If
+  /// `fire` throws, unfired members stay pending. Returns the timestamp.
+  template <typename Fire>
+  Time pop_batch(Fire&& fire) {
+    prepare_front();
+    RCAST_REQUIRE(bottom_pos_ < bottom_.size());
+    const Time t = bottom_[bottom_pos_].time;
+    last_popped_ = t;
+    std::uint64_t fired = 0;
+    // Re-read indices every iteration: a handler's push can grow the
+    // same-time tail of the bottom or trigger a compaction that rewrites it.
+    while (bottom_pos_ < bottom_.size() && bottom_[bottom_pos_].time == t) {
+      const Entry e = bottom_[bottom_pos_++];
+      --stored_;
+      Slot& s = slots_[e.slot];
+      if (!s.live || s.gen != e.gen) continue;  // cancelled, possibly mid-batch
+      Handler h = std::move(s.handler);
+      release_slot(e.slot);
+      --live_;
+      ++fired;
+      fire(h);
+    }
+    ++batches_;
+    batch_hist_[std::min<std::size_t>(
+        static_cast<std::size_t>(std::bit_width(fired)) - 1,
+        batch_hist_.size() - 1)] += 1;
+    return t;
+  }
+
   /// Total events ever scheduled (monotone; for bench instrumentation).
   std::uint64_t scheduled_count() const { return next_seq_; }
 
@@ -115,10 +210,28 @@ class EventQueue {
   /// in steady state; see PerfCounters).
   std::uint64_t handler_heap_fallbacks() const { return heap_fallbacks_; }
 
+  /// Peak number of simultaneously pending events.
+  std::size_t depth_high_water() const { return depth_high_water_; }
+
+  /// Rungs created: top-tier reseeds plus overfull-bucket subdivisions.
+  std::uint64_t rung_spawns() const { return rung_spawns_; }
+
+  /// pop_batch dispatches, and a log2 histogram of their sizes: bucket i
+  /// counts batches of 2^i..2^(i+1)-1 events (last bucket open-ended).
+  std::uint64_t dispatch_batches() const { return batches_; }
+  const std::array<std::uint64_t, 8>& batch_size_hist() const {
+    return batch_hist_;
+  }
+
+  /// Entries physically held across all tiers, live plus not-yet-reclaimed
+  /// cancelled ones. Tests use it to pin the compaction bound; it is the
+  /// queue's memory footprint in entries.
+  std::size_t stored_entries() const { return stored_; }
+
  private:
   struct Entry {
     Time time;
-    std::uint64_t seq;   // FIFO tie-break within equal times
+    std::uint64_t seq;  // FIFO tie-break within equal times
     std::uint32_t slot;
     std::uint32_t gen;
   };
@@ -130,7 +243,58 @@ class EventQueue {
     bool live = false;
   };
 
+  /// A bucket entry in the node pool: an Entry plus the intrusive link.
+  struct Node {
+    Time time;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t gen;
+    std::uint32_t next;
+  };
+
+  /// An intrusive list of nodes; the only per-bucket state, so a rung's
+  /// bucket array is a flat POD vector recycled whole through the pool.
+  struct Bucket {
+    std::uint32_t head = kNilNode;
+    std::uint32_t tail = kNilNode;
+    std::uint32_t count = 0;  // includes not-yet-reclaimed cancelled entries
+
+    bool empty() const { return head == kNilNode; }
+  };
+
+  struct Rung {
+    Time base = 0;  // time at the start of bucket 0
+    Time end = 0;   // exclusive end of this rung's window
+    int shift = 0;  // bucket width = 1 << shift nanoseconds
+    std::uint32_t cur = 0;  // next bucket to drain
+    std::uint32_t nbuckets = 0;
+    std::vector<Bucket> buckets;  // capacity recycled via pool
+
+    Time cur_start() const {
+      return base + (static_cast<Time>(cur) << shift);
+    }
+    Time width() const { return Time{1} << shift; }
+  };
+
   static constexpr std::uint32_t kNilSlot = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kNilNode = 0xFFFFFFFFu;
+  /// Buckets per rung (1 << kRungBucketsLog2): wide enough that one
+  /// subdivision step shrinks the width by 128x, so even a 30 s horizon
+  /// reaches ns-resolution buckets in five spawns.
+  static constexpr int kRungBucketsLog2 = 7;
+  static constexpr std::uint32_t kRungBuckets = 1u << kRungBucketsLog2;
+  /// A bucket bigger than this is subdivided instead of sorted, bounding
+  /// the per-refill sort. Same-time floods are exempt (width 1 cannot
+  /// subdivide) and simply sort once.
+  static constexpr std::size_t kSpawnThreshold = 128;
+  /// Pending bottom entries beyond this re-ladder into a fresh rung: after
+  /// a retire or reseed overshoots, the bottom can own a wide window, and
+  /// without this bound a busy period inside it degenerates into one big
+  /// insertion-sorted vector (O(n) pushes and unbounded growth).
+  static constexpr std::size_t kBottomSpawnThreshold = 2 * kSpawnThreshold;
+  /// Spawn-depth backstop; 30 s at ns resolution needs 5 rungs, so the cap
+  /// is never the binding constraint in practice.
+  static constexpr std::size_t kMaxRungs = 16;
 
   static bool before(const Entry& a, const Entry& b) {
     if (a.time != b.time) return a.time < b.time;
@@ -140,6 +304,44 @@ class EventQueue {
   bool dead(const Entry& e) const {
     const Slot& s = slots_[e.slot];
     return !s.live || s.gen != e.gen;
+  }
+
+  bool dead_node(const Node& n) const {
+    const Slot& s = slots_[n.slot];
+    return !s.live || s.gen != n.gen;
+  }
+
+  std::uint32_t acquire_node(const Entry& e) {
+    std::uint32_t n;
+    if (node_free_ != kNilNode) {
+      n = node_free_;
+      node_free_ = nodes_[n].next;
+    } else {
+      nodes_.emplace_back();
+      n = static_cast<std::uint32_t>(nodes_.size() - 1);
+    }
+    nodes_[n] = Node{e.time, e.seq, e.slot, e.gen, kNilNode};
+    return n;
+  }
+
+  void free_node(std::uint32_t n) {
+    nodes_[n].next = node_free_;
+    node_free_ = n;
+  }
+
+  void bucket_append(Bucket& b, std::uint32_t n) {
+    nodes_[n].next = kNilNode;
+    if (b.tail == kNilNode) {
+      b.head = n;
+    } else {
+      nodes_[b.tail].next = n;
+    }
+    b.tail = n;
+    ++b.count;
+  }
+
+  void bucket_push(Bucket& b, const Entry& e) {
+    bucket_append(b, acquire_node(e));
   }
 
   std::uint32_t acquire_slot() {
@@ -156,67 +358,387 @@ class EventQueue {
     Slot& s = slots_[slot];
     s.handler = Handler();
     s.live = false;
-    ++s.gen;  // invalidates outstanding EventIds and heap entries
+    ++s.gen;  // invalidates outstanding EventIds and tier entries
     s.next_free = free_head_;
     free_head_ = slot;
   }
 
-  void skip_dead() {
-    while (!heap_.empty() && dead(heap_.front())) remove_top();
+  EventId push_impl(Time t, Handler& h, ScheduleHint* hint) {
+    RCAST_REQUIRE_MSG(t >= last_popped_, "scheduling into the past");
+    if (h.heap_allocated()) ++heap_fallbacks_;
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slots_[slot];
+    s.handler = std::move(h);
+    s.live = true;
+    route(Entry{t, ++next_seq_, slot, s.gen}, hint);
+    ++stored_;
+    ++live_;
+    if (live_ > depth_high_water_) depth_high_water_ = live_;
+    maybe_compact();
+    return EventId(slot, s.gen);
   }
 
-  void remove_top() {
-    heap_.front() = heap_.back();
-    heap_.pop_back();
-    if (!heap_.empty()) sift_down(0);
-  }
-
-  void sift_up(std::size_t i) {
-    Entry e = heap_[i];
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (!before(e, heap_[parent])) break;
-      heap_[i] = heap_[parent];
-      i = parent;
+  void route(const Entry& e, ScheduleHint* hint) {
+    const Time t = e.time;
+    if (hint != nullptr && hint->epoch == layout_epoch_ && t >= hint->lo &&
+        t < hint->hi) {
+      if (hint->rung == ScheduleHint::kTop) {
+        push_top(e);
+      } else {
+        Rung& r = rungs_[hint->rung];
+        bucket_push(r.buckets[static_cast<std::size_t>((t - r.base) >> r.shift)],
+                    e);
+      }
+      return;
     }
-    heap_[i] = e;
+    if (t >= top_start_) {
+      push_top(e);
+      if (hint != nullptr) {
+        *hint = ScheduleHint{};
+        hint->lo = top_start_;
+        hint->hi = std::numeric_limits<Time>::max();
+        hint->epoch = layout_epoch_;
+        hint->rung = ScheduleHint::kTop;
+      }
+      return;
+    }
+    if (t < bottom_limit_) {
+      // Reuse the popped prefix before the vector reallocates: when at
+      // least half the storage is spent cursor prefix, slide instead of
+      // doubling. Capacity high-water then tracks live pending, not the
+      // pass-through volume since the last full drain. Amortized O(1):
+      // each slide moves <= capacity/2 entries and frees >= capacity/2
+      // slots, so the next slide-or-grow is that many pushes away.
+      if (bottom_.size() == bottom_.capacity() &&
+          bottom_pos_ >= bottom_.capacity() / 2 && bottom_pos_ > 0) {
+        bottom_.erase(bottom_.begin(),
+                      bottom_.begin() +
+                          static_cast<std::ptrdiff_t>(bottom_pos_));
+        bottom_pos_ = 0;
+      }
+      // Into the window being drained: keep the bottom sorted. New entries
+      // carry the largest seq, so upper_bound lands them after every
+      // already-pending same-time entry — FIFO preserved.
+      bottom_.insert(std::upper_bound(bottom_.begin() + bottom_pos_,
+                                      bottom_.end(), e, before),
+                     e);
+      if (hint != nullptr) hint->epoch = ~std::uint64_t{0};  // not hintable
+      if (bottom_.size() - bottom_pos_ > kBottomSpawnThreshold) {
+        spawn_from_bottom();
+      }
+      return;
+    }
+    // Rung windows are contiguous from bottom_limit_ (finest, at the back)
+    // up to top_start_ (coarsest rung 0), so the scan cannot fall off the
+    // front; t >= each rung's cur_start follows from the same contiguity.
+    // (No rungs implies top_start_ == bottom_limit_, already handled above.)
+    RCAST_DCHECK(!rungs_.empty());
+    std::size_t i = rungs_.size() - 1;
+    while (i > 0 && t >= rungs_[i].end) --i;
+    Rung& r = rungs_[i];
+    const auto idx = static_cast<std::size_t>((t - r.base) >> r.shift);
+    RCAST_DCHECK(idx >= r.cur && idx < r.nbuckets);
+    bucket_push(r.buckets[idx], e);
+    if (hint != nullptr) {
+      hint->lo = r.cur_start();
+      hint->hi = r.end;
+      hint->epoch = layout_epoch_;
+      hint->rung = static_cast<std::uint32_t>(i);
+    }
   }
 
-  void sift_down(std::size_t i) {
-    const std::size_t n = heap_.size();
-    Entry e = heap_[i];
+  void push_top(const Entry& e) {
+    top_.push_back(e);
+    top_min_ = std::min(top_min_, e.time);
+    top_max_ = std::max(top_max_, e.time);
+  }
+
+  /// Establishes "bottom front exists and is live" or proves the queue
+  /// drained; all tier advancement funnels through here.
+  void prepare_front() {
+    // Reclaim the popped prefix once it dwarfs the pending tail: during a
+    // busy period inside one bottom window the vector otherwise grows by
+    // every event that passes through (pops advance the cursor but only a
+    // full drain clears the storage). Amortized O(1): each erase moves at
+    // most a quarter of what was popped since the last one.
+    if (bottom_pos_ > 512 && bottom_pos_ >= 4 * (bottom_.size() - bottom_pos_)) {
+      bottom_.erase(bottom_.begin(),
+                    bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_pos_));
+      bottom_pos_ = 0;
+    }
     for (;;) {
-      std::size_t child = 2 * i + 1;
-      if (child >= n) break;
-      if (child + 1 < n && before(heap_[child + 1], heap_[child])) ++child;
-      if (!before(heap_[child], e)) break;
-      heap_[i] = heap_[child];
-      i = child;
+      while (bottom_pos_ < bottom_.size()) {
+        if (!dead(bottom_[bottom_pos_])) return;
+        ++bottom_pos_;  // cancelled entry: reclaim lazily
+        --stored_;
+      }
+      bottom_.clear();
+      bottom_pos_ = 0;
+      if (!refill_bottom()) return;  // nothing pending anywhere
     }
-    heap_[i] = e;
   }
 
-  /// Cancelled entries linger in the heap until popped; rebuild it when they
-  /// outnumber live events 4:1 so cancel-heavy workloads stay compact.
+  /// Moves the next non-empty bucket (subdividing overfull ones) into the
+  /// bottom and sorts it. Returns false when every tier is empty. The
+  /// refilled bottom may still be all-dead; prepare_front loops.
+  bool refill_bottom() {
+    for (;;) {
+      if (rungs_.empty()) {
+        if (top_.empty()) return false;
+        reseed_from_top();
+        continue;
+      }
+      Rung& r = rungs_.back();
+      while (r.cur < r.nbuckets && r.buckets[r.cur].empty()) ++r.cur;
+      if (r.cur == r.nbuckets) {
+        retire_back_rung();
+        continue;
+      }
+      Bucket& bucket = r.buckets[r.cur];
+      const Time s = r.cur_start();
+      if (bucket.count > kSpawnThreshold && r.shift > 0 &&
+          rungs_.size() < kMaxRungs) {
+        spawn_child_rung();
+        continue;
+      }
+      for (std::uint32_t n = bucket.head; n != kNilNode;) {
+        const Node& nd = nodes_[n];
+        const std::uint32_t next = nd.next;
+        if (dead_node(nd)) {
+          --stored_;
+        } else {
+          bottom_.push_back(Entry{nd.time, nd.seq, nd.slot, nd.gen});
+        }
+        free_node(n);
+        n = next;
+      }
+      bucket = Bucket{};
+      bottom_limit_ = s + r.width();
+      ++r.cur;
+      std::sort(bottom_.begin(), bottom_.end(), before);
+      ++layout_epoch_;
+      return true;
+    }
+  }
+
+  /// Subdivides the finest rung's current bucket into a new, finer rung
+  /// covering exactly that bucket's window.
+  void spawn_child_rung() {
+    Rung child = acquire_rung();
+    {
+      // Scope the parent reference: rungs_.push_back below may reallocate.
+      Rung& parent = rungs_.back();
+      child.base = parent.cur_start();
+      child.end = child.base + parent.width();
+      child.shift = std::max(0, parent.shift - kRungBucketsLog2);
+      child.cur = 0;
+      child.nbuckets =
+          static_cast<std::uint32_t>(parent.width() >> child.shift);
+      ensure_buckets(child);
+      Bucket& bucket = parent.buckets[parent.cur];
+      // Pure relink: nodes move from the parent bucket's list into the
+      // child's finer buckets, append order preserving (time, seq) FIFO.
+      for (std::uint32_t n = bucket.head; n != kNilNode;) {
+        Node& nd = nodes_[n];
+        const std::uint32_t next = nd.next;
+        if (dead_node(nd)) {
+          --stored_;
+          free_node(n);
+        } else {
+          bucket_append(
+              child.buckets[static_cast<std::size_t>((nd.time - child.base) >>
+                                                     child.shift)],
+              n);
+        }
+        n = next;
+      }
+      bucket = Bucket{};
+      ++parent.cur;
+    }
+    rungs_.push_back(std::move(child));
+    ++rung_spawns_;
+    ++layout_epoch_;
+  }
+
+  /// Moves the bottom's tail into a fresh finest rung tiled exactly against
+  /// bottom_limit_ (aligned from the end, so rung windows stay contiguous
+  /// whether or not other rungs exist). The front instant stays in the
+  /// bottom; a same-time flood (span 0) is left alone — it cannot
+  /// subdivide and batch pops drain it in one sweep.
+  void spawn_from_bottom() {
+    if (rungs_.size() >= kMaxRungs) return;
+    const Time t_front = bottom_[bottom_pos_].time;
+    const Time span = bottom_limit_ - (t_front + 1);
+    if (span <= 0) return;
+    const int shift =
+        std::max(0, static_cast<int>(std::bit_width(
+                        static_cast<std::uint64_t>(span))) -
+                        kRungBucketsLog2);
+    const auto nbuckets = static_cast<std::uint32_t>(span >> shift);
+    if (nbuckets == 0) return;
+    Rung r = acquire_rung();
+    r.shift = shift;
+    r.nbuckets = nbuckets;
+    r.end = bottom_limit_;
+    r.base = bottom_limit_ - (static_cast<Time>(nbuckets) << shift);
+    r.cur = 0;
+    ensure_buckets(r);
+    RCAST_DCHECK(r.base > t_front);
+    const auto split = std::lower_bound(
+        bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_pos_),
+        bottom_.end(), r.base,
+        [](const Entry& e, Time t) { return e.time < t; });
+    for (auto it = split; it != bottom_.end(); ++it) {
+      if (dead(*it)) {
+        --stored_;
+        continue;
+      }
+      // Sorted (time, seq) order in, FIFO append per bucket: refill's sort
+      // sees the same total order either way.
+      bucket_push(r.buckets[static_cast<std::size_t>((it->time - r.base) >>
+                                                     shift)],
+                  *it);
+    }
+    bottom_.erase(split, bottom_.end());
+    bottom_limit_ = r.base;
+    rungs_.push_back(std::move(r));
+    ++rung_spawns_;
+    ++layout_epoch_;
+  }
+
+  void retire_back_rung() {
+    // The retired window is fully drained; extend the bottom's window over
+    // it so late pushes into any trailing (empty) buckets route to the
+    // bottom instead of a bucket the cursor already passed.
+    bottom_limit_ = std::max(bottom_limit_, rungs_.back().end);
+    recycle_rung(std::move(rungs_.back()));
+    rungs_.pop_back();
+    if (rungs_.empty()) top_start_ = bottom_limit_;
+    ++layout_epoch_;
+  }
+
+  /// Sweeps the far-future tier into a fresh coarsest rung spanning
+  /// [bottom_limit_, top_max_]; the top then owns times past that rung.
+  void reseed_from_top() {
+    Rung r = acquire_rung();
+    // Base at the present, not at a stale bottom_limit_: pops may have
+    // advanced far past the last ladder window, and spanning that dead time
+    // would waste most of the rung's buckets. Raising bottom_limit_ to
+    // match is safe — the bottom is empty here, and top entries are never
+    // below last_popped_ (a pending earlier event would have popped first).
+    r.base = std::max(bottom_limit_, last_popped_);
+    bottom_limit_ = r.base;
+    const Time span = top_max_ - r.base;  // >= 0: top times >= base
+    r.shift =
+        span <= 0
+            ? 0
+            : std::max(0, static_cast<int>(std::bit_width(
+                              static_cast<std::uint64_t>(span))) -
+                              kRungBucketsLog2);
+    r.nbuckets = static_cast<std::uint32_t>((span >> r.shift) + 1);
+    r.end = r.base + (static_cast<Time>(r.nbuckets) << r.shift);
+    r.cur = 0;
+    ensure_buckets(r);
+    for (const Entry& e : top_) {
+      if (dead(e)) {
+        --stored_;
+        continue;
+      }
+      bucket_push(r.buckets[static_cast<std::size_t>((e.time - r.base) >>
+                                                     r.shift)],
+                  e);
+    }
+    top_.clear();
+    top_start_ = r.end;
+    top_min_ = std::numeric_limits<Time>::max();
+    top_max_ = std::numeric_limits<Time>::min();
+    rungs_.push_back(std::move(r));
+    ++rung_spawns_;
+    ++layout_epoch_;
+  }
+
+  Rung acquire_rung() {
+    if (rung_pool_.empty()) return Rung{};
+    Rung r = std::move(rung_pool_.back());
+    rung_pool_.pop_back();
+    return r;
+  }
+
+  void recycle_rung(Rung&& r) {
+    // Buckets are clear (retire implies fully drained); their capacity and
+    // the bucket array itself are what the pool preserves.
+    rung_pool_.push_back(std::move(r));
+  }
+
+  static void ensure_buckets(Rung& r) {
+    // Recycled rungs come back with every bucket drained to its default
+    // state, so a grow-only resize leaves them ready for reuse.
+    if (r.buckets.size() < r.nbuckets) r.buckets.resize(r.nbuckets);
+  }
+
+  /// Cancelled entries linger in their tier until reached; rebuild all
+  /// tiers when they outnumber live events 4:1 so cancel-heavy workloads
+  /// stay compact.
   void maybe_compact() {
-    if (heap_.size() < 256 || heap_.size() < 4 * live_) return;
-    std::size_t kept = 0;
-    for (const Entry& e : heap_) {
-      if (!dead(e)) heap_[kept++] = e;
+    if (stored_ < 256 || stored_ < 4 * live_) return;
+    bottom_.erase(bottom_.begin(),
+                  bottom_.begin() + static_cast<std::ptrdiff_t>(bottom_pos_));
+    bottom_pos_ = 0;
+    auto is_dead = [this](const Entry& e) { return dead(e); };
+    std::erase_if(bottom_, is_dead);
+    for (Rung& r : rungs_) {
+      for (std::uint32_t b = r.cur; b < r.nbuckets; ++b) {
+        // Rebuild the list keeping live nodes in order, freeing the dead.
+        Bucket rebuilt;
+        for (std::uint32_t n = r.buckets[b].head; n != kNilNode;) {
+          const std::uint32_t next = nodes_[n].next;
+          if (dead_node(nodes_[n])) {
+            free_node(n);
+          } else {
+            bucket_append(rebuilt, n);
+          }
+          n = next;
+        }
+        r.buckets[b] = rebuilt;
+      }
     }
-    heap_.resize(kept);
-    if (kept > 1) {
-      for (std::size_t i = kept / 2; i-- > 0;) sift_down(i);
-    }
+    std::erase_if(top_, is_dead);
+    stored_ = live_;
+    ++layout_epoch_;
   }
 
-  std::vector<Entry> heap_;
+  // --- tiers ---
+  std::vector<Entry> bottom_;   // sorted from bottom_pos_ by (time, seq)
+  std::size_t bottom_pos_ = 0;  // pop cursor into bottom_
+  Time bottom_limit_ = 0;       // bottom owns times < this
+  std::vector<Rung> rungs_;     // coarsest first; back refills the bottom
+  std::vector<Entry> top_;      // unsorted far future: times >= top_start_
+  Time top_start_ = 0;
+  Time top_min_ = std::numeric_limits<Time>::max();
+  Time top_max_ = std::numeric_limits<Time>::min();
+  std::vector<Rung> rung_pool_;  // retired rungs, bucket capacity intact
+
+  // --- node pool (bucket list storage) ---
+  std::vector<Node> nodes_;
+  std::uint32_t node_free_ = kNilNode;
+
+  // --- slot map ---
   std::vector<Slot> slots_;
   std::uint32_t free_head_ = kNilSlot;
-  std::size_t live_ = 0;
+
+  // --- bookkeeping ---
+  std::size_t live_ = 0;    // pending (uncancelled) events
+  std::size_t stored_ = 0;  // entries physically held, incl. cancelled
   std::uint64_t next_seq_ = 0;
   std::uint64_t heap_fallbacks_ = 0;
+  std::uint64_t layout_epoch_ = 0;  // bumped whenever tier windows change
   Time last_popped_ = 0;
+
+  // --- instrumentation ---
+  std::size_t depth_high_water_ = 0;
+  std::uint64_t rung_spawns_ = 0;
+  std::uint64_t batches_ = 0;
+  std::array<std::uint64_t, 8> batch_hist_{};
 };
 
 }  // namespace rcast::sim

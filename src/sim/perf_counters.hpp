@@ -7,6 +7,7 @@
 // (BENCH_hotpath.json) so the trajectory is tracked across PRs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 namespace rcast::sim {
@@ -17,6 +18,17 @@ struct PerfCounters {
   /// Event handlers whose captures exceeded kEventInlineCapacity and were
   /// boxed on the heap. Zero means the event path never allocated.
   std::uint64_t handler_heap_fallbacks = 0;
+  /// Peak number of simultaneously pending events (queue memory pressure;
+  /// sizes the ladder tiers a sharded per-region queue would need).
+  std::uint64_t queue_depth_high_water = 0;
+  /// Ladder-queue rungs created: top-tier reseeds plus overfull-bucket
+  /// subdivisions. Growth tracks how bimodal the workload's horizons are.
+  std::uint64_t queue_rung_spawns = 0;
+  /// Batched same-timestamp dispatches, and a log2 histogram of their
+  /// sizes: bucket i counts batches of 2^i..2^(i+1)-1 events (last bucket
+  /// open-ended). Attributes run time to scheduling vs protocol work.
+  std::uint64_t dispatch_batches = 0;
+  std::array<std::uint64_t, 8> batch_size_hist{};
   /// Pool allocations served from the free list vs. carved fresh. Misses
   /// stop growing once the working set is warm.
   std::uint64_t pool_hits = 0;

@@ -16,14 +16,21 @@ void Simulator::run_until(Time end) {
   // Check once up front so even a run too short to reach the periodic
   // check interval honors an already-expired deadline.
   if (deadline_armed_) check_wall_deadline();
-  while (!queue_.empty() && queue_.next_time() <= end) {
-    auto [t, h] = queue_.pop();
-    now_ = t;
-    ++executed_;
-    if (deadline_armed_ && (executed_ % kDeadlineCheckInterval) == 0) {
-      check_wall_deadline();
-    }
-    h();
+  // Batched dispatch: one queue-front lookup per distinct timestamp, with
+  // every same-time event (including ones its handlers push) drained in
+  // scheduling order. The wall-deadline check still runs between events,
+  // never mid-handler; a throw leaves unfired batch members pending.
+  while (!queue_.empty()) {
+    const Time t = queue_.next_time();
+    if (t > end) break;
+    now_ = t;  // before dispatch: batch handlers read now()
+    queue_.pop_batch([this](Handler& h) {
+      ++executed_;
+      if (deadline_armed_ && (executed_ % kDeadlineCheckInterval) == 0) {
+        check_wall_deadline();
+      }
+      h();
+    });
   }
   if (now_ < end) now_ = end;
 }
@@ -31,13 +38,14 @@ void Simulator::run_until(Time end) {
 void Simulator::run_all() {
   if (deadline_armed_) check_wall_deadline();
   while (!queue_.empty()) {
-    auto [t, h] = queue_.pop();
-    now_ = t;
-    ++executed_;
-    if (deadline_armed_ && (executed_ % kDeadlineCheckInterval) == 0) {
-      check_wall_deadline();
-    }
-    h();
+    now_ = queue_.next_time();
+    queue_.pop_batch([this](Handler& h) {
+      ++executed_;
+      if (deadline_armed_ && (executed_ % kDeadlineCheckInterval) == 0) {
+        check_wall_deadline();
+      }
+      h();
+    });
   }
 }
 

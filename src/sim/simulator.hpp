@@ -30,6 +30,7 @@ class WallDeadlineExceeded : public std::runtime_error {
 class Simulator {
  public:
   using Handler = EventQueue::Handler;
+  using ScheduleHint = EventQueue::ScheduleHint;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -43,10 +44,25 @@ class Simulator {
     return queue_.push(t, std::move(h));
   }
 
+  /// Hinted variant for hot sites scheduling runs of nearby timestamps
+  /// (e.g. the channel fan-out, a MAC's per-interval beacon): the hint
+  /// memoizes the queue-tier routing across calls. Semantically identical
+  /// to the unhinted overload.
+  EventId at(Time t, Handler h, ScheduleHint& hint) {
+    RCAST_REQUIRE(t >= now_);
+    return queue_.push(t, std::move(h), hint);
+  }
+
   /// Schedules `delay` nanoseconds from now (delay >= 0).
   EventId after(Time delay, Handler h) {
     RCAST_REQUIRE(delay >= 0);
     return queue_.push(now_ + delay, std::move(h));
+  }
+
+  /// Hinted variant of after(); see at().
+  EventId after(Time delay, Handler h, ScheduleHint& hint) {
+    RCAST_REQUIRE(delay >= 0);
+    return queue_.push(now_ + delay, std::move(h), hint);
   }
 
   bool cancel(EventId id) { return queue_.cancel(id); }
@@ -63,6 +79,11 @@ class Simulator {
 
   std::uint64_t executed_events() const { return executed_; }
   std::size_t pending_events() const { return queue_.size(); }
+
+  /// Timestamp of the earliest pending event; requires pending_events() > 0.
+  /// Part of the const inspection surface: peeking never mutates the
+  /// observable queue state.
+  Time next_event_time() const { return queue_.next_time(); }
 
   /// Arms a wall-clock budget for the run loop: once `steady_clock::now()`
   /// passes `deadline`, run_until/run_all/step throw WallDeadlineExceeded
@@ -89,6 +110,10 @@ class Simulator {
     p.events_executed = executed_;
     p.events_scheduled = queue_.scheduled_count();
     p.handler_heap_fallbacks = queue_.handler_heap_fallbacks();
+    p.queue_depth_high_water = queue_.depth_high_water();
+    p.queue_rung_spawns = queue_.rung_spawns();
+    p.dispatch_batches = queue_.dispatch_batches();
+    p.batch_size_hist = queue_.batch_size_hist();
     const util::PoolStats pools = pools_.total_stats();
     p.pool_hits = pools.hits;
     p.pool_misses = pools.misses;

@@ -259,5 +259,111 @@ TEST(EventQueue, ScheduledCountMonotone) {
   EXPECT_EQ(q.scheduled_count(), 2u);
 }
 
+// Inspection is const: next_time()/empty()/size() must be callable through a
+// const reference (the simulator exposes them on its const surface).
+TEST(EventQueue, InspectionIsConst) {
+  EventQueue q;
+  q.push(42, [] {});
+  const EventQueue& cq = q;
+  EXPECT_FALSE(cq.empty());
+  EXPECT_EQ(cq.size(), 1u);
+  EXPECT_EQ(cq.next_time(), 42);
+}
+
+// pop_batch drains exactly one timestamp, in scheduling order, and leaves
+// later events pending.
+TEST(EventQueue, PopBatchDrainsOneTimestampInOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(10, [&] { order.push_back(0); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(10, [&] { order.push_back(2); });
+  q.push(11, [&] { order.push_back(99); });
+  const Time t = q.pop_batch([](EventQueue::Handler& h) { h(); });
+  EXPECT_EQ(t, 10);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 11);
+}
+
+// A handler that pushes an event at the batch's own timestamp joins the
+// tail of the running batch (FIFO by scheduling order holds across the
+// insertion), while later-time pushes stay pending.
+TEST(EventQueue, PopBatchHandlerPushSameTimeJoinsBatch) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(10, [&] {
+    order.push_back(0);
+    q.push(10, [&] { order.push_back(2); });
+    q.push(20, [&] { order.push_back(3); });
+  });
+  q.push(10, [&] { order.push_back(1); });
+  q.pop_batch([](EventQueue::Handler& h) { h(); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_time(), 20);
+}
+
+// A handler that cancels a later same-timestamp member skips it mid-batch.
+TEST(EventQueue, PopBatchHandlerCancelSkipsUnfiredMember) {
+  EventQueue q;
+  std::vector<int> order;
+  EventId victim;
+  q.push(10, [&] {
+    order.push_back(0);
+    EXPECT_TRUE(q.cancel(victim));
+  });
+  victim = q.push(10, [&] { order.push_back(1); });
+  q.push(10, [&] { order.push_back(2); });
+  q.pop_batch([](EventQueue::Handler& h) { h(); });
+  EXPECT_EQ(order, (std::vector<int>{0, 2}));
+  EXPECT_TRUE(q.empty());
+}
+
+// Batch instrumentation: dispatch_batches counts pop_batch calls and the
+// log2 histogram buckets fired-per-batch sizes.
+TEST(EventQueue, BatchCountersTrackDispatch) {
+  EventQueue q;
+  for (int i = 0; i < 3; ++i) q.push(10, [] {});
+  q.push(20, [] {});
+  q.pop_batch([](EventQueue::Handler& h) { h(); });  // batch of 3 -> bucket 1
+  q.pop_batch([](EventQueue::Handler& h) { h(); });  // batch of 1 -> bucket 0
+  EXPECT_EQ(q.dispatch_batches(), 2u);
+  const auto hist = q.batch_size_hist();
+  EXPECT_EQ(hist[0], 1u);  // size 1
+  EXPECT_EQ(hist[1], 1u);  // sizes 2-3
+}
+
+// Queue-depth high-water marks the maximum simultaneous pending count.
+TEST(EventQueue, DepthHighWaterTracksPeak) {
+  EventQueue q;
+  const EventId a = q.push(1, [] {});
+  q.push(2, [] {});
+  q.push(3, [] {});
+  q.cancel(a);
+  q.pop().second();
+  q.push(4, [] {});
+  EXPECT_EQ(q.depth_high_water(), 3u);
+}
+
+// A memoized ScheduleHint must never change observable behavior — pops come
+// out identically whether the hint is fresh, reused across a window change,
+// or shared between wildly different horizons.
+TEST(EventQueue, ScheduleHintIsBehaviorNeutral) {
+  EventQueue q;
+  EventQueue::ScheduleHint hint;
+  std::vector<Time> fired;
+  Rng rng(17);
+  Time now = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    const Time t = now + static_cast<Time>(rng.uniform_u64(2 * kMillisecond));
+    q.push(t, [&fired, t] { fired.push_back(t); }, hint);
+    if (i % 2 == 0) now = q.pop_batch([](EventQueue::Handler& h) { h(); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(fired.size(), 20'000u);
+}
+
 }  // namespace
 }  // namespace rcast::sim

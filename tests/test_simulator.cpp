@@ -104,6 +104,36 @@ TEST(Simulator, RejectsPastScheduling) {
   EXPECT_THROW(s.after(-1, [] {}), ContractViolation);
 }
 
+// The const inspection surface: a const Simulator& can ask for the next
+// pending event time without perturbing the schedule.
+TEST(Simulator, NextEventTimeIsConstAndNonDestructive) {
+  Simulator s;
+  s.at(25, [] {});
+  s.at(40, [] {});
+  const Simulator& cs = s;
+  EXPECT_EQ(cs.next_event_time(), 25);
+  EXPECT_EQ(cs.pending_events(), 2u);
+  s.run_all();
+  EXPECT_EQ(s.now(), 40);
+}
+
+// Handlers in a same-timestamp batch observe now() == their own timestamp,
+// and a handler scheduling at now() runs within the same instant.
+TEST(Simulator, BatchedDispatchKeepsNowConsistent) {
+  Simulator s;
+  std::vector<Time> seen;
+  for (int i = 0; i < 4; ++i) {
+    s.at(50, [&] { seen.push_back(s.now()); });
+  }
+  s.at(50, [&] {
+    s.at(50, [&] { seen.push_back(s.now() + 1000); });
+  });
+  s.run_until(100);
+  ASSERT_EQ(seen.size(), 5u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], 50);
+  EXPECT_EQ(seen[4], 1050);  // ran at now()==50, inside the same instant
+}
+
 TEST(PeriodicTimer, FiresOnPeriod) {
   Simulator s;
   std::vector<Time> fires;

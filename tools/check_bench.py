@@ -15,9 +15,22 @@ catastrophic regressions (an accidentally quadratic scan, a reintroduced
 per-event allocation) and renamed-but-not-rerecorded benchmarks, not 5%
 drift. Tighten --min-ratio when running on the reference machine itself.
 
+Two further gates read the *committed* record and the *fresh* counters:
+
+  --gate-speedup NAME:RATIO   require committed after/baseline >= RATIO on
+                              items_per_second for benchmark NAME. This pins
+                              a recorded optimization (e.g. the ladder-queue
+                              2x on BM_TransmitStorm/1000) so a later PR
+                              cannot silently re-record it away.
+  --fail-on-nonzero COUNTER   fail when any fresh benchmark reports COUNTER
+                              with a value > 0 (e.g. heap_fallbacks, whose
+                              budget is exactly zero).
+
 Usage:
     tools/check_bench.py FRESH.json COMMITTED.json [--column after]
                          [--min-ratio 0.25] [--require-all]
+                         [--gate-speedup NAME:RATIO]...
+                         [--fail-on-nonzero COUNTER]...
 
 Exit codes: 0 ok, 1 regression or missing benchmark, 2 bad input.
 """
@@ -56,7 +69,27 @@ def main():
     ap.add_argument("--require-all", action="store_true",
                     help="also fail when the fresh run lacks a benchmark "
                          "that the committed column records (default: warn)")
+    ap.add_argument("--gate-speedup", action="append", default=[],
+                    metavar="NAME:RATIO",
+                    help="require committed after/baseline items_per_second "
+                         ">= RATIO for benchmark NAME (repeatable)")
+    ap.add_argument("--fail-on-nonzero", action="append", default=[],
+                    metavar="COUNTER",
+                    help="fail when any fresh benchmark reports this counter "
+                         "with a value > 0 (repeatable)")
     args = ap.parse_args()
+
+    gates = []
+    for spec in args.gate_speedup:
+        name, sep, ratio = spec.rpartition(":")
+        try:
+            gates.append((name, float(ratio)))
+        except ValueError:
+            sep = ""
+        if not sep or not name:
+            print(f"check_bench: bad --gate-speedup '{spec}' "
+                  f"(expected NAME:RATIO)", file=sys.stderr)
+            sys.exit(2)
 
     fresh = fresh_by_name(load(args.fresh))
     record = load(args.committed)
@@ -87,6 +120,35 @@ def main():
               f"vs {ips:>10.3e}  ratio {ratio:5.2f}")
         if ratio < args.min_ratio:
             failures.append(f"{name}: ratio {ratio:.2f} < {args.min_ratio}")
+
+    for name, want_ratio in gates:
+        base_col = record.get("baseline")
+        after_col = record.get("after")
+        if not isinstance(base_col, dict) or not isinstance(after_col, dict):
+            print(f"check_bench: {args.committed} lacks baseline/after "
+                  f"columns needed by --gate-speedup", file=sys.stderr)
+            sys.exit(2)
+        base = (base_col.get(name) or {}).get("items_per_second")
+        after = (after_col.get(name) or {}).get("items_per_second")
+        if not base or after is None:
+            failures.append(f"{name}: speedup gate has no recorded "
+                            f"baseline/after items_per_second")
+            print(f"FAIL  {name}: speedup unrecorded")
+            continue
+        speedup = after / base
+        status = "ok  " if speedup >= want_ratio else "FAIL"
+        print(f"{status}  {name}  recorded speedup {speedup:.2f}x "
+              f"(gate {want_ratio:.2f}x)")
+        if speedup < want_ratio:
+            failures.append(f"{name}: recorded speedup {speedup:.2f}x "
+                            f"< gate {want_ratio:.2f}x")
+
+    for counter in args.fail_on_nonzero:
+        for name, run in sorted(fresh.items()):
+            value = run.get(counter)
+            if isinstance(value, (int, float)) and value > 0:
+                failures.append(f"{name}: {counter} = {value:g} (must be 0)")
+                print(f"FAIL  {name}  {counter} = {value:g}")
 
     if failures:
         print(f"\ncheck_bench: {len(failures)} failure(s) against "
