@@ -53,25 +53,11 @@ std::string token_value(const std::string& token, const char* key) {
   return token.substr(prefix.size());
 }
 
-}  // namespace
-
-Journal Journal::open(const std::string& path,
-                      const std::string& campaign_digest,
-                      std::size_t job_count) {
-  Journal j;
-
-  // Read whatever already exists. Only lines terminated by '\n' count; a
-  // torn final line from a crash is silently dropped.
-  std::string content;
-  {
-    std::ifstream in(path, std::ios::binary);
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      content = buf.str();
-    }
-  }
-
+// Parses every complete ('\n'-terminated) line of `content` into `view`.
+// Returns the byte offset just past the last complete line; anything after
+// it is a torn tail the caller may truncate (open) or ignore (load).
+std::size_t parse_journal(const std::string& path, const std::string& content,
+                          JournalView& view) {
   bool have_header = false;
   std::size_t pos = 0;
   while (pos < content.size()) {
@@ -93,16 +79,11 @@ Journal Journal::open(const std::string& path,
       if (version != kVersion) {
         throw JournalError(path + ": unsupported journal version '" + version + "'");
       }
-      const std::string digest = token_value(digest_tok, "campaign");
+      view.campaign_digest = token_value(digest_tok, "campaign");
       const std::string jobs_s = token_value(jobs_tok, "jobs");
-      if (digest != campaign_digest) {
-        throw JournalError(path + ": journal belongs to a different campaign (digest " +
-                           digest + ", expected " + campaign_digest + ")");
-      }
       const auto jobs = Flags::parse_u64(jobs_s);
-      if (!jobs || *jobs != job_count) {
-        throw JournalError(path + ": journal job count mismatch");
-      }
+      if (!jobs) throw JournalError(path + ": malformed journal job count");
+      view.job_count = static_cast<std::size_t>(*jobs);
       have_header = true;
       continue;
     }
@@ -138,12 +119,61 @@ Journal Journal::open(const std::string& path,
     if (!saw_job || !saw_status) {
       throw JournalError(path + ": malformed journal line '" + line + "'");
     }
-    if (e.job >= job_count) {
+    if (e.job >= view.job_count) {
       throw JournalError(path + ": journal entry for out-of-range job " +
                          std::to_string(e.job));
     }
-    j.entries_[e.job] = std::move(e);
+    view.entries[e.job] = std::move(e);
   }
+  return pos;
+}
+
+std::string read_file(const std::string& path, bool& exists) {
+  std::ifstream in(path, std::ios::binary);
+  exists = static_cast<bool>(in);
+  if (!exists) return "";
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+JournalView Journal::load(const std::string& path) {
+  bool exists = false;
+  const std::string content = read_file(path, exists);
+  if (!exists) throw JournalError(path + ": no such journal");
+  JournalView view;
+  parse_journal(path, content, view);
+  if (view.campaign_digest.empty()) {
+    throw JournalError(path + ": journal has no header (yet)");
+  }
+  return view;
+}
+
+Journal Journal::open(const std::string& path,
+                      const std::string& campaign_digest,
+                      std::size_t job_count) {
+  Journal j;
+
+  // Read whatever already exists. Only lines terminated by '\n' count; a
+  // torn final line from a crash is silently dropped.
+  bool exists = false;
+  const std::string content = read_file(path, exists);
+
+  JournalView view;
+  const std::size_t pos = parse_journal(path, content, view);
+  const bool have_header = !view.campaign_digest.empty();
+  if (have_header) {
+    if (view.campaign_digest != campaign_digest) {
+      throw JournalError(path + ": journal belongs to a different campaign (digest " +
+                         view.campaign_digest + ", expected " + campaign_digest + ")");
+    }
+    if (view.job_count != job_count) {
+      throw JournalError(path + ": journal job count mismatch");
+    }
+  }
+  j.entries_ = std::move(view.entries);
 
   // Drop torn trailing bytes so the next append starts on a fresh line
   // instead of merging with a half-written record.
@@ -167,17 +197,34 @@ Journal Journal::open(const std::string& path,
 }
 
 Journal::Journal(Journal&& other) noexcept
-    : f_(other.f_), entries_(std::move(other.entries_)) {
+    : f_(other.f_),
+      entries_(std::move(other.entries_)),
+      sync_every_(other.sync_every_),
+      unsynced_(other.unsynced_) {
   other.f_ = nullptr;
+  other.unsynced_ = 0;
 }
 
 Journal::~Journal() { close(); }
 
 void Journal::close() {
   if (f_) {
+    if (unsynced_ > 0) fsync_file(f_);
+    unsynced_ = 0;
     std::fclose(f_);
     f_ = nullptr;
   }
+}
+
+void Journal::set_sync_every(std::uint64_t n) {
+  if (n == 0) throw JournalError("journal sync_every must be >= 1");
+  sync_every_ = n;
+}
+
+void Journal::sync() {
+  if (!f_) return;
+  fsync_file(f_);
+  unsynced_ = 0;
 }
 
 void Journal::append(const JournalEntry& e) {
@@ -191,7 +238,14 @@ void Journal::append(const JournalEntry& e) {
   if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()) {
     throw JournalError("journal write failed");
   }
-  fsync_file(f_);
+  // Always push the line to the OS so concurrent readers (the serving
+  // daemon) observe commits promptly even between batched fsyncs; a crash
+  // can then only tear the trailing line, which open() repairs.
+  std::fflush(f_);
+  if (++unsynced_ >= sync_every_) {
+    fsync_file(f_);
+    unsynced_ = 0;
+  }
 }
 
 }  // namespace rcast::campaign

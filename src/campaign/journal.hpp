@@ -11,6 +11,7 @@
 // detected by the missing newline and discarded.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <map>
 #include <stdexcept>
@@ -31,6 +32,17 @@ struct JournalEntry {
   std::string error;        // single line, only meaningful when !ok
 };
 
+/// Read-only snapshot of a journal file: the header plus every complete
+/// committed line at the moment of the read. Unlike Journal::open this never
+/// truncates a torn tail or opens the file for append, so it is safe to call
+/// on a journal another process is actively writing (the serving daemon polls
+/// live worker journals this way).
+struct JournalView {
+  std::string campaign_digest;
+  std::size_t job_count = 0;
+  std::map<std::size_t, JournalEntry> entries;
+};
+
 class Journal {
  public:
   /// Opens `path` for appending, creating it (with a header) if absent.
@@ -40,6 +52,11 @@ class Journal {
   static Journal open(const std::string& path,
                       const std::string& campaign_digest,
                       std::size_t job_count);
+
+  /// Parses `path` read-only (see JournalView). Throws JournalError if the
+  /// file is missing or the header is malformed; a torn trailing line is
+  /// ignored, not repaired.
+  static JournalView load(const std::string& path);
 
   Journal(Journal&& other) noexcept;
   Journal& operator=(Journal&&) = delete;
@@ -52,8 +69,21 @@ class Journal {
     return entries_;
   }
 
-  /// Appends one commit line and fsyncs it to disk before returning.
+  /// Appends one commit line. The line is flushed to the OS immediately
+  /// (visible to concurrent readers) and fsynced every `sync_every` appends
+  /// (see set_sync_every); with the default of 1 every append is durable
+  /// before this returns.
   void append(const JournalEntry& e);
+
+  /// Fsync the journal every N appends (N >= 1; default 1). Batching trades
+  /// durability for throughput: a crash can lose up to N-1 trailing commit
+  /// lines, which on resume just re-runs those jobs — their orphaned result
+  /// records are superseded by last-wins dedupe, so exports stay
+  /// byte-identical. Flushing still happens on every append.
+  void set_sync_every(std::uint64_t n);
+
+  /// Fsyncs any batched appends now.
+  void sync();
 
   void close();
 
@@ -62,6 +92,8 @@ class Journal {
 
   std::FILE* f_ = nullptr;
   std::map<std::size_t, JournalEntry> entries_;
+  std::uint64_t sync_every_ = 1;
+  std::uint64_t unsynced_ = 0;
 };
 
 }  // namespace rcast::campaign

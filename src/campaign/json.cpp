@@ -48,8 +48,22 @@ class Parser {
   }
 
  private:
+  // Containers may nest this deep; the parser recurses, so untrusted input
+  // (the HTTP layer hands request bodies straight here) must not be able to
+  // overflow the stack with "[[[[...".
+  static constexpr std::size_t kMaxDepth = 64;
+
   [[noreturn]] void fail(const std::string& what) {
     throw ParseError("json: " + what, pos_);
+  }
+
+  template <typename Fn>
+  Value with_depth(Fn fn) {
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
+    Value v = fn();
+    --depth_;
+    return v;
   }
 
   void skip_ws() {
@@ -80,8 +94,8 @@ class Parser {
     skip_ws();
     const char c = peek();
     switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': return with_depth([&] { return parse_object(); });
+      case '[': return with_depth([&] { return parse_array(); });
       case '"': return Value(parse_string());
       case 't':
         if (consume_literal("true")) return Value(true);
@@ -198,17 +212,53 @@ class Parser {
     }
     if (pos_ == start) fail("expected a value");
     const std::string tok(text_.substr(start, pos_ - start));
+    // Enforce the RFC 8259 grammar before strtod, which is laxer ("1.",
+    // ".5", "0x10" would otherwise slip through).
+    const auto grammar_ok = [&tok]() {
+      const auto digit = [](char c) { return c >= '0' && c <= '9'; };
+      std::size_t i = 0;
+      if (i < tok.size() && tok[i] == '-') ++i;
+      if (i >= tok.size() || !digit(tok[i])) return false;
+      if (tok[i] == '0') {
+        ++i;
+      } else {
+        while (i < tok.size() && digit(tok[i])) ++i;
+      }
+      if (i < tok.size() && tok[i] == '.') {
+        ++i;
+        if (i >= tok.size() || !digit(tok[i])) return false;
+        while (i < tok.size() && digit(tok[i])) ++i;
+      }
+      if (i < tok.size() && (tok[i] == 'e' || tok[i] == 'E')) {
+        ++i;
+        if (i < tok.size() && (tok[i] == '+' || tok[i] == '-')) ++i;
+        if (i >= tok.size() || !digit(tok[i])) return false;
+        while (i < tok.size() && digit(tok[i])) ++i;
+      }
+      return i == tok.size();
+    };
+    if (!grammar_ok()) {
+      pos_ = start;
+      fail("malformed number");
+    }
     char* end = nullptr;
     const double d = std::strtod(tok.c_str(), &end);
     if (end != tok.c_str() + tok.size()) {
       pos_ = start;
       fail("malformed number");
     }
+    // JSON has no NaN/Inf; an overflowing literal like 1e999 must be an
+    // error, not a silent infinity (the writer encodes non-finite as null).
+    if (!std::isfinite(d)) {
+      pos_ = start;
+      fail("non-finite number");
+    }
     return Value(d);
   }
 
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
 }  // namespace

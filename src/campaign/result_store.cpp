@@ -34,10 +34,17 @@ ResultStore ResultStore::open_append(const std::string& path) {
   ResultStore s;
   s.f_ = std::fopen(path.c_str(), "ab");
   if (!s.f_) throw ResultStoreError("cannot open results file: " + path);
+  // "ab" reports position 0 until the first write; seek so append extents
+  // are correct from the start.
+  std::fseek(s.f_, 0, SEEK_END);
+  const long end = std::ftell(s.f_);
+  if (end < 0) throw ResultStoreError("cannot size results file: " + path);
+  s.offset_ = static_cast<std::uint64_t>(end);
   return s;
 }
 
-ResultStore::ResultStore(ResultStore&& other) noexcept : f_(other.f_) {
+ResultStore::ResultStore(ResultStore&& other) noexcept
+    : f_(other.f_), offset_(other.offset_) {
   other.f_ = nullptr;
 }
 
@@ -50,14 +57,17 @@ void ResultStore::close() {
   }
 }
 
-void ResultStore::append(const Job& job, const scenario::RunResult& r,
-                         double wall_ms) {
+AppendExtent ResultStore::append(const Job& job, const scenario::RunResult& r,
+                                 double wall_ms) {
   if (!f_) throw ResultStoreError("result store is closed");
   const std::string line = record_to_json(job, r, wall_ms) + "\n";
   if (std::fwrite(line.data(), 1, line.size(), f_) != line.size()) {
     throw ResultStoreError("results write failed");
   }
   fsync_file(f_);
+  AppendExtent ext{offset_, static_cast<std::uint32_t>(line.size() - 1)};
+  offset_ += line.size();
+  return ext;
 }
 
 std::string record_to_json(const Job& job, const scenario::RunResult& r,
@@ -301,29 +311,98 @@ JobRecord record_from_json(const json::Value& v) {
   return rec;
 }
 
-}  // namespace
-
-std::vector<JobRecord> load_results(const std::string& path) {
+// Walks the complete ('\n'-terminated) lines of `path` sequentially, calling
+// fn(offset, line) for each non-blank one. A torn trailing line (no newline,
+// the only state a crash can leave) is skipped, matching load_results.
+void for_each_line(const std::string& path,
+                   const std::function<void(std::uint64_t, const std::string&)>& fn) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw ResultStoreError("cannot open results file: " + path);
-  std::string content;
-  {
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    content = buf.str();
-  }
-
-  std::map<std::size_t, JobRecord> by_job;  // last record wins
-  std::size_t pos = 0;
-  while (pos < content.size()) {
-    const auto nl = content.find('\n', pos);
-    if (nl == std::string::npos) break;  // torn trailing line
-    const std::string line = content.substr(pos, nl - pos);
-    pos = nl + 1;
+  std::uint64_t offset = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    // getline hitting EOF mid-line means the trailing '\n' is missing.
+    if (in.eof()) break;
+    const std::uint64_t start = offset;
+    offset += line.size() + 1;
     if (line.empty()) continue;
+    fn(start, line);
+  }
+}
+
+}  // namespace
+
+JobRecord parse_result_line(std::string_view line) {
+  return record_from_json(json::parse(line));
+}
+
+std::size_t scan_result_job(std::string_view line) {
+  // record_to_json writes the fixed prefix {"v":2,"job":N, — peel the job
+  // index straight out of the bytes; a full parse handles anything else.
+  constexpr std::string_view kPrefix = "{\"v\":2,\"job\":";
+  if (line.substr(0, kPrefix.size()) == kPrefix) {
+    std::size_t job = 0;
+    std::size_t i = kPrefix.size();
+    bool digits = false;
+    while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+      job = job * 10 + static_cast<std::size_t>(line[i] - '0');
+      ++i;
+      digits = true;
+    }
+    if (digits && i < line.size() && line[i] == ',') return job;
+  }
+  return static_cast<std::size_t>(json::parse(line).at("job").as_u64());
+}
+
+std::vector<RecordRef> scan_result_files(const std::vector<std::string>& paths) {
+  std::map<std::size_t, RecordRef> by_job;  // last record wins
+  for (std::size_t fi = 0; fi < paths.size(); ++fi) {
+    for_each_line(paths[fi], [&](std::uint64_t offset, const std::string& line) {
+      RecordRef ref;
+      ref.job = scan_result_job(line);
+      ref.file = fi;
+      ref.offset = offset;
+      ref.length = static_cast<std::uint32_t>(line.size());
+      by_job[ref.job] = ref;
+    });
+  }
+  std::vector<RecordRef> out;
+  out.reserve(by_job.size());
+  for (const auto& [_, ref] : by_job) out.push_back(ref);
+  return out;
+}
+
+void for_each_result(const std::vector<std::string>& paths,
+                     const std::function<void(JobRecord&&)>& fn) {
+  const std::vector<RecordRef> winners = scan_result_files(paths);
+  // One open stream per file; winners are job-ordered, not offset-ordered,
+  // so re-seek per record (reads are line-sized and page-cache-backed).
+  std::vector<std::ifstream> files;
+  files.reserve(paths.size());
+  for (const auto& p : paths) {
+    files.emplace_back(p, std::ios::binary);
+    if (!files.back()) throw ResultStoreError("cannot open results file: " + p);
+  }
+  std::string buf;
+  for (const RecordRef& ref : winners) {
+    std::ifstream& in = files[ref.file];
+    in.clear();
+    in.seekg(static_cast<std::streamoff>(ref.offset));
+    buf.resize(ref.length);
+    if (!in.read(buf.data(), static_cast<std::streamsize>(ref.length))) {
+      throw ResultStoreError(paths[ref.file] + ": short read at offset " +
+                             std::to_string(ref.offset));
+    }
+    fn(parse_result_line(buf));
+  }
+}
+
+std::vector<JobRecord> load_results(const std::string& path) {
+  std::map<std::size_t, JobRecord> by_job;  // last record wins
+  for_each_line(path, [&](std::uint64_t, const std::string& line) {
     JobRecord rec = record_from_json(json::parse(line));
     by_job[rec.job] = std::move(rec);
-  }
+  });
 
   std::vector<JobRecord> out;
   out.reserve(by_job.size());
@@ -331,48 +410,50 @@ std::vector<JobRecord> load_results(const std::string& path) {
   return out;
 }
 
-std::vector<AggregateRow> aggregate(const std::vector<JobRecord>& records) {
+void AggregateAccumulator::add(const JobRecord& rec) {
   // Group key: the seed-excluded cell digest, which distinguishes cells by
   // *every* config parameter — nested sweep axes (mac.*, odpm.*, ...) form
-  // their own cells even though the CSV's classic columns coincide. Walk in
-  // input (job-index) order so the output row order matches expansion order
-  // deterministically.
-  struct Cell {
-    AggregateRow row;
-    std::vector<scenario::RunResult> runs;
-  };
-  std::vector<Cell> cells;
-  for (const auto& rec : records) {
-    Cell* cell = nullptr;
-    for (auto& c : cells) {
-      if (c.row.cell == rec.cell) {
-        cell = &c;
-        break;
-      }
-    }
-    if (!cell) {
-      cells.emplace_back();
-      cell = &cells.back();
-      cell->row.cell = rec.cell;
-      cell->row.scheme = rec.scheme;
-      cell->row.routing = rec.routing;
-      cell->row.nodes = rec.nodes;
-      cell->row.flows = rec.flows;
-      cell->row.rate_pps = rec.rate_pps;
-      cell->row.pause_s = rec.pause_s;
-      cell->row.duration_s = rec.duration_s;
-    }
-    cell->runs.push_back(rec.result);
+  // their own cells even though the CSV's classic columns coincide. Records
+  // arrive in job-index order, so first-appearance order matches expansion
+  // order deterministically.
+  auto [it, inserted] = by_cell_.try_emplace(rec.cell, cells_.size());
+  if (inserted) {
+    cells_.emplace_back();
+    AggregateRow& row = cells_.back().row;
+    row.cell = rec.cell;
+    row.scheme = rec.scheme;
+    row.routing = rec.routing;
+    row.nodes = rec.nodes;
+    row.flows = rec.flows;
+    row.rate_pps = rec.rate_pps;
+    row.pause_s = rec.pause_s;
+    row.duration_s = rec.duration_s;
   }
+  cells_[it->second].acc.add(rec.result);
+  ++records_;
+}
 
+std::vector<AggregateRow> AggregateAccumulator::rows() const {
   std::vector<AggregateRow> rows;
-  rows.reserve(cells.size());
-  for (auto& c : cells) {
-    c.row.seeds = c.runs.size();
-    c.row.mean = scenario::average(c.runs);
-    rows.push_back(std::move(c.row));
+  rows.reserve(cells_.size());
+  for (const auto& c : cells_) {
+    rows.push_back(c.row);
+    rows.back().seeds = c.acc.count();
+    rows.back().mean = c.acc.mean();
   }
   return rows;
+}
+
+std::vector<AggregateRow> aggregate(const std::vector<JobRecord>& records) {
+  AggregateAccumulator acc;
+  for (const auto& rec : records) acc.add(rec);
+  return acc.rows();
+}
+
+std::string export_aggregate_csv(const std::vector<std::string>& paths) {
+  AggregateAccumulator acc;
+  for_each_result(paths, [&](JobRecord&& rec) { acc.add(rec); });
+  return aggregate_csv(acc.rows());
 }
 
 std::string aggregate_csv(const std::vector<AggregateRow>& rows) {

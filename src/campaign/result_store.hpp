@@ -12,11 +12,14 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "campaign/manifest.hpp"
+#include "scenario/experiment.hpp"
 #include "scenario/scenario.hpp"
 
 namespace rcast::campaign {
@@ -25,6 +28,13 @@ class ResultStoreError : public std::runtime_error {
  public:
   explicit ResultStoreError(const std::string& what)
       : std::runtime_error(what) {}
+};
+
+/// Byte extent of one appended JSONL record — the hook the serving index
+/// uses to index records incrementally as they are written.
+struct AppendExtent {
+  std::uint64_t offset = 0;  // byte offset of the line start in the file
+  std::uint32_t length = 0;  // line length excluding the trailing '\n'
 };
 
 class ResultStore {
@@ -39,8 +49,10 @@ class ResultStore {
   ~ResultStore();
 
   /// Appends one record and fsyncs. Call *before* the journal commit so a
-  /// journaled job always has its record on disk.
-  void append(const Job& job, const scenario::RunResult& r, double wall_ms);
+  /// journaled job always has its record on disk. Returns where the record
+  /// landed so callers can index it without re-scanning the file.
+  AppendExtent append(const Job& job, const scenario::RunResult& r,
+                      double wall_ms);
 
   void close();
 
@@ -48,6 +60,7 @@ class ResultStore {
   ResultStore() = default;
 
   std::FILE* f_ = nullptr;
+  std::uint64_t offset_ = 0;  // current end-of-file position
 };
 
 /// Serializes one job record to a single JSONL line (no trailing newline).
@@ -78,6 +91,36 @@ struct JobRecord {
   scenario::RunResult result;
 };
 
+/// Parses one JSONL line into a JobRecord (the inverse of record_to_json).
+/// Throws ResultStoreError / json::ParseError on malformed input.
+JobRecord parse_result_line(std::string_view line);
+
+/// Extracts the job index from one JSONL line without a full parse: records
+/// are written with the fixed prefix `{"v":2,"job":N,`, so a cheap scan
+/// suffices; anything else falls back to a full JSON parse.
+std::size_t scan_result_job(std::string_view line);
+
+/// The winning (last-written) record of one job across an ordered set of
+/// JSONL files: later files — and later lines within a file — supersede
+/// earlier ones, mirroring load_results' last-wins dedupe.
+struct RecordRef {
+  std::size_t job = 0;
+  std::size_t file = 0;       // index into the paths passed to the scan
+  std::uint64_t offset = 0;   // byte offset of the line start
+  std::uint32_t length = 0;   // line length excluding '\n'
+};
+
+/// Pass 1 of a streaming load: scans `paths` in order, keeping one winning
+/// RecordRef per job index (blank and torn trailing lines skipped), and
+/// returns the winners sorted by job index. Memory is O(jobs), not O(bytes).
+std::vector<RecordRef> scan_result_files(const std::vector<std::string>& paths);
+
+/// Streams every winning record of `paths` through `fn` in job-index order
+/// without materializing more than one JobRecord at a time. Equivalent to
+/// iterating load_results(path) when given a single path.
+void for_each_result(const std::vector<std::string>& paths,
+                     const std::function<void(JobRecord&&)>& fn);
+
 /// Loads a JSONL results file: skips blank/torn lines, dedupes by job index
 /// (last record wins), returns records sorted by job index.
 std::vector<JobRecord> load_results(const std::string& path);
@@ -102,6 +145,30 @@ struct AggregateRow {
 /// and averages each group. Input must be job-index-sorted (load_results
 /// output qualifies).
 std::vector<AggregateRow> aggregate(const std::vector<JobRecord>& records);
+
+/// Incremental form of `aggregate` (which is implemented on top of it): feed
+/// job-index-ordered records one at a time; rows() yields the identical
+/// first-appearance-ordered AggregateRows without retaining the records.
+class AggregateAccumulator {
+ public:
+  void add(const JobRecord& rec);
+  std::size_t records() const { return records_; }
+  std::vector<AggregateRow> rows() const;
+
+ private:
+  struct Cell {
+    AggregateRow row;
+    scenario::RunAverager acc;
+  };
+  std::vector<Cell> cells_;                             // first-appearance order
+  std::unordered_map<std::string, std::size_t> by_cell_;  // digest -> cells_ idx
+  std::size_t records_ = 0;
+};
+
+/// Streaming equivalent of aggregate_csv(aggregate(load_results(path))) over
+/// one or more JSONL files (later files win job-index collisions): identical
+/// bytes, O(winners) memory.
+std::string export_aggregate_csv(const std::vector<std::string>& paths);
 
 /// Renders the aggregate table as CSV (header + one row per cell) with
 /// fixed formatting; identical inputs produce identical bytes.

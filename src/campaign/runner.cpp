@@ -27,6 +27,10 @@ double ms_between(std::chrono::steady_clock::time_point a,
 
 CampaignResult run_campaign(const Manifest& manifest, const RunnerOptions& opt,
                             const scenario::ScenarioConfig& base) {
+  if (opt.shards == 0 || opt.shard >= opt.shards) {
+    throw std::invalid_argument("runner: shard must be < shards (shards >= 1)");
+  }
+
   CampaignResult cr;
   cr.jobs = expand(manifest, base);
   cr.outcomes.assign(cr.jobs.size(), JobOutcome{});
@@ -37,6 +41,11 @@ CampaignResult run_campaign(const Manifest& manifest, const RunnerOptions& opt,
     journal.emplace(Journal::open(opt.journal_path,
                                   campaign_digest(manifest.name, cr.jobs),
                                   cr.jobs.size()));
+    // Durability knob rides the registered param surface; manifest base
+    // overrides land in every expanded job, so read it off the first job.
+    journal->set_sync_every(cr.jobs.empty()
+                                ? base.journal_sync_every
+                                : cr.jobs.front().cfg.journal_sync_every);
   }
   if (!opt.results_path.empty()) {
     store.emplace(ResultStore::open_append(opt.results_path));
@@ -66,6 +75,9 @@ CampaignResult run_campaign(const Manifest& manifest, const RunnerOptions& opt,
         continue;
       }
     }
+    // Jobs owned by other shards stay kNotRun here; their own worker
+    // processes run them against their own journals.
+    if (opt.shards > 1 && job.index % opt.shards != opt.shard) continue;
     pending.push_back(job.index);
   }
 
@@ -123,20 +135,32 @@ CampaignResult run_campaign(const Manifest& manifest, const RunnerOptions& opt,
       cfg.max_wall_seconds = opt.job_timeout_s;
       const auto t0 = std::chrono::steady_clock::now();
       try {
-        if (idx == trace_idx) {
-          std::ofstream trace_out(opt.trace_path);
-          if (!trace_out) {
-            throw std::runtime_error("cannot open trace file " +
-                                     opt.trace_path);
-          }
-          stats::EventTracer tracer(trace_out);
+        if (idx == trace_idx || opt.live != nullptr) {
+          std::optional<std::ofstream> trace_out;
+          std::optional<stats::EventTracer> tracer;
           scenario::Network net(cfg);
-          net.telemetry().subscribe_routing(&tracer);
-          net.telemetry().subscribe_mac(&tracer);
+          if (idx == trace_idx) {
+            trace_out.emplace(opt.trace_path);
+            if (!*trace_out) {
+              throw std::runtime_error("cannot open trace file " +
+                                       opt.trace_path);
+            }
+            tracer.emplace(*trace_out);
+            net.telemetry().subscribe_routing(&*tracer);
+            net.telemetry().subscribe_mac(&*tracer);
+          }
+          if (opt.live != nullptr) {
+            net.telemetry().subscribe_phy(opt.live);
+            net.telemetry().subscribe_mac(opt.live);
+            net.telemetry().subscribe_routing(opt.live);
+          }
           outcome.result = net.run();
-          std::fprintf(stderr, "trace: %llu events (%s) -> %s\n",
-                       static_cast<unsigned long long>(tracer.lines_written()),
-                       job.id.c_str(), opt.trace_path.c_str());
+          if (tracer) {
+            std::fprintf(
+                stderr, "trace: %llu events (%s) -> %s\n",
+                static_cast<unsigned long long>(tracer->lines_written()),
+                job.id.c_str(), opt.trace_path.c_str());
+          }
         } else {
           outcome.result = scenario::run_scenario(cfg);
         }
@@ -151,8 +175,9 @@ CampaignResult run_campaign(const Manifest& manifest, const RunnerOptions& opt,
       // Result record first, journal line second: the journal is the commit
       // point, so a crash between the two leaves an orphan record that the
       // loader's last-wins dedupe supersedes after the job re-runs.
+      std::optional<AppendExtent> extent;
       if (store && outcome.status == JobStatus::kOk) {
-        store->append(job, outcome.result, outcome.wall_ms);
+        extent = store->append(job, outcome.result, outcome.wall_ms);
       }
       if (journal) {
         JournalEntry e;
@@ -162,6 +187,16 @@ CampaignResult run_campaign(const Manifest& manifest, const RunnerOptions& opt,
         e.wall_ms = outcome.wall_ms;
         e.error = outcome.error;
         journal->append(e);
+      }
+      if (opt.live != nullptr) {
+        if (outcome.status == JobStatus::kOk) {
+          opt.live->mark_job_completed();
+        } else {
+          opt.live->mark_job_failed();
+        }
+      }
+      if (opt.on_commit) {
+        opt.on_commit(job, outcome, extent ? &*extent : nullptr);
       }
 
       ++done_this_run;

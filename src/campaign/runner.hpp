@@ -7,14 +7,19 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "campaign/manifest.hpp"
-#include "scenario/experiment.hpp"  // scenario::average
+#include "campaign/result_store.hpp"  // AppendExtent
+#include "scenario/experiment.hpp"    // scenario::average
 #include "scenario/scenario.hpp"
+#include "stats/live_counters.hpp"
 
 namespace rcast::campaign {
+
+struct JobOutcome;
 
 struct RunnerOptions {
   /// Worker threads; 0 = hardware concurrency (capped at the job count).
@@ -40,6 +45,25 @@ struct RunnerOptions {
   /// the first pending job. A job that is skipped via the journal or never
   /// claimed produces no trace.
   std::string trace_job;
+  /// Shard the pending job set across `shards` cooperating processes: this
+  /// process only claims pending jobs with index % shards == shard. Journal
+  /// skipping still covers every index, so per-shard journals carry the full
+  /// campaign digest and job count and any shard's journal resumes cleanly.
+  /// shards == 1 (the default) disables filtering.
+  std::size_t shards = 1;
+  std::size_t shard = 0;
+  /// Called under the commit lock after each newly-run job is persisted
+  /// (result record + journal line). `extent` locates the job's JSONL record
+  /// in the results file, or is nullptr when no results file is configured
+  /// or the job failed. The serving daemon's index and metrics snapshots
+  /// hang off this.
+  std::function<void(const Job&, const JobOutcome&, const AppendExtent*)>
+      on_commit;
+  /// When set, subscribed to every job's telemetry bus (phy + mac + routing)
+  /// for the duration of the run and marked on each completion/failure —
+  /// the live feed behind the daemon's /metrics endpoint. Must outlive the
+  /// run_campaign call.
+  stats::LiveCounters* live = nullptr;
 };
 
 enum class JobStatus {

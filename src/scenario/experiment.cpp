@@ -39,63 +39,94 @@ std::vector<RunResult> run_repetitions(const ScenarioConfig& cfg,
   return results;
 }
 
-RunResult average(const std::vector<RunResult>& runs) {
-  RCAST_REQUIRE(!runs.empty());
-  RunResult avg = runs.front();
-  const double n = static_cast<double>(runs.size());
-
-  auto mean_of = [&](auto extract) {
-    double acc = 0.0;
-    for (const auto& r : runs) acc += extract(r);
-    return acc / n;
-  };
-
-  avg.total_energy_j = mean_of([](const RunResult& r) { return r.total_energy_j; });
-  avg.energy_variance = mean_of([](const RunResult& r) { return r.energy_variance; });
-  avg.energy_mean_j = mean_of([](const RunResult& r) { return r.energy_mean_j; });
-  avg.energy_min_j = mean_of([](const RunResult& r) { return r.energy_min_j; });
-  avg.energy_max_j = mean_of([](const RunResult& r) { return r.energy_max_j; });
-  avg.pdr_percent = mean_of([](const RunResult& r) { return r.pdr_percent; });
-  avg.avg_delay_s = mean_of([](const RunResult& r) { return r.avg_delay_s; });
-  avg.energy_per_bit_j = mean_of([](const RunResult& r) { return r.energy_per_bit_j; });
-  avg.normalized_overhead =
-      mean_of([](const RunResult& r) { return r.normalized_overhead; });
-  avg.first_death_s = mean_of([](const RunResult& r) { return r.first_death_s; });
-
-  auto mean_u64 = [&](auto extract) {
-    double acc = 0.0;
-    for (const auto& r : runs) acc += static_cast<double>(extract(r));
-    return static_cast<std::uint64_t>(acc / n);
-  };
-  avg.originated = mean_u64([](const RunResult& r) { return r.originated; });
-  avg.delivered = mean_u64([](const RunResult& r) { return r.delivered; });
-  avg.control_tx = mean_u64([](const RunResult& r) { return r.control_tx; });
-  avg.atim_tx = mean_u64([](const RunResult& r) { return r.atim_tx; });
-  avg.data_tx_attempts =
-      mean_u64([](const RunResult& r) { return r.data_tx_attempts; });
-  avg.overhear_commits =
-      mean_u64([](const RunResult& r) { return r.overhear_commits; });
-  avg.overhear_declines =
-      mean_u64([](const RunResult& r) { return r.overhear_declines; });
-  avg.mac_sleeps = mean_u64([](const RunResult& r) { return r.mac_sleeps; });
-  avg.rreq_tx = mean_u64([](const RunResult& r) { return r.rreq_tx; });
-  avg.rrep_tx = mean_u64([](const RunResult& r) { return r.rrep_tx; });
-  avg.rerr_tx = mean_u64([](const RunResult& r) { return r.rerr_tx; });
-  avg.dead_nodes = static_cast<std::size_t>(
-      mean_u64([](const RunResult& r) { return r.dead_nodes; }));
-
-  // Element-wise averages of the per-node vectors.
-  for (std::size_t i = 0; i < avg.per_node_energy_j.size(); ++i) {
-    double acc = 0.0;
-    for (const auto& r : runs) acc += r.per_node_energy_j[i];
-    avg.per_node_energy_j[i] = acc / n;
+void RunAverager::add(const RunResult& r) {
+  if (n_ == 0) {
+    first_ = r;
+    per_node_sum_.assign(r.per_node_energy_j.size(), 0.0);
+    role_sum_.assign(r.role_numbers.size(), 0.0);
   }
-  for (std::size_t i = 0; i < avg.role_numbers.size(); ++i) {
-    double acc = 0.0;
-    for (const auto& r : runs) acc += static_cast<double>(r.role_numbers[i]);
-    avg.role_numbers[i] = static_cast<std::uint64_t>(acc / n);
+  RCAST_REQUIRE(r.per_node_energy_j.size() == per_node_sum_.size());
+  RCAST_REQUIRE(r.role_numbers.size() == role_sum_.size());
+
+  sums_.total_energy_j += r.total_energy_j;
+  sums_.energy_variance += r.energy_variance;
+  sums_.energy_mean_j += r.energy_mean_j;
+  sums_.energy_min_j += r.energy_min_j;
+  sums_.energy_max_j += r.energy_max_j;
+  sums_.pdr_percent += r.pdr_percent;
+  sums_.avg_delay_s += r.avg_delay_s;
+  sums_.energy_per_bit_j += r.energy_per_bit_j;
+  sums_.normalized_overhead += r.normalized_overhead;
+  sums_.first_death_s += r.first_death_s;
+
+  sums_.originated += static_cast<double>(r.originated);
+  sums_.delivered += static_cast<double>(r.delivered);
+  sums_.control_tx += static_cast<double>(r.control_tx);
+  sums_.atim_tx += static_cast<double>(r.atim_tx);
+  sums_.data_tx_attempts += static_cast<double>(r.data_tx_attempts);
+  sums_.overhear_commits += static_cast<double>(r.overhear_commits);
+  sums_.overhear_declines += static_cast<double>(r.overhear_declines);
+  sums_.mac_sleeps += static_cast<double>(r.mac_sleeps);
+  sums_.rreq_tx += static_cast<double>(r.rreq_tx);
+  sums_.rrep_tx += static_cast<double>(r.rrep_tx);
+  sums_.rerr_tx += static_cast<double>(r.rerr_tx);
+  sums_.dead_nodes += static_cast<double>(r.dead_nodes);
+
+  for (std::size_t i = 0; i < per_node_sum_.size(); ++i) {
+    per_node_sum_[i] += r.per_node_energy_j[i];
+  }
+  for (std::size_t i = 0; i < role_sum_.size(); ++i) {
+    role_sum_[i] += static_cast<double>(r.role_numbers[i]);
+  }
+  ++n_;
+}
+
+RunResult RunAverager::mean() const {
+  RCAST_REQUIRE(n_ > 0);
+  RunResult avg = first_;
+  const double n = static_cast<double>(n_);
+
+  avg.total_energy_j = sums_.total_energy_j / n;
+  avg.energy_variance = sums_.energy_variance / n;
+  avg.energy_mean_j = sums_.energy_mean_j / n;
+  avg.energy_min_j = sums_.energy_min_j / n;
+  avg.energy_max_j = sums_.energy_max_j / n;
+  avg.pdr_percent = sums_.pdr_percent / n;
+  avg.avg_delay_s = sums_.avg_delay_s / n;
+  avg.energy_per_bit_j = sums_.energy_per_bit_j / n;
+  avg.normalized_overhead = sums_.normalized_overhead / n;
+  avg.first_death_s = sums_.first_death_s / n;
+
+  avg.originated = static_cast<std::uint64_t>(sums_.originated / n);
+  avg.delivered = static_cast<std::uint64_t>(sums_.delivered / n);
+  avg.control_tx = static_cast<std::uint64_t>(sums_.control_tx / n);
+  avg.atim_tx = static_cast<std::uint64_t>(sums_.atim_tx / n);
+  avg.data_tx_attempts =
+      static_cast<std::uint64_t>(sums_.data_tx_attempts / n);
+  avg.overhear_commits =
+      static_cast<std::uint64_t>(sums_.overhear_commits / n);
+  avg.overhear_declines =
+      static_cast<std::uint64_t>(sums_.overhear_declines / n);
+  avg.mac_sleeps = static_cast<std::uint64_t>(sums_.mac_sleeps / n);
+  avg.rreq_tx = static_cast<std::uint64_t>(sums_.rreq_tx / n);
+  avg.rrep_tx = static_cast<std::uint64_t>(sums_.rrep_tx / n);
+  avg.rerr_tx = static_cast<std::uint64_t>(sums_.rerr_tx / n);
+  avg.dead_nodes = static_cast<std::size_t>(sums_.dead_nodes / n);
+
+  for (std::size_t i = 0; i < per_node_sum_.size(); ++i) {
+    avg.per_node_energy_j[i] = per_node_sum_[i] / n;
+  }
+  for (std::size_t i = 0; i < role_sum_.size(); ++i) {
+    avg.role_numbers[i] = static_cast<std::uint64_t>(role_sum_[i] / n);
   }
   return avg;
+}
+
+RunResult average(const std::vector<RunResult>& runs) {
+  RCAST_REQUIRE(!runs.empty());
+  RunAverager acc;
+  for (const auto& r : runs) acc.add(r);
+  return acc.mean();
 }
 
 BenchScale BenchScale::from_env() {

@@ -19,6 +19,44 @@ std::vector<RunResult> run_repetitions(const ScenarioConfig& cfg,
 /// Scalar means across repetitions (vectors averaged element-wise).
 RunResult average(const std::vector<RunResult>& runs);
 
+/// Incremental form of `average`: feed results one at a time, read the mean
+/// at the end. Feeding the same results in the same order is bit-identical
+/// to `average` (which is implemented on top of this), so streaming
+/// consumers (campaign export, the serving aggregate cache) can fold a cell
+/// without materializing every RunResult.
+///
+/// Fields `average` does not define a mean for (delay percentiles, drop
+/// breakdown, perf counters, ...) are carried from the *first* result added,
+/// matching the historical copy-then-overwrite behavior.
+class RunAverager {
+ public:
+  /// Results of one cell must agree on the per-node vector lengths.
+  void add(const RunResult& r);
+
+  std::size_t count() const { return n_; }
+
+  /// Mean over everything added so far; requires count() > 0.
+  RunResult mean() const;
+
+ private:
+  struct Sums {
+    double total_energy_j = 0, energy_variance = 0, energy_mean_j = 0;
+    double energy_min_j = 0, energy_max_j = 0, pdr_percent = 0;
+    double avg_delay_s = 0, energy_per_bit_j = 0, normalized_overhead = 0;
+    double first_death_s = 0;
+    double originated = 0, delivered = 0, control_tx = 0, atim_tx = 0;
+    double data_tx_attempts = 0, overhear_commits = 0, overhear_declines = 0;
+    double mac_sleeps = 0, rreq_tx = 0, rrep_tx = 0, rerr_tx = 0;
+    double dead_nodes = 0;
+  };
+
+  std::size_t n_ = 0;
+  RunResult first_;
+  Sums sums_;
+  std::vector<double> per_node_sum_;
+  std::vector<double> role_sum_;
+};
+
 /// Scales the paper's full scenario down so a bench binary finishes in
 /// seconds. Honors RCAST_FULL=1 (paper scale: 1125 s, 100 nodes, 10 seeds).
 struct BenchScale {

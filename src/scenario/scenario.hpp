@@ -75,6 +75,14 @@ struct ScenarioConfig {
   /// throws sim::WallDeadlineExceeded — campaign jobs record this as a
   /// per-job timeout instead of stalling the whole sweep.
   double max_wall_seconds = 0.0;
+
+  /// Campaign journal durability: fsync the journal every N committed jobs
+  /// (1 = every commit, the strictest setting). Larger values batch fsyncs;
+  /// a crash can then lose up to N-1 journal lines, which only re-runs those
+  /// jobs on resume (result records are still fsynced before each journal
+  /// line, and duplicates are absorbed by last-wins dedupe). Cannot affect
+  /// simulated results, so it is excluded from config_digest.
+  std::uint64_t journal_sync_every = 1;
 };
 
 /// Flat result record; everything the benches print.

@@ -1,0 +1,86 @@
+#include "serving/metrics_io.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/json.hpp"
+
+namespace rcast::serving {
+
+namespace {
+
+// Field table so to/from stay in lockstep; order is the wire order.
+struct Field {
+  const char* name;
+  std::uint64_t stats::LiveSnapshot::* member;
+};
+
+constexpr Field kFields[] = {
+    {"phy_tx", &stats::LiveSnapshot::phy_tx},
+    {"phy_rx_ok", &stats::LiveSnapshot::phy_rx_ok},
+    {"phy_rx_lost", &stats::LiveSnapshot::phy_rx_lost},
+    {"atim_tx", &stats::LiveSnapshot::atim_tx},
+    {"overhear_commits", &stats::LiveSnapshot::overhear_commits},
+    {"overhear_declines", &stats::LiveSnapshot::overhear_declines},
+    {"mac_sleeps", &stats::LiveSnapshot::mac_sleeps},
+    {"data_tx_attempts", &stats::LiveSnapshot::data_tx_attempts},
+    {"data_tx_failed", &stats::LiveSnapshot::data_tx_failed},
+    {"queue_drops", &stats::LiveSnapshot::queue_drops},
+    {"data_originated", &stats::LiveSnapshot::data_originated},
+    {"data_delivered", &stats::LiveSnapshot::data_delivered},
+    {"data_dropped", &stats::LiveSnapshot::data_dropped},
+    {"control_tx", &stats::LiveSnapshot::control_tx},
+    {"jobs_completed", &stats::LiveSnapshot::jobs_completed},
+    {"jobs_failed", &stats::LiveSnapshot::jobs_failed},
+};
+
+}  // namespace
+
+std::string snapshot_to_json(const stats::LiveSnapshot& s) {
+  campaign::json::Writer w;
+  w.begin_object();
+  for (const Field& f : kFields) w.key(f.name).value(s.*f.member);
+  w.end_object();
+  return w.take();
+}
+
+std::optional<stats::LiveSnapshot> snapshot_from_json(
+    const std::string& text) {
+  try {
+    const campaign::json::Value v = campaign::json::parse(text);
+    stats::LiveSnapshot s;
+    for (const Field& f : kFields) {
+      if (const campaign::json::Value* m = v.find(f.name)) {
+        s.*f.member = m->as_u64();
+      }
+    }
+    return s;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+void write_snapshot_file(const std::string& path,
+                         const stats::LiveSnapshot& s) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;  // metrics are best-effort; never fail a commit
+    out << snapshot_to_json(s) << '\n';
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+}
+
+std::optional<stats::LiveSnapshot> read_snapshot_file(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return snapshot_from_json(buf.str());
+}
+
+}  // namespace rcast::serving

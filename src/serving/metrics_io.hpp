@@ -1,0 +1,27 @@
+// LiveSnapshot <-> JSON, plus the tmp+rename snapshot files worker shards
+// publish so the daemon's /metrics endpoint can merge a fleet-wide view
+// without sharing memory with the workers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "stats/live_counters.hpp"
+
+namespace rcast::serving {
+
+/// Renders a snapshot as a flat JSON object (fixed field order).
+std::string snapshot_to_json(const stats::LiveSnapshot& s);
+
+/// Parses snapshot_to_json output; nullopt on malformed/unreadable input
+/// (a worker mid-rename or not yet started — callers treat it as zeros).
+std::optional<stats::LiveSnapshot> snapshot_from_json(const std::string& text);
+
+/// Atomically publishes a snapshot to `path` (write `path.tmp`, rename).
+void write_snapshot_file(const std::string& path,
+                         const stats::LiveSnapshot& s);
+
+/// Reads a snapshot file; nullopt if absent or torn.
+std::optional<stats::LiveSnapshot> read_snapshot_file(const std::string& path);
+
+}  // namespace rcast::serving

@@ -1,0 +1,93 @@
+// Read path of the serving daemon: a thread-safe view over one or more
+// (shard) JSONL result files, each fronted by a ResultIndex sidecar, plus a
+// digest-keyed cache of seed-averaged aggregates.
+//
+// Lookup semantics mirror the campaign loader exactly: when the same job
+// index appears in several files (or several times in one file — a torn
+// write superseded by a re-run), the last-scanned record wins, and
+// aggregates fold the winning records in job-index order through
+// scenario::RunAverager — so the CSV this service exports is byte-identical
+// to `rcast_campaign export` over the merged store.
+//
+// Cache invalidation: refresh() re-scans the files for appended records
+// (the daemon calls it when it observes journal growth) and drops exactly
+// the cache entries whose cell gained records; untouched cells stay warm.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campaign/result_store.hpp"
+#include "serving/result_index.hpp"
+
+namespace rcast::serving {
+
+/// Aggregate-cache observability for /status.
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t invalidations = 0;
+};
+
+class ResultService {
+ public:
+  /// Opens (building/extending sidecars as needed) every file in `paths`.
+  /// Later files win job-index collisions, so pass shards in shard order.
+  explicit ResultService(std::vector<std::string> paths);
+
+  /// The winning record with this cfg/v2 digest, as its raw JSONL line
+  /// (already valid JSON); nullopt if unknown.
+  std::optional<std::string> result_json(std::uint64_t cfg_digest);
+
+  /// Seed-averaged aggregate of one cell/v2 digest, memoized. nullopt if
+  /// the cell has no records.
+  std::optional<campaign::AggregateRow> aggregate_cell(
+      std::uint64_t cell_digest);
+
+  /// Full aggregate CSV over every winning record, byte-identical to
+  /// `rcast_campaign export` on the merged store.
+  std::string aggregate_csv();
+
+  /// Re-scans every file for appended records and invalidates the cache
+  /// entries of cells that grew. Returns the number of new records seen.
+  std::size_t refresh();
+
+  /// Winning records (distinct job indices) across all files — superseded
+  /// duplicates are not counted.
+  std::size_t record_count() const;
+
+  CacheStats cache_stats() const;
+
+ private:
+  struct Winner {
+    std::size_t file = 0;
+    std::uint64_t offset = 0;
+    std::uint32_t length = 0;
+    std::uint64_t cell_digest = 0;
+    std::uint64_t cfg_digest = 0;
+  };
+
+  // All private methods assume mu_ is held.
+  void absorb_new_entries(std::size_t file,
+                          const std::vector<IndexEntry>& entries,
+                          std::size_t first_new);
+  std::string read_line(std::size_t file, std::uint64_t offset,
+                        std::uint32_t length);
+  campaign::AggregateRow fold_cell(std::uint64_t cell_digest);
+
+  mutable std::mutex mu_;
+  std::vector<std::string> paths_;
+  std::vector<ResultIndex> indexes_;
+  std::unordered_map<std::size_t, Winner> winner_by_job_;
+  std::unordered_map<std::uint64_t, std::size_t> job_by_cfg_;  // digest -> job
+  // Job indices per cell; kept sorted lazily at fold time.
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> jobs_by_cell_;
+  std::unordered_map<std::uint64_t, campaign::AggregateRow> cache_;
+  CacheStats stats_;
+};
+
+}  // namespace rcast::serving

@@ -1,0 +1,222 @@
+// End-to-end tests of the rcast_campaignd binary: sharded runs whose merged
+// export is byte-identical to a single-process rcast_campaign run, resume
+// after interruption and after kill -9, and the reindex subcommand's
+// byte-identical sidecar rebuild. These drive the real executables (paths
+// injected by CMake) over a tiny manifest.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("rcast_campaignd_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Runs a shell command, returning its exit code (-1 on system() failure).
+int run(const std::string& cmd) {
+  const int rc = std::system(cmd.c_str());
+  if (rc == -1) return -1;
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : 128;
+}
+
+std::string write_manifest(const TempDir& dir) {
+  const std::string path = dir.file("m.txt");
+  std::ofstream out(path);
+  out << "name = e2e\n"
+         "schemes = rcast, odpm\n"
+         "routings = dsr\n"
+         "rates_pps = 1.0\n"
+         "pauses_s = 0\n"
+         "nodes = 12\n"
+         "flows = 3\n"
+         "duration_s = 6\n"
+         "seeds = 3\n"
+         "world_m = 600x300\n";
+  return path;
+}
+
+const std::string kDaemon = RCAST_CAMPAIGND_PATH;
+const std::string kSingle = RCAST_CAMPAIGN_PATH;
+
+/// The single-process reference export for `manifest`.
+std::string reference_csv(const TempDir& dir, const std::string& manifest) {
+  const std::string out_dir = dir.file("single");
+  EXPECT_EQ(run(kSingle + " run " + manifest + " --out=" + out_dir +
+                " --quiet 2>/dev/null"),
+            0);
+  const std::string csv = dir.file("single.csv");
+  EXPECT_EQ(run(kSingle + " export " + manifest + " --out=" + out_dir +
+                " --csv=" + csv + " 2>/dev/null"),
+            0);
+  return read_file(csv);
+}
+
+TEST(Campaignd, ShardedExportByteIdenticalToSingleProcess) {
+  TempDir dir;
+  const std::string manifest = write_manifest(dir);
+  const std::string reference = reference_csv(dir, manifest);
+  ASSERT_FALSE(reference.empty());
+
+  const std::string out_dir = dir.file("sharded");
+  ASSERT_EQ(run(kDaemon + " run " + manifest + " --out=" + out_dir +
+                " --shards=3 --threads=1 --quiet 2>/dev/null"),
+            0);
+  const std::string csv = dir.file("sharded.csv");
+  ASSERT_EQ(run(kDaemon + " export " + manifest + " --out=" + out_dir +
+                " --csv=" + csv + " 2>/dev/null"),
+            0);
+  EXPECT_EQ(read_file(csv), reference);
+
+  // Every shard built its index sidecar incrementally during the run.
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_TRUE(fs::exists(out_dir + "/results.shard" + std::to_string(k) +
+                           ".jsonl.idx"));
+  }
+}
+
+TEST(Campaignd, InterruptedRunResumesByteIdentical) {
+  TempDir dir;
+  const std::string manifest = write_manifest(dir);
+  const std::string reference = reference_csv(dir, manifest);
+
+  const std::string out_dir = dir.file("interrupted");
+  // --max-jobs=1: each worker stops after one new job — a deterministic
+  // mid-campaign interruption.
+  ASSERT_EQ(run(kDaemon + " run " + manifest + " --out=" + out_dir +
+                " --shards=2 --threads=1 --max-jobs=1 --quiet 2>/dev/null"),
+            0);
+  ASSERT_EQ(run(kDaemon + " resume " + manifest + " --out=" + out_dir +
+                " --shards=2 --threads=1 --quiet 2>/dev/null"),
+            0);
+  const std::string csv = dir.file("resumed.csv");
+  ASSERT_EQ(run(kDaemon + " export " + manifest + " --out=" + out_dir +
+                " --csv=" + csv + " 2>/dev/null"),
+            0);
+  EXPECT_EQ(read_file(csv), reference);
+}
+
+TEST(Campaignd, KilledWorkerResumesByteIdentical) {
+  TempDir dir;
+  const std::string manifest = write_manifest(dir);
+  const std::string reference = reference_csv(dir, manifest);
+
+  // Start one worker shard directly in the background, kill -9 it as soon
+  // as its journal shows progress, then resume the whole fleet.
+  const std::string out_dir = dir.file("killed");
+  fs::create_directories(out_dir);
+  const std::string pid_file = dir.file("worker.pid");
+  ASSERT_EQ(run(kDaemon + " worker " + manifest + " --out=" + out_dir +
+                " --shards=1 --shard=0 --threads=1 --quiet 2>/dev/null & "
+                "echo $! > " + pid_file),
+            0);
+
+  const std::string journal = out_dir + "/journal.shard0.log";
+  for (int i = 0; i < 200; ++i) {  // wait for >=1 committed job (<=10 s)
+    std::ifstream in(journal);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) ++lines;
+    if (lines >= 2) break;  // header + at least one commit
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  run("kill -9 $(cat " + pid_file + ") 2>/dev/null; wait 2>/dev/null");
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  ASSERT_EQ(run(kDaemon + " resume " + manifest + " --out=" + out_dir +
+                " --shards=1 --threads=1 --quiet 2>/dev/null"),
+            0);
+  const std::string csv = dir.file("killed.csv");
+  ASSERT_EQ(run(kDaemon + " export " + manifest + " --out=" + out_dir +
+                " --csv=" + csv + " 2>/dev/null"),
+            0);
+  EXPECT_EQ(read_file(csv), reference);
+}
+
+TEST(Campaignd, ReindexRebuildsByteIdenticalSidecar) {
+  TempDir dir;
+  const std::string manifest = write_manifest(dir);
+  const std::string out_dir = dir.file("reindex");
+  ASSERT_EQ(run(kDaemon + " run " + manifest + " --out=" + out_dir +
+                " --shards=2 --threads=1 --quiet 2>/dev/null"),
+            0);
+
+  const std::string idx0 = out_dir + "/results.shard0.jsonl.idx";
+  ASSERT_TRUE(fs::exists(idx0));
+  const std::string original = read_file(idx0);
+  ASSERT_FALSE(original.empty());
+
+  // Deleted sidecar.
+  fs::remove(idx0);
+  ASSERT_EQ(run(kDaemon + " reindex " + manifest + " --out=" + out_dir +
+                " >/dev/null 2>&1"),
+            0);
+  EXPECT_EQ(read_file(idx0), original);
+
+  // Corrupted sidecar.
+  {
+    std::ofstream out(idx0, std::ios::binary | std::ios::trunc);
+    out << "garbage that is definitely not an index";
+  }
+  ASSERT_EQ(run(kDaemon + " reindex " + manifest + " --out=" + out_dir +
+                " >/dev/null 2>&1"),
+            0);
+  EXPECT_EQ(read_file(idx0), original);
+}
+
+TEST(Campaignd, StatusReportsShardProgress) {
+  TempDir dir;
+  const std::string manifest = write_manifest(dir);
+  const std::string out_dir = dir.file("status");
+  ASSERT_EQ(run(kDaemon + " run " + manifest + " --out=" + out_dir +
+                " --shards=2 --threads=1 --quiet 2>/dev/null"),
+            0);
+  const std::string out_file = dir.file("status.txt");
+  ASSERT_EQ(run(kDaemon + " status " + manifest + " --out=" + out_dir +
+                " > " + out_file + " 2>/dev/null"),
+            0);
+  const std::string status = read_file(out_file);
+  EXPECT_NE(status.find("campaign 'e2e': 6 jobs, 2 shard journal(s)"),
+            std::string::npos)
+      << status;
+  EXPECT_NE(status.find("total: 6/6 done (6 ok, 0 failed)"),
+            std::string::npos)
+      << status;
+}
+
+}  // namespace

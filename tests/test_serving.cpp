@@ -1,0 +1,881 @@
+// Serving layer: index sidecar build/adopt/rebuild byte-identity, the
+// digest-keyed aggregate cache and its invalidation, streaming export
+// equivalence, journal fsync batching, JSON parser edge cases, the HTTP
+// server, the shard supervisor's respawn policy, and metrics snapshot I/O.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "campaign/json.hpp"
+#include "campaign/manifest.hpp"
+#include "campaign/result_store.hpp"
+#include "scenario/params.hpp"
+#include "serving/http_server.hpp"
+#include "serving/metrics_io.hpp"
+#include "serving/result_index.hpp"
+#include "serving/result_service.hpp"
+#include "serving/shard_supervisor.hpp"
+#include "sim/time.hpp"
+
+namespace rcast {
+namespace {
+
+namespace fs = std::filesystem;
+using campaign::Job;
+using serving::IndexEntry;
+using serving::ResultIndex;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("rcast_serving_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+}
+
+// Synthetic campaign: expanded jobs with real digests, but results made up
+// deterministically from the job index — no simulations, so index/service
+// tests run in milliseconds even at thousands of records.
+std::vector<Job> make_jobs(std::size_t seeds, std::size_t nodes = 2) {
+  campaign::Manifest m;
+  m.name = "serving_test";
+  m.schemes = {scenario::Scheme::kRcast, scenario::Scheme::kOdpm};
+  m.node_counts = {10, 20};
+  m.node_counts.resize(nodes);
+  m.seeds = seeds;
+  m.duration_s = 5.0;
+  return campaign::expand(m);
+}
+
+scenario::RunResult synth_result(std::size_t i) {
+  scenario::RunResult r;
+  r.pdr_percent = 50.0 + static_cast<double>(i % 49);
+  r.total_energy_j = 10.0 + 0.25 * static_cast<double>(i);
+  r.energy_mean_j = r.total_energy_j / 10.0;
+  r.avg_delay_s = 0.01 * static_cast<double>(i + 1);
+  r.originated = 100 + i;
+  r.delivered = 90 + i;
+  r.control_tx = 7 * i;
+  r.per_node_energy_j = {1.0, 2.0 + static_cast<double>(i)};
+  return r;
+}
+
+/// Writes jobs[first, last) to a fresh/appended store at `path`.
+void write_records(const std::string& path, const std::vector<Job>& jobs,
+                   std::size_t first, std::size_t last) {
+  auto store = campaign::ResultStore::open_append(path);
+  for (std::size_t i = first; i < last; ++i) {
+    store.append(jobs[i], synth_result(i), 1.5);
+  }
+  store.close();
+}
+
+// ---------------------------------------------------------------- index --
+
+TEST(ResultIndex, DigestToU64) {
+  EXPECT_EQ(serving::digest_to_u64("0000000000000000"), 0u);
+  EXPECT_EQ(serving::digest_to_u64("00000000000000ff"), 0xffu);
+  EXPECT_EQ(serving::digest_to_u64("ffffffffffffffff"), ~0ull);
+  EXPECT_THROW(serving::digest_to_u64("123"), serving::IndexError);
+  EXPECT_THROW(serving::digest_to_u64("00000000000000zz"),
+               serving::IndexError);
+  EXPECT_THROW(serving::digest_to_u64("00000000000000ff "),
+               serving::IndexError);
+}
+
+TEST(ResultIndex, EncodeDecodeRoundTrip) {
+  IndexEntry e;
+  e.job = 12345;
+  e.offset = 0xdeadbeefcafe;
+  e.cfg_digest = 0x0123456789abcdefull;
+  e.cell_digest = 0xfedcba9876543210ull;
+  e.length = 4321;
+  e.scheme = 4;
+  e.routing = 1;
+  e.nodes = 100;
+  e.flows = 20;
+  e.rate_pps = 2.5;
+  e.pause_s = 600.0;
+  e.duration_s = 900.0;
+  e.seed = 77;
+  unsigned char buf[80];
+  serving::encode_entry(e, buf);
+  const IndexEntry d = serving::decode_entry(buf);
+  EXPECT_EQ(d.job, e.job);
+  EXPECT_EQ(d.offset, e.offset);
+  EXPECT_EQ(d.cfg_digest, e.cfg_digest);
+  EXPECT_EQ(d.cell_digest, e.cell_digest);
+  EXPECT_EQ(d.length, e.length);
+  EXPECT_EQ(d.scheme, e.scheme);
+  EXPECT_EQ(d.routing, e.routing);
+  EXPECT_EQ(d.nodes, e.nodes);
+  EXPECT_EQ(d.flows, e.flows);
+  EXPECT_DOUBLE_EQ(d.rate_pps, e.rate_pps);
+  EXPECT_DOUBLE_EQ(d.pause_s, e.pause_s);
+  EXPECT_DOUBLE_EQ(d.duration_s, e.duration_s);
+  EXPECT_EQ(d.seed, e.seed);
+}
+
+TEST(ResultIndex, BuildAndPointLookup) {
+  TempDir dir;
+  const auto jobs = make_jobs(3);
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, jobs.size());
+
+  const ResultIndex idx = ResultIndex::open(jsonl);
+  ASSERT_EQ(idx.entries().size(), jobs.size());
+  EXPECT_EQ(idx.indexed_bytes(), fs::file_size(jsonl));
+
+  // Every record is findable by its cfg digest, and the extent points at
+  // the exact JSONL line.
+  const std::string content = read_file(jsonl);
+  for (const Job& job : jobs) {
+    const IndexEntry* e =
+        idx.find_cfg(serving::digest_to_u64(job.digest));
+    ASSERT_NE(e, nullptr) << job.id;
+    EXPECT_EQ(e->job, job.index);
+    const std::string line = content.substr(e->offset, e->length);
+    const auto rec = campaign::parse_result_line(line);
+    EXPECT_EQ(rec.job, job.index);
+    EXPECT_EQ(rec.digest, job.digest);
+  }
+
+  // Cell lookup groups exactly the seeds of one grid point.
+  const auto cell = campaign::config_cell_digest(jobs[0].cfg);
+  const auto group = idx.find_cell(serving::digest_to_u64(cell));
+  EXPECT_EQ(group.size(), 3u);
+  for (const IndexEntry* e : group) {
+    EXPECT_EQ(campaign::config_cell_digest(
+                  jobs[static_cast<std::size_t>(e->job)].cfg),
+              cell);
+  }
+}
+
+TEST(ResultIndex, AdoptAndExtendAfterAppend) {
+  TempDir dir;
+  const auto jobs = make_jobs(2);
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, 3);
+  { ResultIndex::open(jsonl); }  // builds the sidecar for the first 3
+
+  write_records(jsonl, jobs, 3, jobs.size());
+  const ResultIndex idx = ResultIndex::open(jsonl);  // adopt + extend
+  EXPECT_EQ(idx.entries().size(), jobs.size());
+  EXPECT_EQ(idx.indexed_bytes(), fs::file_size(jsonl));
+}
+
+TEST(ResultIndex, RebuildIsByteIdentical) {
+  TempDir dir;
+  const auto jobs = make_jobs(3);
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, jobs.size());
+  const std::string idx_path = ResultIndex::sidecar_path(jsonl);
+
+  { ResultIndex::open(jsonl); }
+  const std::string original = read_file(idx_path);
+  ASSERT_FALSE(original.empty());
+
+  // Deleted sidecar: rebuilt from the JSONL alone, byte-for-byte.
+  fs::remove(idx_path);
+  { ResultIndex::rebuild(jsonl); }
+  EXPECT_EQ(read_file(idx_path), original);
+
+  // Corrupt header magic: open() detects and rebuilds identically.
+  std::string corrupt = original;
+  corrupt[0] = 'X';
+  write_file(idx_path, corrupt);
+  { ResultIndex::open(jsonl); }
+  EXPECT_EQ(read_file(idx_path), original);
+
+  // Corrupt record payload (nonsense offset): open() rebuilds.
+  corrupt = original;
+  std::memset(&corrupt[16 + 8], 0xff, 8);  // first record's offset field
+  write_file(idx_path, corrupt);
+  { ResultIndex::open(jsonl); }
+  EXPECT_EQ(read_file(idx_path), original);
+
+  // Torn trailing record (append crash): truncated, then re-extended.
+  write_file(idx_path, original.substr(0, original.size() - 17));
+  { ResultIndex::open(jsonl); }
+  EXPECT_EQ(read_file(idx_path), original);
+}
+
+TEST(ResultIndex, StaleSidecarAfterJsonlTruncation) {
+  TempDir dir;
+  const auto jobs = make_jobs(3);
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, jobs.size());
+  { ResultIndex::open(jsonl); }
+
+  // Shrink the JSONL (not a supported mutation, but the index must not
+  // serve extents beyond EOF): entries now point past the end -> rebuild.
+  const std::string content = read_file(jsonl);
+  const auto cut = content.find('\n', content.size() / 2);
+  write_file(jsonl, content.substr(0, cut + 1));
+
+  const ResultIndex idx = ResultIndex::open(jsonl);
+  EXPECT_LT(idx.entries().size(), jobs.size());
+  EXPECT_EQ(idx.indexed_bytes(), fs::file_size(jsonl));
+}
+
+TEST(ResultIndex, IncrementalAppendMatchesRebuild) {
+  TempDir dir;
+  const auto jobs = make_jobs(3);
+  const std::string jsonl = dir.file("results.jsonl");
+  const std::string idx_path = ResultIndex::sidecar_path(jsonl);
+
+  // Index records one by one through append() as the store writes them —
+  // the worker's on_commit path, which fills every field from the job
+  // config rather than re-parsing the line.
+  auto store = campaign::ResultStore::open_append(jsonl);
+  std::optional<ResultIndex> idx;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto extent = store.append(jobs[i], synth_result(i), 1.5);
+    if (!idx) idx = ResultIndex::open(jsonl);
+    if (extent.offset >= idx->indexed_bytes()) {
+      const auto& cfg = jobs[i].cfg;
+      IndexEntry e;
+      e.job = jobs[i].index;
+      e.offset = extent.offset;
+      e.length = extent.length;
+      e.cfg_digest = serving::digest_to_u64(jobs[i].digest);
+      e.cell_digest =
+          serving::digest_to_u64(campaign::config_cell_digest(cfg));
+      e.scheme = static_cast<std::uint8_t>(cfg.scheme);
+      e.routing = static_cast<std::uint8_t>(cfg.routing);
+      e.nodes = static_cast<std::uint32_t>(cfg.num_nodes);
+      e.flows = static_cast<std::uint32_t>(cfg.num_flows);
+      e.rate_pps = cfg.rate_pps;
+      e.pause_s = sim::to_seconds(cfg.pause);
+      e.duration_s = sim::to_seconds(cfg.duration);
+      e.seed = cfg.seed;
+      idx->append(e);
+    }
+  }
+  store.close();
+  const std::string incremental = read_file(idx_path);
+
+  // A from-scratch rebuild (which derives every field by parsing the JSONL)
+  // must reproduce the incrementally-built sidecar byte-for-byte.
+  fs::remove(idx_path);
+  { ResultIndex::rebuild(jsonl); }
+  EXPECT_EQ(read_file(idx_path), incremental);
+}
+
+// -------------------------------------------------------------- service --
+
+TEST(ResultService, PointLookupAndLastWinsAcrossShards) {
+  TempDir dir;
+  const auto jobs = make_jobs(2);
+  const std::string shard0 = dir.file("results.shard0.jsonl");
+  const std::string shard1 = dir.file("results.shard1.jsonl");
+  write_records(shard0, jobs, 0, 5);
+  write_records(shard1, jobs, 3, jobs.size());  // jobs 3,4 duplicated
+
+  serving::ResultService svc({shard0, shard1});
+  EXPECT_EQ(svc.record_count(), jobs.size());
+
+  for (const Job& job : jobs) {
+    const auto line = svc.result_json(serving::digest_to_u64(job.digest));
+    ASSERT_TRUE(line.has_value()) << job.id;
+    const auto rec = campaign::parse_result_line(*line);
+    EXPECT_EQ(rec.job, job.index);
+  }
+  EXPECT_FALSE(svc.result_json(0x1234).has_value());
+}
+
+TEST(ResultService, AggregateCsvMatchesExport) {
+  TempDir dir;
+  const auto jobs = make_jobs(3);
+  const std::string shard0 = dir.file("results.shard0.jsonl");
+  const std::string shard1 = dir.file("results.shard1.jsonl");
+  write_records(shard0, jobs, 0, jobs.size() / 2);
+  write_records(shard1, jobs, jobs.size() / 2, jobs.size());
+
+  serving::ResultService svc({shard0, shard1});
+  EXPECT_EQ(svc.aggregate_csv(),
+            campaign::export_aggregate_csv({shard0, shard1}));
+}
+
+TEST(ResultService, CacheHitMissInvalidation) {
+  TempDir dir;
+  const auto jobs = make_jobs(3);
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, jobs.size() - 1);  // last seed missing
+
+  serving::ResultService svc({jsonl});
+  const std::uint64_t cell = serving::digest_to_u64(
+      campaign::config_cell_digest(jobs[0].cfg));
+
+  auto row = svc.aggregate_cell(cell);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->seeds, 3u);
+  row = svc.aggregate_cell(cell);  // memoized
+  EXPECT_EQ(svc.cache_stats().hits, 1u);
+  EXPECT_EQ(svc.cache_stats().misses, 1u);
+
+  // Appending the missing seed of the *other* cell must not disturb this
+  // cell's cache entry.
+  const std::uint64_t other_cell = serving::digest_to_u64(
+      campaign::config_cell_digest(jobs.back().cfg));
+  ASSERT_NE(cell, other_cell);
+  write_records(jsonl, jobs, jobs.size() - 1, jobs.size());
+  EXPECT_EQ(svc.refresh(), 1u);
+  EXPECT_EQ(svc.cache_stats().invalidations, 0u);  // cell was not cached yet
+  row = svc.aggregate_cell(cell);
+  EXPECT_EQ(svc.cache_stats().hits, 2u);  // still warm
+
+  // Now grow the cached cell: its entry must be dropped and recomputed.
+  write_records(jsonl, jobs, 0, 1);  // duplicate record, same cell
+  EXPECT_EQ(svc.refresh(), 1u);
+  EXPECT_EQ(svc.cache_stats().invalidations, 1u);
+  row = svc.aggregate_cell(cell);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(row->seeds, 3u);  // dedupe: the duplicate superseded job 0
+  EXPECT_EQ(svc.cache_stats().misses, 2u);
+
+  const auto unknown = svc.aggregate_cell(0xabcdef);
+  EXPECT_FALSE(unknown.has_value());
+}
+
+TEST(ResultService, RefreshSeesAppends) {
+  TempDir dir;
+  const auto jobs = make_jobs(2);
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, 2);
+
+  serving::ResultService svc({jsonl});
+  EXPECT_EQ(svc.record_count(), 2u);
+  write_records(jsonl, jobs, 2, jobs.size());
+  EXPECT_EQ(svc.refresh(), jobs.size() - 2);
+  EXPECT_EQ(svc.record_count(), jobs.size());
+  EXPECT_EQ(svc.refresh(), 0u);
+}
+
+// ---------------------------------------------- streaming load (store) --
+
+TEST(ResultStore, StreamingExportMatchesMaterialized) {
+  TempDir dir;
+  const auto jobs = make_jobs(3);
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, jobs.size());
+  write_records(jsonl, jobs, 0, 2);  // duplicates; last wins
+  {  // torn trailing line: skipped by both paths
+    std::ofstream out(jsonl, std::ios::binary | std::ios::app);
+    out << "{\"v\":2,\"job\":0,\"trunc";
+  }
+
+  const auto records = campaign::load_results(jsonl);
+  const std::string materialized =
+      campaign::aggregate_csv(campaign::aggregate(records));
+  EXPECT_EQ(campaign::export_aggregate_csv({jsonl}), materialized);
+
+  std::size_t streamed = 0;
+  campaign::for_each_result({jsonl}, [&](campaign::JobRecord&& rec) {
+    EXPECT_EQ(rec.job, records[streamed].job);
+    ++streamed;
+  });
+  EXPECT_EQ(streamed, records.size());
+}
+
+TEST(ResultStore, LargeStoreStreamingRegression) {
+  // The streaming path must stay O(winners) in memory and produce the exact
+  // bytes of the materialized path on a store big enough to notice.
+  TempDir dir;
+  const auto jobs = make_jobs(500);  // 2 schemes x 1 node count x 500 seeds
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, jobs.size());
+
+  const std::string streamed = campaign::export_aggregate_csv({jsonl});
+  const std::string materialized = campaign::aggregate_csv(
+      campaign::aggregate(campaign::load_results(jsonl)));
+  EXPECT_EQ(streamed, materialized);
+  EXPECT_EQ(campaign::scan_result_files({jsonl}).size(), jobs.size());
+}
+
+TEST(ResultStore, ScanResultJobFastPath) {
+  const auto jobs = make_jobs(1, 1);
+  const std::string line = campaign::record_to_json(
+      jobs[0], synth_result(0), 1.0);
+  EXPECT_EQ(campaign::scan_result_job(line), jobs[0].index);
+  // Fallback: whitespace breaks the fixed prefix but not the full parse.
+  EXPECT_EQ(campaign::scan_result_job(
+                "{ \"v\":2, \"job\": 7, \"id\":\"x\"}"),
+            7u);
+  // A record without "job" has no index to scan out.
+  EXPECT_THROW(campaign::scan_result_job("{\"v\":2}"), std::exception);
+}
+
+// --------------------------------------------------------------- averager --
+
+TEST(RunAverager, MatchesAverage) {
+  std::vector<scenario::RunResult> runs;
+  for (std::size_t i = 0; i < 7; ++i) runs.push_back(synth_result(i));
+
+  scenario::RunAverager acc;
+  for (const auto& r : runs) acc.add(r);
+  const scenario::RunResult a = acc.mean();
+  const scenario::RunResult b = scenario::average(runs);
+
+  // Bit identity, not approximate equality: the accumulator must fold in
+  // the same order with the same arithmetic.
+  EXPECT_EQ(a.pdr_percent, b.pdr_percent);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.avg_delay_s, b.avg_delay_s);
+  EXPECT_EQ(a.originated, b.originated);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.control_tx, b.control_tx);
+  ASSERT_EQ(a.per_node_energy_j.size(), b.per_node_energy_j.size());
+  for (std::size_t i = 0; i < a.per_node_energy_j.size(); ++i) {
+    EXPECT_EQ(a.per_node_energy_j[i], b.per_node_energy_j[i]);
+  }
+}
+
+// ---------------------------------------------------------------- journal --
+
+TEST(Journal, SyncEveryBatchesButKeepsEverySetting) {
+  // The crash-safety contract must hold at every batching level: lines are
+  // flushed per append (reader visibility), and whatever makes it to disk
+  // before a crash resumes cleanly.
+  for (const std::uint64_t sync_every : {std::uint64_t{1}, std::uint64_t{3},
+                                         std::uint64_t{100}}) {
+    TempDir dir;
+    const std::string path = dir.file("journal.log");
+    {
+      auto j = campaign::Journal::open(path, "cafe", 10);
+      j.set_sync_every(sync_every);
+      for (std::size_t i = 0; i < 5; ++i) j.append({i, "dddd", true, 1.0, ""});
+      // No close(): destructor runs, but the appends were at least
+      // fflushed, so a same-machine reader sees all five.
+    }
+    const auto view = campaign::Journal::load(path);
+    EXPECT_EQ(view.entries.size(), 5u) << "sync_every=" << sync_every;
+
+    // Torn trailing line (the crash case): truncated on reopen, the
+    // remaining entries intact.
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::app);
+      out << "J 9 ok 1.0";  // no newline
+    }
+    auto j = campaign::Journal::open(path, "cafe", 10);
+    EXPECT_EQ(j.entries().size(), 5u);
+    j.set_sync_every(sync_every);
+    j.append({7, "eeee", false, 2.0, "boom"});
+    j.close();
+    const auto after = campaign::Journal::load(path);
+    EXPECT_EQ(after.entries.size(), 6u);
+    EXPECT_FALSE(after.entries.at(7).ok);
+  }
+}
+
+TEST(Journal, SyncEveryZeroRejected) {
+  TempDir dir;
+  auto j = campaign::Journal::open(dir.file("j.log"), "cafe", 4);
+  EXPECT_THROW(j.set_sync_every(0), campaign::JournalError);
+}
+
+TEST(Journal, LoadIsReadOnly) {
+  TempDir dir;
+  const std::string path = dir.file("journal.log");
+  {
+    auto j = campaign::Journal::open(path, "cafe", 10);
+    j.append({0, "aaaa", true, 1.0, ""});
+  }
+  {  // torn tail a live worker might be mid-writing
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "J 1 ok";
+  }
+  const std::string before = read_file(path);
+  const auto view = campaign::Journal::load(path);
+  EXPECT_EQ(view.campaign_digest, "cafe");
+  EXPECT_EQ(view.entries.size(), 1u);
+  // load() must never repair the file — that's the owner's job.
+  EXPECT_EQ(read_file(path), before);
+
+  EXPECT_THROW(campaign::Journal::load(dir.file("missing.log")),
+               campaign::JournalError);
+}
+
+TEST(Journal, SyncEveryParamRegisteredOutsideDigest) {
+  scenario::ScenarioConfig a, b;
+  scenario::set_param(a, "campaign.journal_sync_every", "1");
+  scenario::set_param(b, "campaign.journal_sync_every", "64");
+  EXPECT_EQ(b.journal_sync_every, 64u);
+  // Durability tuning cannot change what the simulator computes, so it must
+  // not split aggregation cells or invalidate journals.
+  EXPECT_EQ(campaign::config_digest(a), campaign::config_digest(b));
+}
+
+// ------------------------------------------------------------------- json --
+
+TEST(JsonEdgeCases, StringEscapes) {
+  const auto v = campaign::json::parse(
+      R"("a\"b\\c\/d\b\f\n\r\t e Aé")");
+  EXPECT_EQ(v.as_string(), "a\"b\\c/d\b\f\n\r\t e A\xc3\xa9");
+
+  campaign::json::Writer w;
+  w.value(std::string_view("ctrl\x01\x1f end"));
+  const auto back = campaign::json::parse(w.str());
+  EXPECT_EQ(back.as_string(), "ctrl\x01\x1f end");
+}
+
+TEST(JsonEdgeCases, NestingDepthLimit) {
+  // 64 levels parse; 65 must be rejected, not overflow the stack.
+  std::string ok(64, '[');
+  ok += std::string(64, ']');
+  EXPECT_NO_THROW(campaign::json::parse(ok));
+
+  std::string deep(65, '[');
+  deep += std::string(65, ']');
+  EXPECT_THROW(campaign::json::parse(deep), campaign::json::ParseError);
+
+  std::string objects;
+  for (int i = 0; i < 65; ++i) objects += "{\"k\":";
+  objects += "1";
+  for (int i = 0; i < 65; ++i) objects += "}";
+  EXPECT_THROW(campaign::json::parse(objects), campaign::json::ParseError);
+}
+
+TEST(JsonEdgeCases, NonFiniteNumbersRejected) {
+  EXPECT_THROW(campaign::json::parse("1e999"), campaign::json::ParseError);
+  EXPECT_THROW(campaign::json::parse("-1e999"), campaign::json::ParseError);
+  EXPECT_THROW(campaign::json::parse("[1, 1e999]"),
+               campaign::json::ParseError);
+  // JSON has no NaN/Inf literals in the grammar either.
+  EXPECT_THROW(campaign::json::parse("NaN"), campaign::json::ParseError);
+  EXPECT_THROW(campaign::json::parse("Infinity"),
+               campaign::json::ParseError);
+  // The writer's encoding for non-finite doubles reads back as null -> NaN.
+  campaign::json::Writer w;
+  w.value(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(std::isnan(campaign::json::parse(w.str()).as_double()));
+}
+
+TEST(JsonEdgeCases, TruncatedInput) {
+  for (const char* text :
+       {"{\"a\":", "[1,", "\"abc", "{\"a\"", "{", "[", "tru", "-", "1.",
+        "1e", "{\"a\":1", "[1", "\"\\u00"}) {
+    EXPECT_THROW(campaign::json::parse(text), campaign::json::ParseError)
+        << "input: " << text;
+  }
+  EXPECT_THROW(campaign::json::parse(""), campaign::json::ParseError);
+  EXPECT_THROW(campaign::json::parse("1 2"), campaign::json::ParseError);
+}
+
+// ------------------------------------------------------------------- http --
+
+/// Minimal blocking test client speaking just enough HTTP/1.1.
+class TestClient {
+ public:
+  explicit TestClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)),
+              0);
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_request(const std::string& target, bool close_conn = false,
+                    const std::string& method = "GET") {
+    std::string req = method + " " + target + " HTTP/1.1\r\nHost: t\r\n";
+    if (close_conn) req += "Connection: close\r\n";
+    req += "\r\n";
+    ASSERT_EQ(::send(fd_, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+  }
+
+  /// Reads one full response (headers + body, handling both Content-Length
+  /// and chunked). Returns (status, body).
+  std::pair<int, std::string> read_response() {
+    while (buf_.find("\r\n\r\n") == std::string::npos) {
+      if (!fill()) return {0, ""};
+    }
+    const auto header_end = buf_.find("\r\n\r\n") + 4;
+    const std::string headers = buf_.substr(0, header_end);
+    const int status = std::atoi(headers.c_str() + 9);
+    std::string body;
+    if (headers.find("Transfer-Encoding: chunked") != std::string::npos) {
+      std::size_t pos = header_end;
+      for (;;) {
+        while (buf_.find("\r\n", pos) == std::string::npos) {
+          if (!fill()) return {status, body};
+        }
+        const auto line_end = buf_.find("\r\n", pos);
+        const std::size_t n =
+            std::strtoull(buf_.c_str() + pos, nullptr, 16);
+        pos = line_end + 2;
+        if (n == 0) break;
+        while (buf_.size() < pos + n + 2) {
+          if (!fill()) return {status, body};
+        }
+        body += buf_.substr(pos, n);
+        pos += n + 2;
+      }
+      while (buf_.size() < pos + 2) {
+        if (!fill()) break;
+      }
+      buf_.erase(0, std::min(buf_.size(), pos + 2));
+    } else {
+      std::size_t len = 0;
+      const auto cl = headers.find("Content-Length: ");
+      if (cl != std::string::npos) {
+        len = std::strtoull(headers.c_str() + cl + 16, nullptr, 10);
+      }
+      while (buf_.size() < header_end + len) {
+        if (!fill()) break;
+      }
+      body = buf_.substr(header_end, len);
+      buf_.erase(0, header_end + len);
+    }
+    return {status, body};
+  }
+
+ private:
+  bool fill() {
+    char tmp[4096];
+    const ssize_t n = ::recv(fd_, tmp, sizeof(tmp), 0);
+    if (n <= 0) return false;
+    buf_.append(tmp, static_cast<std::size_t>(n));
+    return true;
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+TEST(HttpServer, UrlDecode) {
+  EXPECT_EQ(serving::url_decode("a%20b+c%2Fd"), "a b c/d");
+  EXPECT_EQ(serving::url_decode("plain"), "plain");
+  EXPECT_EQ(serving::url_decode("%zz"), "%zz");  // malformed kept verbatim
+  EXPECT_EQ(serving::url_decode("%41%42"), "AB");
+}
+
+TEST(HttpServer, ServesQueriesAndKeepAlive) {
+  serving::HttpServer server(
+      0,
+      [](const serving::HttpRequest& req) {
+        serving::HttpResponse resp;
+        resp.body = req.path;
+        for (const auto& [k, v] : req.query) resp.body += "|" + k + "=" + v;
+        return resp;
+      },
+      2);
+  ASSERT_GT(server.port(), 0);
+
+  TestClient client(server.port());
+  client.send_request("/echo?x=1&y=a%20b");
+  auto [status, body] = client.read_response();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "/echo|x=1|y=a b");
+
+  // Keep-alive: a second request on the same connection.
+  client.send_request("/two");
+  std::tie(status, body) = client.read_response();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "/two");
+  EXPECT_EQ(server.requests_served(), 2u);
+  server.stop();
+}
+
+TEST(HttpServer, MethodNotAllowedAndHandlerError) {
+  serving::HttpServer server(
+      0,
+      [](const serving::HttpRequest& req) -> serving::HttpResponse {
+        if (req.path == "/boom") throw std::runtime_error("x");
+        return {};
+      },
+      1);
+  {
+    TestClient client(server.port());
+    client.send_request("/x", true, "POST");
+    EXPECT_EQ(client.read_response().first, 405);
+  }
+  {
+    TestClient client(server.port());
+    client.send_request("/boom", true);
+    EXPECT_EQ(client.read_response().first, 500);
+  }
+  server.stop();
+}
+
+TEST(HttpServer, ChunkedStreaming) {
+  serving::HttpServer server(
+      0,
+      [](const serving::HttpRequest&) {
+        serving::HttpResponse resp;
+        auto n = std::make_shared<int>(0);
+        resp.next_chunk = [n](std::string& chunk) {
+          if (*n >= 3) return false;
+          chunk = "part" + std::to_string((*n)++) + ";";
+          return true;
+        };
+        return resp;
+      },
+      1);
+  TestClient client(server.port());
+  client.send_request("/stream", true);
+  const auto [status, body] = client.read_response();
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "part0;part1;part2;");
+  server.stop();
+}
+
+TEST(HttpServer, ConcurrentClients) {
+  std::atomic<int> served{0};
+  serving::HttpServer server(
+      0,
+      [&](const serving::HttpRequest&) {
+        ++served;
+        serving::HttpResponse resp;
+        resp.body = "ok";
+        return resp;
+      },
+      4);
+  constexpr int kClients = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> good{0};
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&] {
+      TestClient client(server.port());
+      for (int r = 0; r < 5; ++r) {
+        client.send_request("/c");
+        if (client.read_response() == std::pair<int, std::string>{200, "ok"}) {
+          ++good;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(good.load(), kClients * 5);
+  EXPECT_EQ(served.load(), kClients * 5);
+  server.stop();
+}
+
+// -------------------------------------------------------------- supervisor --
+
+TEST(ShardSupervisor, AllExitZero) {
+  serving::ShardSupervisor sup;
+  sup.start({{"/bin/sh", "-c", "exit 0"}, {"/bin/sh", "-c", "exit 0"}});
+  EXPECT_TRUE(sup.wait_all());
+  for (const auto& w : sup.status()) {
+    EXPECT_FALSE(w.running);
+    EXPECT_EQ(w.exit_code, 0);
+    EXPECT_EQ(w.respawns, 0);
+  }
+}
+
+TEST(ShardSupervisor, NonzeroExitIsNotRespawned) {
+  serving::ShardSupervisor sup;
+  sup.start({{"/bin/sh", "-c", "exit 3"}});
+  EXPECT_FALSE(sup.wait_all());
+  const auto st = sup.status();
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_EQ(st[0].exit_code, 3);
+  EXPECT_EQ(st[0].respawns, 0);
+  EXPECT_FALSE(st[0].gave_up);
+}
+
+TEST(ShardSupervisor, SignalDeathRespawnsUntilSuccess) {
+  TempDir dir;
+  const std::string marker = dir.file("marker");
+  // First incarnation kills itself; the respawn finds the marker and
+  // succeeds — the resumable-worker model in miniature.
+  const std::string script = "if [ -f " + marker + " ]; then exit 0; else " +
+                             "touch " + marker + "; kill -9 $$; fi";
+  serving::ShardSupervisor sup(/*max_respawns=*/3);
+  sup.start({{"/bin/sh", "-c", script}});
+  EXPECT_TRUE(sup.wait_all());
+  const auto st = sup.status();
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_EQ(st[0].respawns, 1);
+  EXPECT_EQ(st[0].exit_code, 0);
+}
+
+TEST(ShardSupervisor, GivesUpAfterMaxRespawns) {
+  serving::ShardSupervisor sup(/*max_respawns=*/2);
+  sup.start({{"/bin/sh", "-c", "kill -9 $$"}});
+  EXPECT_FALSE(sup.wait_all());
+  const auto st = sup.status();
+  ASSERT_EQ(st.size(), 1u);
+  EXPECT_TRUE(st[0].gave_up);
+  EXPECT_EQ(st[0].respawns, 2);
+}
+
+// ----------------------------------------------------------------- metrics --
+
+TEST(MetricsIo, RoundTripAndTornFile) {
+  stats::LiveSnapshot s;
+  s.phy_tx = 111;
+  s.data_delivered = 42;
+  s.jobs_completed = 7;
+  const auto back = serving::snapshot_from_json(serving::snapshot_to_json(s));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->phy_tx, 111u);
+  EXPECT_EQ(back->data_delivered, 42u);
+  EXPECT_EQ(back->jobs_completed, 7u);
+
+  EXPECT_FALSE(serving::snapshot_from_json("{\"phy_tx\":").has_value());
+  EXPECT_FALSE(serving::read_snapshot_file("/nonexistent/m.json")
+                   .has_value());
+
+  TempDir dir;
+  const std::string path = dir.file("m.json");
+  serving::write_snapshot_file(path, s);
+  const auto file_back = serving::read_snapshot_file(path);
+  ASSERT_TRUE(file_back.has_value());
+  EXPECT_EQ(file_back->phy_tx, 111u);
+
+  stats::LiveSnapshot sum = s;
+  sum += *file_back;
+  EXPECT_EQ(sum.phy_tx, 222u);
+}
+
+}  // namespace
+}  // namespace rcast

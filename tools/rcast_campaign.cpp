@@ -130,8 +130,12 @@ int cmd_export(const campaign::Manifest& manifest, const std::string& out_dir,
                const Flags& flags) {
   (void)manifest;
   const std::string results_path = out_dir + "/results.jsonl";
-  const auto records = campaign::load_results(results_path);
-  const std::string csv = campaign::aggregate_csv(campaign::aggregate(records));
+  // Stream the store instead of materializing every record: one JobRecord
+  // is alive at a time however large the campaign grew.
+  campaign::AggregateAccumulator acc;
+  campaign::for_each_result({results_path},
+                            [&](campaign::JobRecord&& rec) { acc.add(rec); });
+  const std::string csv = campaign::aggregate_csv(acc.rows());
 
   const std::string csv_path = flags.get_string("csv", "");
   if (csv_path.empty()) {
@@ -143,7 +147,7 @@ int cmd_export(const campaign::Manifest& manifest, const std::string& out_dir,
       return 1;
     }
     out << csv;
-    std::fprintf(stderr, "exported %zu records -> %s\n", records.size(),
+    std::fprintf(stderr, "exported %zu records -> %s\n", acc.records(),
                  csv_path.c_str());
   }
   return 0;
