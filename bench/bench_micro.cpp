@@ -238,6 +238,59 @@ void BM_TransmitStorm(benchmark::State& state) {
 }
 BENCHMARK(BM_TransmitStorm)->Unit(benchmark::kMillisecond);
 
+// Carrier-busy window churn: one radio under a dense stream of overlapping
+// carrier-sense-only arrivals, each extending the busy window a little
+// further. Before the lazy idle-check re-arm (Phy::schedule_idle_check)
+// every extension cancelled and re-pushed the pending idle check; now a
+// check at or before the new deadline is left alone and re-arms itself when
+// it fires. idle_pushes_per_arrival isolates that churn: scheduler pushes
+// beyond the two driver events this harness schedules per arrival.
+void BM_PhyBusyChurn(benchmark::State& state) {
+  const std::size_t kArrivals = 4096;
+  std::uint64_t scheduled = 0;
+  std::uint64_t executed = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    mobility::MobilityManager mobility(sim, geo::Rect{1500.0, 300.0}, 550.0);
+    phy::Channel channel(sim, mobility, phy::ChannelConfig{});
+    mobility.add_node(0, std::make_unique<mobility::StaticModel>(
+                             geo::Vec2{10.0, 10.0}));
+    mobility.add_node(1, std::make_unique<mobility::StaticModel>(
+                             geo::Vec2{400.0, 10.0}));
+    phy::Phy rx(sim, channel, 0, nullptr);
+    auto frame = util::make_pooled<phy::Frame>(sim.pools());
+    frame->tx = 1;
+    frame->rx = phy::kBroadcastId;
+    frame->bits = 512;
+    for (std::size_t i = 0; i < kArrivals; ++i) {
+      // 20 us spacing, 50 us airtime: every arrival lands while the window
+      // from the previous two is still open, the extend-while-busy shape
+      // the lazy re-arm optimizes.
+      const sim::Time start =
+          static_cast<sim::Time>(i) * 20 * sim::kMicrosecond;
+      const sim::Time end = start + 50 * sim::kMicrosecond;
+      sim.at(start, [&rx, frame, i, end] {
+        rx.arrival_start(i + 1, frame, /*in_rx_range=*/false, 400.0, end);
+      });
+      sim.at(end, [&rx, frame, i] {
+        rx.arrival_end(i + 1, frame, /*in_rx_range=*/false);
+      });
+    }
+    sim.run_until(static_cast<sim::Time>(kArrivals + 4) * 20 *
+                  sim::kMicrosecond + sim::kSecond);
+    scheduled += sim.perf_counters().events_scheduled;
+    executed += sim.executed_events();
+  }
+  const double arrivals =
+      static_cast<double>(state.iterations()) * static_cast<double>(kArrivals);
+  state.SetItemsProcessed(static_cast<std::int64_t>(arrivals));
+  state.counters["idle_pushes_per_arrival"] = benchmark::Counter(
+      (static_cast<double>(scheduled) - 2.0 * arrivals) / arrivals);
+  state.counters["events_per_arrival"] =
+      benchmark::Counter(static_cast<double>(executed) / arrivals);
+}
+BENCHMARK(BM_PhyBusyChurn);
+
 void BM_GridQuery(benchmark::State& state) {
   const std::size_t n = static_cast<std::size_t>(state.range(0));
   geo::GridIndex grid(geo::Rect{1500.0, 300.0}, 550.0);

@@ -187,6 +187,48 @@ void BM_FullScenario2k(benchmark::State& state) {
 }
 BENCHMARK(BM_FullScenario2k)->Unit(benchmark::kMillisecond);
 
+// One second of a 100k-node run, the sharded-execution scale target
+// (DESIGN.md §15): Arg is sim.shards (1 = the single-queue path, 4 = the
+// spatial decomposition the acceptance criterion names; on CI runners 4 also
+// matches the hardware thread count). Items are whole runs and the rate is
+// pinned to real time (shard work happens on worker threads, so CPU time of
+// the calling thread is meaningless here): items_per_second is 1/wall and
+// the recorded after/baseline ratio in BENCH_scale.json is exactly the
+// sharded-vs-single speedup. One iteration is ~20 s on the reference box —
+// google-benchmark runs it once per Arg at smoke min_time.
+void BM_ShardedScenario100k(benchmark::State& state) {
+  sim::PerfCounters last{};
+  double energy = 0.0;
+  for (auto _ : state) {
+    scenario::ScenarioConfig cfg;
+    cfg.num_nodes = 100000;
+    cfg.world = world_for(100000, 450.0);  // paper density: 15000 x 3000
+    cfg.num_flows = 200;
+    cfg.duration = 1 * sim::kSecond;
+    cfg.pause = 0;
+    cfg.scheme = scenario::Scheme::kRcast;
+    cfg.seed = 3;
+    cfg.sim_shards = static_cast<std::uint64_t>(state.range(0));
+    scenario::RunResult r = scenario::run_scenario(cfg);
+    last = r.perf;
+    energy = r.total_energy_j;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.counters["sim_events_per_sec"] =
+      benchmark::Counter(last.events_per_sec);
+  state.counters["events"] =
+      benchmark::Counter(static_cast<double>(last.events_executed));
+  state.counters["heap_fallbacks"] =
+      benchmark::Counter(static_cast<double>(last.handler_heap_fallbacks));
+  state.counters["total_energy_j"] = benchmark::Counter(energy);
+}
+BENCHMARK(BM_ShardedScenario100k)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kSecond)
+    ->UseRealTime();
+
 }  // namespace
 
 int main(int argc, char** argv) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/sharded_executor.hpp"
+
 namespace rcast::mobility {
 
 MobilityManager::MobilityManager(sim::Simulator& simulator, geo::Rect world,
@@ -10,9 +12,21 @@ MobilityManager::MobilityManager(sim::Simulator& simulator, geo::Rect world,
     : sim_(simulator),
       grid_(world, grid_cell_size),
       refresh_period_(refresh_period),
-      refresh_timer_(simulator, [this] { refresh_grid(); }) {
+      refresh_timer_(simulator, [this] { refresh_grid_at(sim_.now()); }),
+      sharded_(simulator.sharded()),
+      perf_(simulator.shard_count()) {
   RCAST_REQUIRE(refresh_period > 0);
-  refresh_timer_.start(simulator.now() + refresh_period, refresh_period);
+  if (sharded_) {
+    // The periodic refresh event would be pinned to one shard's queue and
+    // mutate state every other shard reads; run it at the serial barrier
+    // instead, where it also bounds windows by segment expiry.
+    sim_.executor()->add_window_hook(
+        [this](sim::Time start, sim::Time horizon_end) {
+          return prepare_window(start, horizon_end);
+        });
+  } else {
+    refresh_timer_.start(simulator.now() + refresh_period, refresh_period);
+  }
 }
 
 void MobilityManager::add_node(NodeId id,
@@ -23,15 +37,44 @@ void MobilityManager::add_node(NodeId id,
   segments_.push_back(model->segment_at(sim_.now()));
   grid_.insert(id, segments_.back().eval(sim_.now()));
   models_.push_back(std::move(model));
+  if (sharded_ && segments_.back().expires != kSegmentNeverExpires) {
+    expiry_heap_.emplace(segments_.back().expires, id);
+  }
   last_refresh_ = sim_.now();
 }
 
-void MobilityManager::refresh_grid() {
-  const sim::Time now = sim_.now();
+void MobilityManager::refresh_grid_at(sim::Time now) {
   for (NodeId id = 0; id < segments_.size(); ++id) {
-    grid_.move(id, cached_position(id, now));
+    grid_.move(id, cached_position(id, now, barrier_perf_));
   }
   last_refresh_ = now;
+}
+
+sim::Time MobilityManager::prepare_window(sim::Time start,
+                                          sim::Time horizon_end) {
+  if (start - last_refresh_ >= refresh_period_) refresh_grid_at(start);
+  // Refresh every segment expiring at or before the window start so no
+  // worker-thread query can hit the lazy refresh branch mid-window; skip
+  // stale heap entries (segment already refreshed, new expiry re-queued).
+  while (!expiry_heap_.empty() && expiry_heap_.top().first <= start) {
+    const auto [exp, id] = expiry_heap_.top();
+    expiry_heap_.pop();
+    if (segments_[id].expires != exp) continue;  // stale
+    segments_[id] = models_[id]->segment_at(start);
+    ++barrier_perf_.segment_refreshes;
+    RCAST_REQUIRE_MSG(segments_[id].expires > start,
+                      "sharded runs need forward-looking motion segments");
+    if (segments_[id].expires != kSegmentNeverExpires) {
+      expiry_heap_.emplace(segments_[id].expires, id);
+    }
+  }
+  // Remaining earliest expiry bounds the window: within [start, bound) every
+  // cached segment stays valid. Stale heads only under-tighten (the real
+  // expiry is later), which costs a barrier, never correctness.
+  if (!expiry_heap_.empty()) {
+    return std::min(horizon_end, expiry_heap_.top().first);
+  }
+  return horizon_end;
 }
 
 std::vector<NodeId> MobilityManager::nodes_within(geo::Vec2 center,
@@ -56,6 +99,16 @@ std::size_t MobilityManager::count_neighbors(NodeId id, double radius) const {
 
 bool MobilityManager::in_range(NodeId a, NodeId b, double radius) const {
   return geo::distance_sq(position(a), position(b)) <= radius * radius;
+}
+
+MobilityManager::GeoPerf MobilityManager::perf() const {
+  GeoPerf total = barrier_perf_;
+  for (const PerfSlot& slot : perf_) {
+    total.spatial_queries += slot.perf.spatial_queries;
+    total.spatial_candidates_scanned += slot.perf.spatial_candidates_scanned;
+    total.segment_refreshes += slot.perf.segment_refreshes;
+  }
+  return total;
 }
 
 }  // namespace rcast::mobility

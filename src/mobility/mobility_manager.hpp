@@ -13,10 +13,22 @@
 // caller-provided scratch (or run through a callback), keeping the whole
 // path allocation-free; the std::vector-returning overloads remain as
 // conveniences for tests and tools off the hot path.
+//
+// Sharded runs (DESIGN.md §15): queries run concurrently from shard worker
+// threads against read-only state. The two mutation paths move to the
+// serial inter-window barrier — the periodic grid refresh becomes a
+// barrier-time refresh, and segment expiry becomes a window bound: the
+// registered window hook refreshes every segment expiring at or before the
+// window start and caps the window at the earliest remaining expiry, so the
+// lazy refresh branch in cached_position is unreachable while workers run.
+// Perf counters land in per-shard slots (cache-line padded) merged on read.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <queue>
+#include <utility>
 #include <vector>
 
 #include "geo/grid_index.hpp"
@@ -50,7 +62,7 @@ class MobilityManager {
   /// Exact position now.
   geo::Vec2 position(NodeId id) const {
     RCAST_REQUIRE(id < segments_.size());
-    return cached_position(id, sim_.now());
+    return cached_position(id, sim_.now(), perf_slot());
   }
 
   /// Invokes `fn(id, dist_sq)` for every node within `radius` of `center`
@@ -66,10 +78,12 @@ class MobilityManager {
         2.0 * max_speed_ * sim::to_seconds(sim_.now() - last_refresh_);
     const double r2 = radius * radius;
     const sim::Time now = sim_.now();
-    ++perf_.spatial_queries;
+    GeoPerf& perf = perf_slot();
+    ++perf.spatial_queries;
     grid_.for_each_within(center, radius + slack, exclude, [&](NodeId cand) {
-      ++perf_.spatial_candidates_scanned;
-      const double d2 = geo::distance_sq(cached_position(cand, now), center);
+      ++perf.spatial_candidates_scanned;
+      const double d2 =
+          geo::distance_sq(cached_position(cand, now, perf), center);
       if (d2 <= r2) fn(cand, d2);
     });
   }
@@ -98,22 +112,48 @@ class MobilityManager {
   /// True if the two nodes are within `radius` of each other now.
   bool in_range(NodeId a, NodeId b, double radius) const;
 
-  const GeoPerf& perf() const { return perf_; }
+  /// Aggregated counters (per-shard query slots plus barrier-time work,
+  /// summed in shard order).
+  GeoPerf perf() const;
 
  private:
-  void refresh_grid();
+  struct alignas(64) PerfSlot {
+    GeoPerf perf;
+  };
+  /// Lazy min-heap of (expires, id); an entry is stale when the segment has
+  /// since been refreshed (expires no longer matches). Maintained only in
+  /// sharded mode.
+  using ExpiryHeap =
+      std::priority_queue<std::pair<sim::Time, NodeId>,
+                          std::vector<std::pair<sim::Time, NodeId>>,
+                          std::greater<>>;
+
+  void refresh_grid_at(sim::Time now);
+
+  /// Barrier hook: refreshes segments expiring at or before `start`, runs
+  /// the periodic grid refresh when due, and returns the window's upper
+  /// bound (earliest remaining segment expiry, capped at `horizon_end`).
+  sim::Time prepare_window(sim::Time start, sim::Time horizon_end);
 
   /// Position at `now` from the cached segment, refreshing it from the model
   /// when expired. `now` must be the current simulation time (models are
-  /// queried monotonically).
-  geo::Vec2 cached_position(NodeId id, sim::Time now) const {
+  /// queried monotonically). In sharded runs the refresh branch is
+  /// unreachable from worker threads (prepare_window guarantees every
+  /// segment outlives the window), so it only runs in serial contexts —
+  /// where pushing the fresh expiry onto the heap is safe.
+  geo::Vec2 cached_position(NodeId id, sim::Time now, GeoPerf& perf) const {
     MotionSegment& s = segments_[id];
     if (now >= s.expires) {
       s = models_[id]->segment_at(now);
-      ++perf_.segment_refreshes;
+      ++perf.segment_refreshes;
+      if (sharded_ && s.expires != kSegmentNeverExpires) {
+        expiry_heap_.emplace(s.expires, id);
+      }
     }
     return s.eval(now);
   }
+
+  GeoPerf& perf_slot() const { return perf_[sim_.current_shard()].perf; }
 
   sim::Simulator& sim_;
   geo::GridIndex grid_;
@@ -125,7 +165,13 @@ class MobilityManager {
   sim::Time refresh_period_;
   sim::Time last_refresh_ = 0;
   sim::PeriodicTimer refresh_timer_;
-  mutable GeoPerf perf_;
+  bool sharded_ = false;
+  mutable ExpiryHeap expiry_heap_;
+  mutable std::vector<PerfSlot> perf_;
+  /// Counters for barrier-time refreshes (which run on whichever worker
+  /// thread arrives at the barrier last — attributing them to a shard slot
+  /// would be nondeterministic).
+  mutable GeoPerf barrier_perf_;
 };
 
 }  // namespace rcast::mobility

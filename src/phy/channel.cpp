@@ -26,7 +26,10 @@ constexpr std::size_t kCellPruneWatermark = 32;
 Channel::Channel(sim::Simulator& simulator,
                  mobility::MobilityManager& mobility,
                  const ChannelConfig& config)
-    : sim_(simulator), mobility_(mobility), cfg_(config) {
+    : sim_(simulator),
+      mobility_(mobility),
+      cfg_(config),
+      sharded_(simulator.sharded()) {
   RCAST_REQUIRE(cfg_.tx_range_m > 0.0);
   RCAST_REQUIRE(cfg_.cs_range_m >= cfg_.tx_range_m);
   RCAST_REQUIRE(cfg_.bitrate_bps > 0);
@@ -42,8 +45,16 @@ Channel::Channel(sim::Simulator& simulator,
                  std::ceil(world.width / cs_cell_size_)) + 1;
   cs_rows_ = static_cast<std::uint32_t>(
                  std::ceil(world.height / cs_cell_size_)) + 1;
-  cs_cells_.resize(static_cast<std::size_t>(cs_cols_) * cs_rows_);
   max_prop_ = propagation_delay(cfg_.cs_range_m);
+
+  state_.resize(simulator.shard_count());
+  for (std::size_t k = 0; k < state_.size(); ++k) {
+    state_[k].cs_cells.resize(static_cast<std::size_t>(cs_cols_) * cs_rows_);
+    // Disjoint per-shard id streams (ids only need to be unique per
+    // receiving Phy, but disjoint streams keep them globally unique and
+    // run-for-run deterministic regardless of worker interleaving).
+    state_[k].next_arrival_id = static_cast<std::uint64_t>(k) << 56;
+  }
 }
 
 void Channel::attach(Phy* phy) {
@@ -52,6 +63,14 @@ void Channel::attach(Phy* phy) {
   if (id >= phys_.size()) phys_.resize(id + 1, nullptr);
   RCAST_REQUIRE_MSG(phys_[id] == nullptr, "duplicate phy for node");
   phys_[id] = phy;
+}
+
+void Channel::set_shard_map(std::vector<std::uint32_t> node_shard) {
+  RCAST_REQUIRE(sharded_);
+  for (const std::uint32_t s : node_shard) {
+    RCAST_REQUIRE(s < state_.size());
+  }
+  node_shard_ = std::move(node_shard);
 }
 
 std::uint32_t Channel::cs_cell_of(geo::Vec2 p) const {
@@ -63,8 +82,8 @@ std::uint32_t Channel::cs_cell_of(geo::Vec2 p) const {
   return row * cs_cols_ + col;
 }
 
-void Channel::add_in_flight(geo::Vec2 tx_pos, sim::Time end) {
-  CsCell& cell = cs_cells_[cs_cell_of(tx_pos)];
+void Channel::add_in_flight(ShardState& st, geo::Vec2 tx_pos, sim::Time end) {
+  CsCell& cell = st.cs_cells[cs_cell_of(tx_pos)];
   if (cell.entries.size() >= kCellPruneWatermark) {
     // An entry can only still matter while end + propagation >= now, and
     // propagation within cs range is bounded by max_prop_; anything older
@@ -87,11 +106,13 @@ void Channel::transmit(FramePtr frame, sim::Time duration) {
 
   const geo::Vec2 tx_pos = mobility_.position(frame->tx);
   const sim::Time now = sim_.now();
+  const std::size_t here = sim_.current_shard();
+  ShardState& local = state_[here];
 
-  ++stats_.frames_transmitted;
-  stats_.bits_transmitted += static_cast<std::uint64_t>(frame->bits);
+  ++local.stats.frames_transmitted;
+  local.stats.bits_transmitted += static_cast<std::uint64_t>(frame->bits);
 
-  add_in_flight(tx_pos, now + duration);
+  add_in_flight(local, tx_pos, now + duration);
 
   // Fan out to every radio that senses the frame, straight from the spatial
   // query (no intermediate result list): the callback fires in deterministic
@@ -104,6 +125,7 @@ void Channel::transmit(FramePtr frame, sim::Time duration) {
   sim::Simulator::ScheduleHint start_hint;
   sim::Simulator::ScheduleHint end_hint;
   const double rx2 = cfg_.tx_range_m * cfg_.tx_range_m;
+  std::uint64_t remote_mask = 0;  // home shards with a remote receiver
   mobility_.for_each_within(
       tx_pos, cfg_.cs_range_m, frame->tx, [&](NodeId r, double d2) {
         if (r >= phys_.size() || phys_[r] == nullptr) return;
@@ -111,7 +133,7 @@ void Channel::transmit(FramePtr frame, sim::Time duration) {
         const bool in_rx_range = d2 <= rx2;
         const double dist = std::sqrt(d2);
         const sim::Time prop = propagation_delay(dist);
-        const std::uint64_t arrival_id = ++next_arrival_id_;
+        const std::uint64_t arrival_id = ++local.next_arrival_id;
         const sim::Time start = now + prop;
         const sim::Time end = start + duration;
         auto on_start = [phy, arrival_id, frame, in_rx_range, dist, end] {
@@ -126,13 +148,38 @@ void Channel::transmit(FramePtr frame, sim::Time duration) {
             sim::EventQueue::Handler::fits_inline<decltype(on_start)>());
         static_assert(
             sim::EventQueue::Handler::fits_inline<decltype(on_end)>());
-        sim_.at(start, std::move(on_start), start_hint);
-        sim_.at(end, std::move(on_end), end_hint);
+        if (!sharded_ || node_shard_[r] == here) {
+          sim_.at(start, std::move(on_start), start_hint);
+          sim_.at(end, std::move(on_end), end_hint);
+        } else {
+          // Remote receiver: deliver via the barrier mailbox. Posting start
+          // before end for the same receiver preserves their relative order
+          // even when both get clamped to the window end.
+          const std::size_t home = node_shard_[r];
+          sim_.post(home, start, std::move(on_start));
+          sim_.post(home, end, std::move(on_end));
+          remote_mask |= std::uint64_t{1} << home;
+        }
       });
+
+  if (remote_mask != 0) {
+    // Ghost busy-marker: every remote shard with a sensed receiver mirrors
+    // this transmission into its own carrier-sense replica, so a radio
+    // waking there mid-frame still senses it. Arrives clamped to the window
+    // end — the same bounded deferral as the arrivals themselves.
+    const sim::Time tx_end = now + duration;
+    for (std::size_t m = 0; remote_mask != 0; ++m, remote_mask >>= 1) {
+      if ((remote_mask & 1) == 0) continue;
+      sim_.post(m, now, [this, tx_pos, tx_end] {
+        add_in_flight(local_state(), tx_pos, tx_end);
+      });
+    }
+  }
 }
 
 sim::Time Channel::sensed_busy_until(geo::Vec2 pos) const {
   sim::Time latest = 0;
+  ShardState& st = local_state();
   const double cs2 = cfg_.cs_range_m * cfg_.cs_range_m;
   const auto col_lo = static_cast<std::int64_t>(
       std::floor((pos.x - cfg_.cs_range_m) / cs_cell_size_));
@@ -147,14 +194,14 @@ sim::Time Channel::sensed_busy_until(geo::Vec2 pos) const {
     for (std::int64_t col = std::max<std::int64_t>(0, col_lo);
          col <= std::min<std::int64_t>(cs_cols_ - 1, col_hi); ++col) {
       const CsCell& cell =
-          cs_cells_[static_cast<std::size_t>(row) * cs_cols_ + col];
-      ++stats_.cs_cells_visited;
+          st.cs_cells[static_cast<std::size_t>(row) * cs_cols_ + col];
+      ++st.stats.cs_cells_visited;
       if (cell.entries.empty()) continue;
       // Every arrival-end in this cell is <= max_end + max_prop_: skip the
       // scan when even that bound cannot beat the current maximum.
       if (cell.max_end + max_prop_ <= latest) continue;
       for (const InFlight& f : cell.entries) {
-        ++stats_.cs_entries_scanned;
+        ++st.stats.cs_entries_scanned;
         const double d2 = geo::distance_sq(f.tx_pos, pos);
         if (d2 > cs2) continue;
         const sim::Time arrival_end =
@@ -172,12 +219,25 @@ std::size_t Channel::neighbor_count(NodeId id) const {
 
 std::size_t Channel::in_flight_size() const {
   std::size_t n = 0;
-  for (const CsCell& cell : cs_cells_) n += cell.entries.size();
+  for (const ShardState& st : state_) {
+    for (const CsCell& cell : st.cs_cells) n += cell.entries.size();
+  }
   return n;
 }
 
 geo::Vec2 Channel::position_of(NodeId id) const {
   return mobility_.position(id);
+}
+
+ChannelStats Channel::stats() const {
+  ChannelStats total;
+  for (const ShardState& st : state_) {
+    total.frames_transmitted += st.stats.frames_transmitted;
+    total.bits_transmitted += st.stats.bits_transmitted;
+    total.cs_cells_visited += st.stats.cs_cells_visited;
+    total.cs_entries_scanned += st.stats.cs_entries_scanned;
+  }
+  return total;
 }
 
 }  // namespace rcast::phy

@@ -13,6 +13,16 @@
 // carrier-sense cells (cell size = cs_range) with a per-cell max-busy-until
 // aggregate, so sensed_busy_until inspects only the <= 3x3 cells overlapping
 // the carrier-sense disc instead of the global in-flight list.
+//
+// Sharded runs (DESIGN.md §15): every piece of per-transmission mutable
+// state — the cs-cell grid, the stats, the arrival-id stream — is replicated
+// per shard, so transmit() and sensed_busy_until() touch only the calling
+// shard's replica. Receivers homed on other shards get their arrival events
+// as cross-shard posts (delivered at the next barrier, clamped to the window
+// end), and a ghost busy-marker is posted to every remote shard that had a
+// receiver in the sensed set so its carrier-sense replica reflects the
+// transmission. Arrival-id streams are seeded shard << 56: disjoint and
+// per-run deterministic.
 #pragma once
 
 #include <cstdint>
@@ -65,6 +75,12 @@ class Channel {
   /// Registers a radio; its node id indexes into the mobility manager.
   void attach(Phy* phy);
 
+  /// Sharded runs only: node -> home shard, set by the scenario layer after
+  /// partitioning and before any node schedules events. Receivers whose home
+  /// shard differs from the transmitter's get their arrivals via
+  /// cross-shard posts.
+  void set_shard_map(std::vector<std::uint32_t> node_shard);
+
   /// Serialization time of a frame of `bits` on this channel.
   sim::Time duration_of(std::int64_t bits) const {
     return sim::tx_duration(bits, cfg_.bitrate_bps);
@@ -76,6 +92,7 @@ class Channel {
 
   /// Latest end time (including propagation) of any in-flight transmission
   /// whose signal reaches `pos`; used when a radio wakes mid-transmission.
+  /// Sharded runs consult only the calling shard's replica.
   sim::Time sensed_busy_until(geo::Vec2 pos) const;
 
   /// Current neighbor count of a node within reception range (topology
@@ -85,10 +102,12 @@ class Channel {
   /// Current exact position of a node (forwarded from the mobility layer).
   geo::Vec2 position_of(NodeId id) const;
 
-  const ChannelStats& stats() const { return stats_; }
+  /// Aggregated counters (summed across shard replicas in shard order).
+  ChannelStats stats() const;
 
-  /// Live in-flight entries across all carrier-sense cells (expired entries
-  /// are pruned lazily, so this is an upper bound on the active count).
+  /// Live in-flight entries across all carrier-sense cells and shards
+  /// (expired entries are pruned lazily, so this is an upper bound on the
+  /// active count).
   std::size_t in_flight_size() const;
 
  private:
@@ -103,29 +122,35 @@ class Channel {
     std::vector<InFlight> entries;
     sim::Time max_end = 0;
   };
+  /// Per-shard replica of all per-transmission mutable state; exactly one
+  /// in single-queue mode. Padded so neighboring shards' hot counters never
+  /// share a cache line.
+  struct alignas(64) ShardState {
+    std::vector<CsCell> cs_cells;
+    std::uint64_t next_arrival_id = 0;
+    ChannelStats stats;
+  };
 
   std::uint32_t cs_cell_of(geo::Vec2 p) const;
-  void add_in_flight(geo::Vec2 tx_pos, sim::Time end);
+  void add_in_flight(ShardState& st, geo::Vec2 tx_pos, sim::Time end);
+  ShardState& local_state() const { return state_[sim_.current_shard()]; }
 
   sim::Simulator& sim_;
   mobility::MobilityManager& mobility_;
   ChannelConfig cfg_;
   double capture_ratio_ = 0.0;
+  bool sharded_ = false;
   std::vector<Phy*> phys_;
+  std::vector<std::uint32_t> node_shard_;  // empty in single-queue mode
 
-  // Carrier-sense cell grid (same clamped-cell geometry as geo::GridIndex).
+  // Carrier-sense cell grid geometry (same clamped-cell scheme as
+  // geo::GridIndex); the cells themselves live in the shard replicas.
   double cs_cell_size_ = 0.0;
   std::uint32_t cs_cols_ = 0;
   std::uint32_t cs_rows_ = 0;
-  std::vector<CsCell> cs_cells_;
   sim::Time max_prop_ = 0;  // propagation delay across cs_range
 
-  /// Arrival-id stream for this channel. A per-channel member (not
-  /// thread_local) so id streams are per-run deterministic state even when
-  /// campaign workers reuse threads across jobs.
-  std::uint64_t next_arrival_id_ = 0;
-
-  mutable ChannelStats stats_;
+  mutable std::vector<ShardState> state_;
 };
 
 }  // namespace rcast::phy

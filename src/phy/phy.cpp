@@ -1,5 +1,6 @@
 #include "phy/phy.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "stats/telemetry.hpp"
@@ -66,8 +67,23 @@ void Phy::extend_busy(sim::Time until) {
 }
 
 void Phy::schedule_idle_check() {
-  sim_.cancel(idle_check_);
-  idle_check_ = sim_.at(busy_until_, [this] {
+  // Lazy deadline: a pending check at or before busy_until_ is left alone —
+  // it fires, sees the window was extended, and re-arms itself, so the
+  // common extend-while-busy path costs zero cancel+push churn (ROADMAP
+  // event-dispatch item; bench_micro records the delta). Only a check
+  // pending *later* than the deadline (possible after sleep() shrank the
+  // window and a later extend re-grew it shorter) must be re-armed eagerly,
+  // or the idle edge would fire late.
+  // Sharded runs can deliver a boundary-crossing arrival after its frame
+  // already ended (bounded by the lookahead window), leaving busy_until_ in
+  // the past — the check then runs immediately and emits the idle edge.
+  const sim::Time deadline = std::max(busy_until_, sim_.now());
+  if (idle_check_armed_ && idle_check_at_ <= deadline) return;
+  if (idle_check_armed_) sim_.cancel(idle_check_);
+  idle_check_armed_ = true;
+  idle_check_at_ = deadline;
+  idle_check_ = sim_.at(deadline, [this] {
+    idle_check_armed_ = false;
     if (sim_.now() < busy_until_) {
       schedule_idle_check();  // extended meanwhile
       return;

@@ -136,6 +136,10 @@ class Phy {
   sim::Time busy_until_ = 0;
   bool carrier_was_busy_ = false;
   sim::EventId idle_check_;
+  /// Lazy idle-check state (see schedule_idle_check): whether a check event
+  /// is pending and the deadline it was armed for.
+  bool idle_check_armed_ = false;
+  sim::Time idle_check_at_ = 0;
   PhyStats stats_;
 };
 

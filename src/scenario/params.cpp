@@ -17,7 +17,7 @@ namespace {
 // ScenarioConfig and every subconfig it embeds. Adding a field to any of
 // these structs changes its size and fails the completeness check until a
 // descriptor is registered and the fence updated (DESIGN.md §11).
-constexpr std::size_t kScenarioConfigSize = 600;
+constexpr std::size_t kScenarioConfigSize = 616;
 constexpr std::size_t kMacConfigSize = 112;
 constexpr std::size_t kDsrConfigSize = 80;
 constexpr std::size_t kAodvConfigSize = 80;
@@ -228,6 +228,12 @@ std::vector<Param> build_registry() {
        {},
        [](const ScenarioConfig& c) { return ParamValue::of(c.max_wall_seconds); },
        [](ScenarioConfig& c, const ParamValue& v) { c.max_wall_seconds = v.d; }},
+      PU("sim.shards", c.sim_shards, std::uint64_t, 0, 64,
+         "Spatial shards (worker threads) per run; 1 = single-queue loop, "
+         "0 = one per hardware thread (DESIGN.md §15)"),
+      PU("sim.horizon_ns", c.sim_horizon_ns, std::uint64_t, 0, 1e12,
+         "Conservative window width for sharded runs (ns); 0 = derive from "
+         "cs_range_m (propagation across the carrier-sense disc)"),
       {"campaign.journal_sync_every",
        ParamType::kUInt,
        "Fsync the campaign journal every N committed jobs (1 = every commit). "

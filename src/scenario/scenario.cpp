@@ -2,14 +2,43 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <thread>
 
 #include "mobility/random_waypoint.hpp"
+#include "sim/sharded_executor.hpp"
 #include "util/alloc_tracker.hpp"
 #include "power/always_on.hpp"
 #include "power/psm_policy.hpp"
 #include "util/assert.hpp"
 
 namespace rcast::scenario {
+
+namespace {
+
+std::size_t effective_shards(const ScenarioConfig& cfg) {
+  std::uint64_t k = cfg.sim_shards;
+  if (k == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    k = hw > 0 ? hw : 1;
+  }
+  return static_cast<std::size_t>(
+      std::min<std::uint64_t>(k, sim::ShardedExecutor::kMaxShards));
+}
+
+sim::Time effective_horizon(const ScenarioConfig& cfg) {
+  if (cfg.sim_horizon_ns != 0) {
+    return static_cast<sim::Time>(cfg.sim_horizon_ns);
+  }
+  // Propagation delay across the carrier-sense disc (distance / c in ns):
+  // within one such window a transmission cannot have reached a radio
+  // farther than cs_range, so deferring cross-shard arrivals to the window
+  // end stays within the physical propagation spread.
+  return std::max<sim::Time>(1,
+      static_cast<sim::Time>(cfg.cs_range_m / 0.299792458));
+}
+
+}  // namespace
 
 core::OverhearingMap oh_map_for(Scheme s) {
   switch (s) {
@@ -114,6 +143,7 @@ routing::Aodv& Node::aodv() {
 
 Network::Network(const ScenarioConfig& cfg)
     : cfg_(cfg),
+      sim_(effective_shards(cfg), effective_horizon(cfg)),
       mobility_(sim_, cfg.world, std::max(cfg.cs_range_m, 1.0)),
       channel_(sim_, mobility_,
                phy::ChannelConfig{cfg.tx_range_m, cfg.cs_range_m,
@@ -141,25 +171,64 @@ Network::Network(const ScenarioConfig& cfg)
                            m, mob_rng.fork(i)));
   }
 
-  // Nodes.
+  // Sharded runs: home-pin every node to one of K vertical strips of the
+  // world from its initial position (no dynamic handoff — pending events
+  // capture module pointers, so ownership must be stable for the run), give
+  // each shard its own telemetry sinks, and disable the cross-thread-unsafe
+  // pooled allocator.
+  if (sim_.sharded()) {
+    sim_.pools().set_thread_shared(true);
+    const std::size_t shards = sim_.shard_count();
+    const double strip =
+        cfg.world.width / static_cast<double>(shards);
+    node_shard_.resize(cfg.num_nodes);
+    for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
+      const geo::Vec2 p = mobility_.position(static_cast<phy::NodeId>(i));
+      const auto s = static_cast<std::uint32_t>(
+          std::min<double>(std::floor(p.x / strip),
+                           static_cast<double>(shards - 1)));
+      node_shard_[i] = s;
+    }
+    channel_.set_shard_map(node_shard_);
+    for (std::size_t k = 0; k < shards; ++k) {
+      shard_stats_.push_back(std::make_unique<ShardStats>(cfg.num_nodes));
+      shard_stats_.back()->bus.subscribe_routing(
+          &shard_stats_.back()->metrics);
+      shard_stats_.back()->bus.subscribe_routing(
+          &shard_stats_.back()->counters);
+      shard_stats_.back()->bus.subscribe_mac(&shard_stats_.back()->counters);
+    }
+  }
+
+  // Nodes. In sharded mode each node's construction runs under its home
+  // shard's context so build-time events (MAC start, beacon schedule) land
+  // in the home shard's queue, and its telemetry binds to the home shard's
+  // bus.
   Rng node_rng = root.fork(0x40DE);
   for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
+    stats::TelemetryBus* bus = &bus_;
+    if (sim_.sharded()) {
+      sim_.set_shard_context(node_shard_[i]);
+      bus = &shard_stats_[node_shard_[i]]->bus;
+    }
     nodes_.push_back(std::make_unique<Node>(sim_, channel_, mobility_, cfg,
                                             static_cast<phy::NodeId>(i),
-                                            node_rng.fork(i), &bus_));
-    nodes_.back()->agent().set_observer(&bus_);
+                                            node_rng.fork(i), bus));
+    nodes_.back()->agent().set_observer(bus);
     fleet_.add(&nodes_.back()->meter());
   }
 
-  // Traffic.
+  // Traffic. Sources schedule their send events on the source node's shard.
   Rng traffic_rng = root.fork(0x7AF1C);
   auto flows = traffic::make_flow_matrix(cfg.num_nodes, cfg.num_flows,
                                          cfg.rate_pps, cfg.payload_bits,
                                          traffic_rng);
   for (const auto& f : flows) {
+    if (sim_.sharded()) sim_.set_shard_context(node_shard_[f.src]);
     sources_.push_back(std::make_unique<traffic::CbrSource>(
         sim_, nodes_[f.src]->agent(), f, traffic_rng.fork(f.flow_id)));
   }
+  if (sim_.sharded()) sim_.clear_shard_context();
 }
 
 RunResult Network::run() {
@@ -183,6 +252,11 @@ RunResult Network::run() {
   RunResult r = summarize();
   r.perf = sim_.perf_counters();
   r.perf.bytes_allocated = util::AllocTracker::bytes();
+  if (sim_.sharded()) {
+    // The main thread only sees barrier-side allocation in sharded runs;
+    // the executor tracks each worker's thread-local total.
+    r.perf.bytes_allocated += sim_.executor()->worker_alloc_bytes();
+  }
   const mobility::MobilityManager::GeoPerf& geo = mobility_.perf();
   r.perf.spatial_queries = geo.spatial_queries;
   r.perf.spatial_candidates_scanned = geo.spatial_candidates_scanned;
@@ -238,6 +312,16 @@ RunResult Network::base_summary() {
 }
 
 RunResult Network::summarize() {
+  // Sharded runs: fold the per-shard sinks into the network-level
+  // collectors, in shard order (fixed merge order keeps the floating-point
+  // aggregates bit-reproducible for a fixed shard count).
+  if (!shard_stats_merged_) {
+    shard_stats_merged_ = true;
+    for (const auto& ss : shard_stats_) {
+      metrics_.merge(ss->metrics);
+      counters_.merge(ss->counters);
+    }
+  }
   RunResult r = base_summary();
   // Per-layer aggregates come from the telemetry bus: every counter below is
   // a LayerCounters event count, so summarize() no longer reaches into

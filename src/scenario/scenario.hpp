@@ -76,6 +76,20 @@ struct ScenarioConfig {
   /// per-job timeout instead of stalling the whole sweep.
   double max_wall_seconds = 0.0;
 
+  /// Spatial shards for one run (DESIGN.md §15): 1 = the exact single-queue
+  /// loop (bit-identical to every prior release), K > 1 = K worker threads
+  /// advancing K vertical strips of the world under conservative windows,
+  /// 0 = one shard per hardware thread. Fixed K is deterministic run-for-run
+  /// but K > 1 is not event-for-event identical to K = 1 (cross-shard
+  /// arrivals defer to window barriers).
+  std::uint64_t sim_shards = 1;
+
+  /// Conservative window width for sharded runs, in ns; 0 derives it from
+  /// cs_range_m (propagation delay across the carrier-sense disc, the
+  /// tightest physically-motivated lookahead). Larger values mean fewer
+  /// barriers but coarser cross-shard timing.
+  std::uint64_t sim_horizon_ns = 0;
+
   /// Campaign journal durability: fsync the journal every N committed jobs
   /// (1 = every commit, the strictest setting). Larger values batch fsyncs;
   /// a crash can then lose up to N-1 journal lines, which only re-runs those
@@ -189,9 +203,26 @@ class Network {
   /// `telemetry().subscribe_routing(&tracer)`); subscribers must outlive the
   /// network or unsubscribe first. The built-in MetricsCollector and
   /// LayerCounters are ordinary subscribers registered at construction.
+  /// Sharded runs route node telemetry through per-shard buses instead
+  /// (worker threads must not share a collector), so external subscribers
+  /// on this bus see events only in single-queue mode.
   stats::TelemetryBus& telemetry() { return bus_; }
 
+  /// Home shard of each node (empty in single-queue mode).
+  const std::vector<std::uint32_t>& node_shards() const {
+    return node_shard_;
+  }
+
  private:
+  /// Per-shard telemetry sinks for sharded runs; merged into the
+  /// network-level collectors in shard order at summarize.
+  struct ShardStats {
+    explicit ShardStats(std::size_t n_nodes) : metrics(n_nodes) {}
+    stats::MetricsCollector metrics;
+    stats::LayerCounters counters;
+    stats::TelemetryBus bus;
+  };
+
   RunResult summarize();
   /// Fields derived from metrics/fleet/simulator — common to both summary
   /// paths.
@@ -204,9 +235,12 @@ class Network {
   stats::MetricsCollector metrics_;
   stats::LayerCounters counters_;
   stats::TelemetryBus bus_;  // must outlive (so precede) nodes_
+  std::vector<std::uint32_t> node_shard_;  // sharded runs only
+  std::vector<std::unique_ptr<ShardStats>> shard_stats_;  // precede nodes_
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<std::unique_ptr<traffic::CbrSource>> sources_;
   energy::FleetAccountant fleet_;
+  bool shard_stats_merged_ = false;
 };
 
 /// Convenience: build + run in one call.

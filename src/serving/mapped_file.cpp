@@ -1,0 +1,57 @@
+#include "serving/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace rcast::serving {
+
+void MappedFile::swap(MappedFile& other) noexcept {
+  std::swap(fd_, other.fd_);
+  std::swap(map_, other.map_);
+  std::swap(map_size_, other.map_size_);
+  std::swap(file_size_, other.file_size_);
+}
+
+bool MappedFile::open(const std::string& path) {
+  close();
+  fd_ = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd_ < 0) return false;
+  refresh();
+  return true;
+}
+
+std::size_t MappedFile::refresh() {
+  if (fd_ < 0) return 0;
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) return file_size_;
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size > map_size_) {
+    // Grew past the mapping: replace it. (A fresh map is simpler and no
+    // slower than mremap for the poll cadence involved, and keeps this
+    // portable to platforms without MREMAP_MAYMOVE.)
+    void* m = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd_, 0);
+    if (m == MAP_FAILED) return file_size_;  // keep serving the old view
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+    map_ = m;
+    map_size_ = size;
+  }
+  // A shrink keeps the larger mapping (reads past EOF within the mapping
+  // would fault, so file_size_ is the authoritative bound).
+  file_size_ = size;
+  return file_size_;
+}
+
+void MappedFile::close() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  map_ = nullptr;
+  map_size_ = 0;
+  file_size_ = 0;
+}
+
+}  // namespace rcast::serving

@@ -1,0 +1,63 @@
+// Read-only memory map over a growing file.
+//
+// The serving daemon polls result sidecars for records appended by the
+// campaign writer. A stream re-read pays a syscall per poll plus a copy of
+// every byte; a map pays one fstat, and only remaps when the file actually
+// grew. The mapping is MAP_SHARED, so bytes another process appended are
+// visible without any read call at all.
+//
+// Growth handling is remap-on-grow: refresh() fstats the file and, when the
+// size increased, replaces the old mapping with one covering the new size.
+// Callers must treat data() as invalidated by refresh(). Shrinking or
+// replaced files (inode swap) are reported via refresh() returning a smaller
+// size; the caller decides whether that means "rebuild".
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace rcast::serving {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { close(); }
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept { swap(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      close();
+      swap(other);
+    }
+    return *this;
+  }
+
+  /// Opens `path` read-only and maps its current contents. Returns false if
+  /// the file cannot be opened (it may not exist yet); an empty file opens
+  /// successfully with size() == 0.
+  bool open(const std::string& path);
+
+  /// Re-checks the file size and remaps if it grew. Returns the number of
+  /// bytes now visible through data(). Invalidates previous data() pointers.
+  std::size_t refresh();
+
+  bool valid() const { return fd_ >= 0; }
+  const unsigned char* data() const {
+    return static_cast<const unsigned char*>(map_);
+  }
+  std::size_t size() const { return file_size_; }
+
+  void close();
+
+ private:
+  void swap(MappedFile& other) noexcept;
+
+  int fd_ = -1;
+  void* map_ = nullptr;
+  std::size_t map_size_ = 0;   // length passed to mmap (0 = no mapping)
+  std::size_t file_size_ = 0;  // file size at the last refresh
+};
+
+}  // namespace rcast::serving

@@ -193,7 +193,7 @@ ResultIndex ResultIndex::open(const std::string& jsonl_path) {
     }
   }
 
-  idx.index_new_lines();
+  idx.index_new_lines(/*write_sidecar=*/true);
   return idx;
 }
 
@@ -218,7 +218,54 @@ std::vector<const IndexEntry*> ResultIndex::find_cell(
   return out;
 }
 
-std::size_t ResultIndex::refresh() { return index_new_lines(); }
+std::size_t ResultIndex::refresh() {
+  // Fast path first: adopt records from the mmapped sidecar. Then scan the
+  // JSONL for any complete lines the sidecar does not cover — but once an
+  // external sidecar writer is known, stop appending our own records (each
+  // would duplicate the one the writer is about to append).
+  std::size_t added = absorb_from_sidecar();
+  added += index_new_lines(/*write_sidecar=*/!sidecar_external_);
+  return added;
+}
+
+std::size_t ResultIndex::absorb_from_sidecar() {
+  if (!sidecar_map_.valid() && !sidecar_map_.open(idx_path_)) return 0;
+  const std::size_t size = sidecar_map_.refresh();
+  if (size < kHeaderSize + kRecordSize) return 0;
+  const unsigned char* base = sidecar_map_.data();
+  if (std::memcmp(base, kMagic, sizeof(kMagic)) != 0 ||
+      get_u32(base + 8) != kVersion || get_u32(base + 12) != kRecordSize) {
+    // Replaced or foreign file behind our descriptor; the JSONL scan still
+    // serves lookups, and the next open() repairs the sidecar.
+    return 0;
+  }
+  // Sidecar records and our entries both mirror the JSONL's line sequence,
+  // so record i corresponds to entries_[i]; anything past entries_.size()
+  // was appended by an external writer. The torn trailing record (partial
+  // write) falls out of the floor division and waits for the next refresh.
+  const std::size_t records = (size - kHeaderSize) / kRecordSize;
+  if (records <= entries_.size()) return 0;
+  std::error_code ec;
+  const auto jsonl_size = std::filesystem::file_size(jsonl_path_, ec);
+  const std::uint64_t limit = ec ? 0 : jsonl_size;
+  std::size_t added = 0;
+  for (std::size_t i = entries_.size(); i < records; ++i) {
+    const IndexEntry e = decode_entry(base + kHeaderSize + i * kRecordSize);
+    // Same acceptance test as open(): monotone offsets, extent fully inside
+    // the JSONL. A failing record either raced ahead of its JSONL flush or
+    // is garbage — stop here; a later refresh (or a rebuild) resolves it.
+    if (e.offset < indexed_bytes_ || e.offset > limit ||
+        std::uint64_t{e.length} + 1 > limit - e.offset) {
+      break;
+    }
+    entries_.push_back(e);
+    insert_maps(entries_.size() - 1);
+    indexed_bytes_ = e.offset + e.length + 1;
+    ++added;
+  }
+  if (added > 0) sidecar_external_ = true;
+  return added;
+}
 
 void ResultIndex::append(const IndexEntry& e) {
   if (e.offset < indexed_bytes_) {
@@ -247,7 +294,7 @@ void ResultIndex::append_to_sidecar(const IndexEntry& e) {
   if (!out) throw IndexError("index write failed: " + idx_path_);
 }
 
-std::size_t ResultIndex::index_new_lines() {
+std::size_t ResultIndex::index_new_lines(bool write_sidecar) {
   std::ifstream in(jsonl_path_, std::ios::binary);
   if (!in) {
     // No JSONL yet (fresh campaign): an empty index is correct.
@@ -279,7 +326,7 @@ std::size_t ResultIndex::index_new_lines() {
     batch.append(reinterpret_cast<const char*>(rec_bytes), kRecordSize);
     ++added;
   }
-  if (!batch.empty()) {
+  if (!batch.empty() && write_sidecar) {
     std::ofstream out(idx_path_, std::ios::binary | std::ios::app);
     if (!out) throw IndexError("cannot append to index " + idx_path_);
     out.write(batch.data(), static_cast<std::streamsize>(batch.size()));

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "campaign/result_store.hpp"
+#include "serving/mapped_file.hpp"
 
 namespace rcast::serving {
 
@@ -86,9 +87,17 @@ class ResultIndex {
   /// Every entry of one aggregation cell, in append order.
   std::vector<const IndexEntry*> find_cell(std::uint64_t cell_digest) const;
 
-  /// Scans the JSONL for lines appended since open()/the last refresh and
-  /// indexes them (in memory and in the sidecar). Returns how many entries
-  /// were added. The daemon calls this when it notices journal growth.
+  /// Absorbs records appended since open()/the last refresh and indexes
+  /// them. Returns how many entries were added. The daemon calls this when
+  /// it notices journal growth.
+  ///
+  /// Two sources, tried in order:
+  ///  1. The mmapped sidecar — when another process (a campaign writer with
+  ///     its own ResultIndex) keeps the sidecar in lockstep with the JSONL,
+  ///     new records are adopted straight from the mapping: one fstat, zero
+  ///     reads, zero JSON parsing.
+  ///  2. The JSONL itself — any complete lines the sidecar does not cover
+  ///     yet are parsed and appended to the sidecar, exactly as before.
   std::size_t refresh();
 
   /// Indexes one record the caller just appended to the JSONL — the
@@ -103,12 +112,20 @@ class ResultIndex {
 
   void insert_maps(std::size_t entry_idx);
   void append_to_sidecar(const IndexEntry& e);
-  std::size_t index_new_lines();
+  std::size_t index_new_lines(bool write_sidecar);
+  std::size_t absorb_from_sidecar();
 
   std::string jsonl_path_;
   std::string idx_path_;
   std::vector<IndexEntry> entries_;
   std::uint64_t indexed_bytes_ = 0;
+  /// Lazily-opened read map of the sidecar, used by refresh() to adopt
+  /// records an external writer appended without re-reading the file.
+  MappedFile sidecar_map_;
+  /// True once refresh() has adopted a record it did not write itself:
+  /// another process owns the sidecar, so the JSONL fallback must stop
+  /// appending records (they would duplicate the writer's).
+  bool sidecar_external_ = false;
   std::unordered_map<std::uint64_t, std::size_t> by_cfg_;  // last wins
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_cell_;
 };

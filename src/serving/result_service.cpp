@@ -20,13 +20,7 @@ void ResultService::absorb_new_entries(std::size_t file,
                                        std::size_t first_new) {
   for (std::size_t i = first_new; i < entries.size(); ++i) {
     const IndexEntry& e = entries[i];
-    Winner w;
-    w.file = file;
-    w.offset = e.offset;
-    w.length = e.length;
-    w.cell_digest = e.cell_digest;
-    w.cfg_digest = e.cfg_digest;
-    winner_by_job_[static_cast<std::size_t>(e.job)] = w;
+    winner_by_job_[static_cast<std::size_t>(e.job)] = Winner{file, e};
     job_by_cfg_[e.cfg_digest] = static_cast<std::size_t>(e.job);
     jobs_by_cell_[e.cell_digest].push_back(static_cast<std::size_t>(e.job));
     // Precise invalidation: only the cell that gained a record goes cold.
@@ -57,7 +51,7 @@ std::optional<std::string> ResultService::result_json(
   const auto wit = winner_by_job_.find(jit->second);
   if (wit == winner_by_job_.end()) return std::nullopt;
   const Winner& w = wit->second;
-  return read_line(w.file, w.offset, w.length);
+  return read_line(w.file, w.entry.offset, w.entry.length);
 }
 
 campaign::AggregateRow ResultService::fold_cell(std::uint64_t cell_digest) {
@@ -70,13 +64,33 @@ campaign::AggregateRow ResultService::fold_cell(std::uint64_t cell_digest) {
     const Winner& w = winner_by_job_.at(job);
     // A superseded record can leave a stale membership if the job's winner
     // moved cells (only possible with hand-mixed stores); skip it.
-    if (w.cell_digest != cell_digest) continue;
-    acc.add(campaign::parse_result_line(read_line(w.file, w.offset, w.length)));
+    if (w.entry.cell_digest != cell_digest) continue;
+    acc.add(campaign::parse_result_line(
+        read_line(w.file, w.entry.offset, w.entry.length)));
   }
   if (acc.records() == 0) {
     throw IndexError("cell has no live records");
   }
   return acc.rows().front();
+}
+
+campaign::AggregateRow ResultService::fold_cell_subset(
+    std::uint64_t cell_digest, const AggregateFilter& filter, bool& any) {
+  std::vector<std::size_t>& jobs = jobs_by_cell_[cell_digest];
+  std::sort(jobs.begin(), jobs.end());
+  jobs.erase(std::unique(jobs.begin(), jobs.end()), jobs.end());
+
+  campaign::AggregateAccumulator acc;
+  for (const std::size_t job : jobs) {
+    const Winner& w = winner_by_job_.at(job);
+    if (w.entry.cell_digest != cell_digest || !filter.matches(w.entry)) {
+      continue;
+    }
+    acc.add(campaign::parse_result_line(
+        read_line(w.file, w.entry.offset, w.entry.length)));
+  }
+  any = acc.records() != 0;
+  return any ? acc.rows().front() : campaign::AggregateRow{};
 }
 
 std::optional<campaign::AggregateRow> ResultService::aggregate_cell(
@@ -95,20 +109,35 @@ std::optional<campaign::AggregateRow> ResultService::aggregate_cell(
   return row;
 }
 
-std::string ResultService::aggregate_csv() {
+std::string ResultService::aggregate_csv(const AggregateFilter& filter) {
   std::lock_guard<std::mutex> lock(mu_);
   // Winning records in job-index order give cells in first-appearance
   // order, exactly like the campaign export; each cell folds through the
   // cache so repeated exports and warm /aggregate queries share work.
+  //
+  // Filtering happens per cell: every grid field except the seed is
+  // cell-constant, so the winner that introduces a cell decides for the
+  // whole cell and cached rows stay valid. Only a seed constraint cuts
+  // *inside* cells — those rows fold from the matching subset, uncached.
   std::vector<std::size_t> jobs;
   jobs.reserve(winner_by_job_.size());
   for (const auto& [job, w] : winner_by_job_) jobs.push_back(job);
   std::sort(jobs.begin(), jobs.end());
+  AggregateFilter cell_filter = filter;
+  cell_filter.seed.reset();  // seeds vary within a cell; checked per record
   std::unordered_set<std::uint64_t> seen_cells;
   std::vector<campaign::AggregateRow> rows;
   for (const std::size_t job : jobs) {
-    const std::uint64_t cell = winner_by_job_.at(job).cell_digest;
+    const Winner& w = winner_by_job_.at(job);
+    const std::uint64_t cell = w.entry.cell_digest;
     if (!seen_cells.insert(cell).second) continue;
+    if (!cell_filter.matches(w.entry)) continue;
+    if (filter.seed) {
+      bool any = false;
+      campaign::AggregateRow row = fold_cell_subset(cell, filter, any);
+      if (any) rows.push_back(std::move(row));
+      continue;
+    }
     const auto cit = cache_.find(cell);
     if (cit != cache_.end()) {
       ++stats_.hits;

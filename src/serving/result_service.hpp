@@ -33,6 +33,38 @@ struct CacheStats {
   std::uint64_t invalidations = 0;
 };
 
+/// Conjunctive filter over the grid coordinates the 80-byte index records
+/// carry. Unset fields match everything; doubles compare exactly (the
+/// values come from the manifest, not from arithmetic). A seed constraint
+/// selects individual records *within* cells, so filtered aggregates with a
+/// seed bypass the cell cache; all other fields are cell-constant and keep
+/// cached rows usable.
+struct AggregateFilter {
+  std::optional<std::uint8_t> scheme;
+  std::optional<std::uint8_t> routing;
+  std::optional<std::uint32_t> nodes;
+  std::optional<std::uint32_t> flows;
+  std::optional<double> rate_pps;
+  std::optional<double> pause_s;
+  std::optional<double> duration_s;
+  std::optional<std::uint64_t> seed;
+
+  bool empty() const {
+    return !scheme && !routing && !nodes && !flows && !rate_pps && !pause_s &&
+           !duration_s && !seed;
+  }
+
+  bool matches(const IndexEntry& e) const {
+    return (!scheme || *scheme == e.scheme) &&
+           (!routing || *routing == e.routing) &&
+           (!nodes || *nodes == e.nodes) && (!flows || *flows == e.flows) &&
+           (!rate_pps || *rate_pps == e.rate_pps) &&
+           (!pause_s || *pause_s == e.pause_s) &&
+           (!duration_s || *duration_s == e.duration_s) &&
+           (!seed || *seed == e.seed);
+  }
+};
+
 class ResultService {
  public:
   /// Opens (building/extending sidecars as needed) every file in `paths`.
@@ -48,9 +80,13 @@ class ResultService {
   std::optional<campaign::AggregateRow> aggregate_cell(
       std::uint64_t cell_digest);
 
-  /// Full aggregate CSV over every winning record, byte-identical to
-  /// `rcast_campaign export` on the merged store.
-  std::string aggregate_csv();
+  /// Aggregate CSV over every winning record that passes `filter` (default:
+  /// all of them — byte-identical to `rcast_campaign export` on the merged
+  /// store). Rows keep first-appearance cell order, so a filtered export is
+  /// exactly the unfiltered one with non-matching rows removed — except
+  /// under a seed constraint, which recomputes each row from the matching
+  /// subset of records.
+  std::string aggregate_csv(const AggregateFilter& filter = {});
 
   /// Re-scans every file for appended records and invalidates the cache
   /// entries of cells that grew. Returns the number of new records seen.
@@ -63,12 +99,12 @@ class ResultService {
   CacheStats cache_stats() const;
 
  private:
+  /// The last-scanned record for one job index: which file it lives in plus
+  /// its full index entry (extent, digests, and the grid coordinates the
+  /// aggregate filter matches against).
   struct Winner {
     std::size_t file = 0;
-    std::uint64_t offset = 0;
-    std::uint32_t length = 0;
-    std::uint64_t cell_digest = 0;
-    std::uint64_t cfg_digest = 0;
+    IndexEntry entry;
   };
 
   // All private methods assume mu_ is held.
@@ -78,6 +114,9 @@ class ResultService {
   std::string read_line(std::size_t file, std::uint64_t offset,
                         std::uint32_t length);
   campaign::AggregateRow fold_cell(std::uint64_t cell_digest);
+  campaign::AggregateRow fold_cell_subset(std::uint64_t cell_digest,
+                                          const AggregateFilter& filter,
+                                          bool& any);
 
   mutable std::mutex mu_;
   std::vector<std::string> paths_;

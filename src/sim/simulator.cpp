@@ -2,7 +2,84 @@
 
 #include <sstream>
 
+#include "sim/sharded_executor.hpp"
+
 namespace rcast::sim {
+
+namespace {
+/// Fallback window width when a sharded Simulator is built with horizon 0:
+/// the propagation delay across the default carrier-sense range (550 m at
+/// c), i.e. the tightest physically-motivated lookahead. Scenario code
+/// normally passes an explicit horizon derived from its own cs_range.
+constexpr Time kDefaultHorizon = 1835;  // ns
+}  // namespace
+
+Simulator::Simulator(std::size_t shards, Time horizon) {
+  RCAST_REQUIRE(shards >= 1);
+  if (shards > 1) {
+    exec_ = std::make_unique<ShardedExecutor>(
+        *this, shards, horizon > 0 ? horizon : kDefaultHorizon);
+  }
+}
+
+Simulator::~Simulator() = default;
+
+std::size_t Simulator::shard_count() const {
+  return exec_ != nullptr ? exec_->shard_count() : 1;
+}
+
+Time Simulator::shard_now(std::size_t shard) const {
+  return exec_->shard_now(shard);
+}
+
+EventId Simulator::shard_push(std::size_t shard, Time t, Handler h) {
+  return exec_->push(shard, t, std::move(h));
+}
+
+EventId Simulator::shard_push(std::size_t shard, Time t, Handler h,
+                              ScheduleHint& hint) {
+  return exec_->push(shard, t, std::move(h), hint);
+}
+
+bool Simulator::shard_cancel(std::size_t shard, EventId id) {
+  return exec_->cancel(shard, id);
+}
+
+void Simulator::post(std::size_t dst_shard, Time t, Handler h) {
+  RCAST_REQUIRE(exec_ != nullptr && g_shard_context.owner == this);
+  exec_->post(g_shard_context.shard, dst_shard, t, std::move(h));
+}
+
+std::uint64_t Simulator::executed_events() const {
+  return exec_ != nullptr ? exec_->executed_events() : executed_;
+}
+
+std::size_t Simulator::pending_events() const {
+  return exec_ != nullptr ? exec_->pending_events() : queue_.size();
+}
+
+Time Simulator::next_event_time() const {
+  return exec_ != nullptr ? exec_->next_event_time() : queue_.next_time();
+}
+
+PerfCounters Simulator::perf_counters() const {
+  PerfCounters p;
+  p.events_executed = executed_events();
+  if (exec_ != nullptr) {
+    exec_->fill_perf(p);
+  } else {
+    p.events_scheduled = queue_.scheduled_count();
+    p.handler_heap_fallbacks = queue_.handler_heap_fallbacks();
+    p.queue_depth_high_water = queue_.depth_high_water();
+    p.queue_rung_spawns = queue_.rung_spawns();
+    p.dispatch_batches = queue_.dispatch_batches();
+    p.batch_size_hist = queue_.batch_size_hist();
+  }
+  const util::PoolStats pools = pools_.total_stats();
+  p.pool_hits = pools.hits;
+  p.pool_misses = pools.misses;
+  return p;
+}
 
 void Simulator::check_wall_deadline() const {
   if (std::chrono::steady_clock::now() < wall_deadline_) return;
@@ -16,6 +93,11 @@ void Simulator::run_until(Time end) {
   // Check once up front so even a run too short to reach the periodic
   // check interval honors an already-expired deadline.
   if (deadline_armed_) check_wall_deadline();
+  if (exec_ != nullptr) {
+    exec_->run_until(end, deadline_armed_, wall_deadline_);
+    if (now_ < end) now_ = end;
+    return;
+  }
   // Batched dispatch: one queue-front lookup per distinct timestamp, with
   // every same-time event (including ones its handlers push) drained in
   // scheduling order. The wall-deadline check still runs between events,
@@ -36,6 +118,7 @@ void Simulator::run_until(Time end) {
 }
 
 void Simulator::run_all() {
+  RCAST_REQUIRE_MSG(exec_ == nullptr, "run_all requires single-queue mode");
   if (deadline_armed_) check_wall_deadline();
   while (!queue_.empty()) {
     now_ = queue_.next_time();
@@ -50,6 +133,7 @@ void Simulator::run_all() {
 }
 
 bool Simulator::step() {
+  RCAST_REQUIRE_MSG(exec_ == nullptr, "step requires single-queue mode");
   if (queue_.empty()) return false;
   auto [t, h] = queue_.pop();
   now_ = t;

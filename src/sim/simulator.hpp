@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <stdexcept>
 
 #include "sim/event_queue.hpp"
@@ -17,6 +18,19 @@
 #include "util/pool.hpp"
 
 namespace rcast::sim {
+
+class ShardedExecutor;
+
+/// Thread-local shard binding for sharded runs (DESIGN.md §15): while set,
+/// the owning Simulator routes at/after/cancel/now through that shard's
+/// queue and clock. The owner pointer scopes the binding to one Simulator,
+/// so campaign workers running independent (unsharded) Simulators on the
+/// same thread are unaffected.
+struct ShardContext {
+  const void* owner = nullptr;
+  std::size_t shard = 0;
+};
+inline thread_local ShardContext g_shard_context;
 
 /// Thrown by the run loop when a wall-clock deadline (see
 /// Simulator::set_wall_deadline) expires mid-run. Campaign jobs catch this
@@ -32,14 +46,27 @@ class Simulator {
   using Handler = EventQueue::Handler;
   using ScheduleHint = EventQueue::ScheduleHint;
 
-  Simulator() = default;
+  /// `shards` > 1 runs the simulation on a ShardedExecutor (one spatial
+  /// shard per worker thread) under conservative windows of `horizon` ns;
+  /// the default is the exact single-queue loop, byte-identical to every
+  /// prior release. See DESIGN.md §15.
+  explicit Simulator(std::size_t shards = 1, Time horizon = 0);
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  Time now() const { return now_; }
+  Time now() const {
+    if (exec_ != nullptr && g_shard_context.owner == this) {
+      return shard_now(g_shard_context.shard);
+    }
+    return now_;
+  }
 
   /// Schedules at an absolute simulation time (>= now).
   EventId at(Time t, Handler h) {
+    if (exec_ != nullptr && g_shard_context.owner == this) {
+      return shard_push(g_shard_context.shard, t, std::move(h));
+    }
     RCAST_REQUIRE(t >= now_);
     return queue_.push(t, std::move(h));
   }
@@ -49,6 +76,9 @@ class Simulator {
   /// memoizes the queue-tier routing across calls. Semantically identical
   /// to the unhinted overload.
   EventId at(Time t, Handler h, ScheduleHint& hint) {
+    if (exec_ != nullptr && g_shard_context.owner == this) {
+      return shard_push(g_shard_context.shard, t, std::move(h), hint);
+    }
     RCAST_REQUIRE(t >= now_);
     return queue_.push(t, std::move(h), hint);
   }
@@ -56,16 +86,57 @@ class Simulator {
   /// Schedules `delay` nanoseconds from now (delay >= 0).
   EventId after(Time delay, Handler h) {
     RCAST_REQUIRE(delay >= 0);
+    if (exec_ != nullptr && g_shard_context.owner == this) {
+      return shard_push(g_shard_context.shard,
+                        shard_now(g_shard_context.shard) + delay,
+                        std::move(h));
+    }
     return queue_.push(now_ + delay, std::move(h));
   }
 
   /// Hinted variant of after(); see at().
   EventId after(Time delay, Handler h, ScheduleHint& hint) {
     RCAST_REQUIRE(delay >= 0);
+    if (exec_ != nullptr && g_shard_context.owner == this) {
+      return shard_push(g_shard_context.shard,
+                        shard_now(g_shard_context.shard) + delay,
+                        std::move(h), hint);
+    }
     return queue_.push(now_ + delay, std::move(h), hint);
   }
 
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) {
+    if (exec_ != nullptr && g_shard_context.owner == this) {
+      return shard_cancel(g_shard_context.shard, id);
+    }
+    return queue_.cancel(id);
+  }
+
+  // --- sharded execution (DESIGN.md §15) -----------------------------------
+
+  bool sharded() const { return exec_ != nullptr; }
+  std::size_t shard_count() const;
+  ShardedExecutor* executor() { return exec_.get(); }
+
+  /// Shard this thread is currently bound to (0 when unbound or unsharded).
+  std::size_t current_shard() const {
+    return (exec_ != nullptr && g_shard_context.owner == this)
+               ? g_shard_context.shard
+               : 0;
+  }
+
+  /// Binds the calling thread to a shard: subsequent at/after/cancel/now
+  /// calls on this Simulator route through that shard. The scenario layer
+  /// brackets each node's construction with this so build-time events land
+  /// in the node's home-shard queue; executor workers bind themselves.
+  void set_shard_context(std::size_t shard) {
+    g_shard_context = ShardContext{this, shard};
+  }
+  void clear_shard_context() { g_shard_context = ShardContext{}; }
+
+  /// Cross-shard event (sharded runs only, from a bound thread): delivered
+  /// to `dst_shard` at the next window barrier, no earlier than max(t, W).
+  void post(std::size_t dst_shard, Time t, Handler h);
 
   /// Runs events until the queue drains or the clock passes `end`.
   /// Events scheduled exactly at `end` are executed.
@@ -77,13 +148,13 @@ class Simulator {
   /// Executes at most one pending event; returns false if none remain.
   bool step();
 
-  std::uint64_t executed_events() const { return executed_; }
-  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const;
+  std::size_t pending_events() const;
 
   /// Timestamp of the earliest pending event; requires pending_events() > 0.
   /// Part of the const inspection surface: peeking never mutates the
   /// observable queue state.
-  Time next_event_time() const { return queue_.next_time(); }
+  Time next_event_time() const;
 
   /// Arms a wall-clock budget for the run loop: once `steady_clock::now()`
   /// passes `deadline`, run_until/run_all/step throw WallDeadlineExceeded
@@ -105,28 +176,23 @@ class Simulator {
 
   /// Snapshot of the run's simulator-level counters (wall-clock fields are
   /// filled by whoever times the run, e.g. scenario::Network::run).
-  PerfCounters perf_counters() const {
-    PerfCounters p;
-    p.events_executed = executed_;
-    p.events_scheduled = queue_.scheduled_count();
-    p.handler_heap_fallbacks = queue_.handler_heap_fallbacks();
-    p.queue_depth_high_water = queue_.depth_high_water();
-    p.queue_rung_spawns = queue_.rung_spawns();
-    p.dispatch_batches = queue_.dispatch_batches();
-    p.batch_size_hist = queue_.batch_size_hist();
-    const util::PoolStats pools = pools_.total_stats();
-    p.pool_hits = pools.hits;
-    p.pool_misses = pools.misses;
-    return p;
-  }
+  PerfCounters perf_counters() const;
 
  private:
   void check_wall_deadline() const;
+
+  // Out-of-line shard plumbing (the executor's type is incomplete here).
+  Time shard_now(std::size_t shard) const;
+  EventId shard_push(std::size_t shard, Time t, Handler h);
+  EventId shard_push(std::size_t shard, Time t, Handler h,
+                     ScheduleHint& hint);
+  bool shard_cancel(std::size_t shard, EventId id);
 
   // pools_ is declared before queue_ so pending handlers (which may hold the
   // last reference to pooled frames) are destroyed before the pools are.
   util::PoolArena pools_;
   EventQueue queue_;
+  std::unique_ptr<ShardedExecutor> exec_;  // null = single-queue mode
   Time now_ = 0;
   std::uint64_t executed_ = 0;
   std::chrono::steady_clock::time_point wall_deadline_{};

@@ -63,4 +63,21 @@ std::uint64_t MetricsCollector::total_drops() const {
   return std::accumulate(drops_.begin(), drops_.end(), std::uint64_t{0});
 }
 
+void MetricsCollector::merge(const MetricsCollector& o) {
+  originated_ += o.originated_;
+  delivered_ += o.delivered_;
+  delivered_bits_ += o.delivered_bits_;
+  delivered_keys_.insert(o.delivered_keys_.begin(), o.delivered_keys_.end());
+  delay_.merge(o.delay_);
+  route_wait_.merge(o.route_wait_);
+  transit_.merge(o.transit_);
+  for (const double x : o.delay_samples_.raw()) delay_samples_.add(x);
+  for (std::size_t i = 0; i < control_tx_.size(); ++i) {
+    control_tx_[i] += o.control_tx_[i];
+  }
+  for (std::size_t i = 0; i < drops_.size(); ++i) drops_[i] += o.drops_[i];
+  if (role_.size() < o.role_.size()) role_.resize(o.role_.size(), 0);
+  for (std::size_t i = 0; i < o.role_.size(); ++i) role_[i] += o.role_[i];
+}
+
 }  // namespace rcast::stats

@@ -74,6 +74,12 @@ class MetricsCollector final : public routing::Observer {
   }
   std::uint64_t total_drops() const;
 
+  /// Folds another collector into this one (sharded runs: per-shard
+  /// collectors merged in shard order at summarize). Delivered keys cannot
+  /// collide across shards — a packet is delivered at exactly one node, and
+  /// every node's events land on its home shard's collector.
+  void merge(const MetricsCollector& o);
+
  private:
   static std::uint64_t key_of(const routing::DsrPacket& pkt) {
     return (static_cast<std::uint64_t>(pkt.flow_id) << 32) | pkt.app_seq;

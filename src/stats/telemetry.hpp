@@ -345,6 +345,25 @@ class LayerCounters final : public MacEvents, public routing::Observer {
     return control_tx_[static_cast<int>(t)];
   }
 
+  /// Folds another counter set into this one (sharded runs: per-shard
+  /// counters merged in shard order at summarize).
+  void merge(const LayerCounters& o) {
+    atim_tx_ += o.atim_tx_;
+    atim_acked_ += o.atim_acked_;
+    atim_failed_ += o.atim_failed_;
+    overhear_commits_ += o.overhear_commits_;
+    overhear_declines_ += o.overhear_declines_;
+    sleeps_ += o.sleeps_;
+    wakes_ += o.wakes_;
+    data_tx_attempts_ += o.data_tx_attempts_;
+    data_tx_ok_ += o.data_tx_ok_;
+    data_tx_failed_ += o.data_tx_failed_;
+    immediate_fallbacks_ += o.immediate_fallbacks_;
+    queue_drops_ += o.queue_drops_;
+    data_salvaged_ += o.data_salvaged_;
+    for (std::size_t i = 0; i < 5; ++i) control_tx_[i] += o.control_tx_[i];
+  }
+
  private:
   std::uint64_t atim_tx_ = 0;
   std::uint64_t atim_acked_ = 0;

@@ -98,6 +98,13 @@ class PoolArena {
   PoolArena(const PoolArena&) = delete;
   PoolArena& operator=(const PoolArena&) = delete;
 
+  /// Marks the arena as visible from multiple threads at once (sharded
+  /// runs). The free lists are not thread-safe, so make_pooled then falls
+  /// back to std::make_shared — a pointer released on another shard's
+  /// thread would otherwise corrupt the list. Set once at build time.
+  void set_thread_shared(bool shared) { thread_shared_ = shared; }
+  bool thread_shared() const { return thread_shared_; }
+
   template <class T>
   Pool<T>& get() {
     const std::size_t idx = index_of<T>();
@@ -132,6 +139,7 @@ class PoolArena {
   }
 
   std::vector<std::unique_ptr<PoolBase>> pools_;
+  bool thread_shared_ = false;
 };
 
 /// std::allocator-compatible adapter over a PoolArena; allocate_shared
@@ -167,6 +175,9 @@ struct PoolAllocator {
 /// which all protocol state hangs off.
 template <class T, class... Args>
 std::shared_ptr<T> make_pooled(PoolArena& arena, Args&&... args) {
+  if (arena.thread_shared()) {
+    return std::make_shared<T>(std::forward<Args>(args)...);
+  }
   return std::allocate_shared<T>(PoolAllocator<T>(arena),
                                  std::forward<Args>(args)...);
 }

@@ -455,14 +455,18 @@ TEST(ChannelAlloc, SteadyStateTransmitIsHeapFree) {
     }
   };
   // Warm-up: enough inserts into the shared cs cell to cross the prune
-  // watermark so its bucket reaches steady-state capacity.
+  // watermark so its bucket reaches steady-state capacity. Two rounds: the
+  // lazy idle-check re-arm shifts when checks are pushed, and the queue's
+  // slot table only reaches its steady capacity in the second round.
   broadcast_round(0, 64);
   sim.run_until(sim::from_millis(100));
-  // Measured window: events are pre-scheduled, then only the simulator runs.
   broadcast_round(sim::from_millis(100), 64);
+  sim.run_until(sim::from_millis(200));
+  // Measured window: events are pre-scheduled, then only the simulator runs.
+  broadcast_round(sim::from_millis(200), 64);
   util::AllocTracker::reset();
   util::AllocTracker::enable();
-  sim.run_until(sim::from_millis(200));
+  sim.run_until(sim::from_millis(300));
   util::AllocTracker::disable();
   EXPECT_EQ(util::AllocTracker::bytes(), 0u);
 }

@@ -9,6 +9,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <cstring>
@@ -391,6 +392,178 @@ TEST(ResultService, RefreshSeesAppends) {
   EXPECT_EQ(svc.refresh(), jobs.size() - 2);
   EXPECT_EQ(svc.record_count(), jobs.size());
   EXPECT_EQ(svc.refresh(), 0u);
+}
+
+// Builds the worker's on_commit entry for jobs[i] written at `extent`.
+IndexEntry entry_for(const Job& job, std::uint64_t offset,
+                     std::uint32_t length) {
+  const auto& cfg = job.cfg;
+  IndexEntry e;
+  e.job = job.index;
+  e.offset = offset;
+  e.length = length;
+  e.cfg_digest = serving::digest_to_u64(job.digest);
+  e.cell_digest = serving::digest_to_u64(campaign::config_cell_digest(cfg));
+  e.scheme = static_cast<std::uint8_t>(cfg.scheme);
+  e.routing = static_cast<std::uint8_t>(cfg.routing);
+  e.nodes = static_cast<std::uint32_t>(cfg.num_nodes);
+  e.flows = static_cast<std::uint32_t>(cfg.num_flows);
+  e.rate_pps = cfg.rate_pps;
+  e.pause_s = sim::to_seconds(cfg.pause);
+  e.duration_s = sim::to_seconds(cfg.duration);
+  e.seed = cfg.seed;
+  return e;
+}
+
+// A reader index refreshing against a writer-maintained sidecar must adopt
+// the writer's records from the mapping instead of re-parsing the JSONL —
+// observable because the reader appends nothing to the sidecar (its size
+// stays exactly header + n records, no duplicates).
+TEST(ResultIndex, RefreshAdoptsExternalSidecarRecords) {
+  TempDir dir;
+  const auto jobs = make_jobs(2);
+  const std::string jsonl = dir.file("results.jsonl");
+  const std::string idx_path = ResultIndex::sidecar_path(jsonl);
+
+  write_records(jsonl, jobs, 0, 1);
+  ResultIndex reader = ResultIndex::open(jsonl);
+  ASSERT_EQ(reader.entries().size(), 1u);
+
+  // Writer process: appends JSONL lines and keeps the sidecar in lockstep.
+  ResultIndex writer = ResultIndex::open(jsonl);
+  auto store = campaign::ResultStore::open_append(jsonl);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    const auto extent = store.append(jobs[i], synth_result(i), 1.5);
+    writer.append(entry_for(jobs[i], extent.offset,
+                            static_cast<std::uint32_t>(extent.length)));
+  }
+  store.close();
+
+  const auto sidecar_before = fs::file_size(idx_path);
+  EXPECT_EQ(reader.refresh(), jobs.size() - 1);
+  ASSERT_EQ(reader.entries().size(), jobs.size());
+  EXPECT_EQ(fs::file_size(idx_path), sidecar_before);  // no duplicate records
+  for (const Job& job : jobs) {
+    const IndexEntry* e =
+        reader.find_cfg(serving::digest_to_u64(job.digest));
+    ASSERT_NE(e, nullptr) << job.id;
+    EXPECT_EQ(e->job, job.index);
+    EXPECT_EQ(e->seed, job.cfg.seed);
+  }
+  EXPECT_EQ(reader.refresh(), 0u);
+}
+
+// A torn trailing sidecar record (writer crashed mid-append) must not be
+// adopted; the complete records before it are, and the line the torn record
+// described is recovered from the JSONL without disturbing the sidecar.
+TEST(ResultIndex, RefreshIgnoresTornSidecarTail) {
+  TempDir dir;
+  const auto jobs = make_jobs(2);
+  const std::string jsonl = dir.file("results.jsonl");
+  const std::string idx_path = ResultIndex::sidecar_path(jsonl);
+
+  write_records(jsonl, jobs, 0, 1);
+  ResultIndex reader = ResultIndex::open(jsonl);
+
+  ResultIndex writer = ResultIndex::open(jsonl);
+  auto store = campaign::ResultStore::open_append(jsonl);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    const auto extent = store.append(jobs[i], synth_result(i), 1.5);
+    writer.append(entry_for(jobs[i], extent.offset,
+                            static_cast<std::uint32_t>(extent.length)));
+  }
+  store.close();
+  const auto full = fs::file_size(idx_path);
+  fs::resize_file(idx_path, full - 17);  // tear the last record
+
+  EXPECT_EQ(reader.refresh(), jobs.size() - 1);
+  EXPECT_EQ(reader.entries().size(), jobs.size());
+  // The torn sidecar is left for the writer (or the next open) to repair.
+  EXPECT_EQ(fs::file_size(idx_path), full - 17);
+  const IndexEntry* last =
+      reader.find_cfg(serving::digest_to_u64(jobs.back().digest));
+  ASSERT_NE(last, nullptr);
+  EXPECT_EQ(last->job, jobs.back().index);
+}
+
+// Filtered aggregates: a grid filter keeps exactly the matching rows of the
+// unfiltered export (same order, same bytes per row); a seed filter refolds
+// cells from the matching records only.
+TEST(ResultService, FilteredAggregateSelectsRows) {
+  TempDir dir;
+  const auto jobs = make_jobs(3);  // 2 schemes x 2 node counts x 3 seeds
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, jobs.size());
+  serving::ResultService svc({jsonl});
+
+  const std::string full = svc.aggregate_csv();
+  std::vector<std::string> lines;
+  std::istringstream in(full);
+  for (std::string l; std::getline(in, l);) lines.push_back(l);
+  ASSERT_EQ(lines.size(), 5u);  // header + 4 cells
+
+  // scheme=rcast keeps the two rcast rows, bytes unchanged.
+  serving::AggregateFilter by_scheme;
+  by_scheme.scheme = static_cast<std::uint8_t>(scenario::Scheme::kRcast);
+  std::vector<std::string> expect = {lines[0]};
+  for (const std::string& l : lines) {
+    if (l.rfind("RCAST,", 0) == 0) expect.push_back(l);
+  }
+  ASSERT_EQ(expect.size(), 3u);
+  std::string joined;
+  for (const std::string& l : expect) joined += l + "\n";
+  EXPECT_EQ(svc.aggregate_csv(by_scheme), joined);
+
+  // scheme + nodes narrows to one row.
+  by_scheme.nodes = 10;
+  const std::string one = svc.aggregate_csv(by_scheme);
+  EXPECT_EQ(std::count(one.begin(), one.end(), '\n'), 2);
+  EXPECT_NE(one.find("RCAST,"), std::string::npos);
+
+  // An unmatched filter yields just the header.
+  serving::AggregateFilter none;
+  none.nodes = 999;
+  EXPECT_EQ(svc.aggregate_csv(none), lines[0] + "\n");
+
+  // A seed filter folds one record per cell: seeds column reads 1 and the
+  // row count still matches the cell count.
+  serving::AggregateFilter by_seed;
+  by_seed.seed = jobs[1].cfg.seed;
+  const std::string seeded = svc.aggregate_csv(by_seed);
+  EXPECT_EQ(std::count(seeded.begin(), seeded.end(), '\n'), 5);
+  std::istringstream sin(seeded);
+  std::string header, row;
+  std::getline(sin, header);
+  while (std::getline(sin, row)) {
+    // seeds is the 8th CSV column.
+    std::istringstream cols(row);
+    std::string field;
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(std::getline(cols, field, ','));
+    EXPECT_EQ(field, "1") << row;
+  }
+}
+
+TEST(ResultService, RefreshAdoptsWriterMaintainedSidecar) {
+  TempDir dir;
+  const auto jobs = make_jobs(2);
+  const std::string jsonl = dir.file("results.jsonl");
+  write_records(jsonl, jobs, 0, 2);
+
+  serving::ResultService svc({jsonl});
+  EXPECT_EQ(svc.record_count(), 2u);
+
+  ResultIndex writer = ResultIndex::open(jsonl);
+  auto store = campaign::ResultStore::open_append(jsonl);
+  for (std::size_t i = 2; i < jobs.size(); ++i) {
+    const auto extent = store.append(jobs[i], synth_result(i), 1.5);
+    writer.append(entry_for(jobs[i], extent.offset,
+                            static_cast<std::uint32_t>(extent.length)));
+  }
+  store.close();
+
+  EXPECT_EQ(svc.refresh(), jobs.size() - 2);
+  EXPECT_EQ(svc.record_count(), jobs.size());
+  EXPECT_EQ(svc.aggregate_csv(), campaign::export_aggregate_csv({jsonl}));
 }
 
 // ---------------------------------------------- streaming load (store) --

@@ -20,8 +20,11 @@
 // the supervisor re-execs any worker that dies to a signal and the journal
 // resume path absorbs the loss. Endpoints: /status (fleet + journal +
 // cache view), /results?digest=<16hex> (point lookup via the index),
-// /aggregate?cell=<16hex> (memoized seed-average), /aggregate (full CSV),
-// /metrics (chunked live counter stream merged across shards).
+// /aggregate?cell=<16hex> (memoized seed-average), /aggregate (full CSV,
+// optionally filtered by the grid coordinates the index records carry:
+// ?scheme=rcast&routing=dsr&nodes=60&flows=8&rate_pps=4&pause_s=30
+// &duration_s=900&seed=3), /metrics (chunked live counter stream merged
+// across shards).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -33,6 +36,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <variant>
 #include <vector>
 
 #include "campaign/journal.hpp"
@@ -41,6 +45,7 @@
 #include "campaign/result_store.hpp"
 #include "campaign/runner.hpp"
 #include "scenario/params.hpp"
+#include "scenario/scheme.hpp"
 #include "serving/http_server.hpp"
 #include "serving/metrics_io.hpp"
 #include "serving/result_index.hpp"
@@ -293,6 +298,39 @@ std::optional<std::uint64_t> parse_digest_param(const std::string& hex) {
   }
 }
 
+/// Builds the /aggregate grid filter from query parameters. Returns the
+/// filter, or an error message naming the offending parameter.
+std::variant<serving::AggregateFilter, std::string> parse_aggregate_filter(
+    const std::map<std::string, std::string>& query) {
+  serving::AggregateFilter f;
+  for (const auto& [key, value] : query) {
+    if (key == "scheme") {
+      const auto s = scenario::scheme_from_string(value);
+      if (!s) return "unknown scheme: " + value;
+      f.scheme = static_cast<std::uint8_t>(*s);
+    } else if (key == "routing") {
+      const auto r = scenario::routing_from_string(value);
+      if (!r) return "unknown routing: " + value;
+      f.routing = static_cast<std::uint8_t>(*r);
+    } else if (key == "nodes" || key == "flows" || key == "seed") {
+      const auto v = Flags::parse_u64(value);
+      if (!v) return "malformed " + key + ": " + value;
+      if (key == "nodes") f.nodes = static_cast<std::uint32_t>(*v);
+      else if (key == "flows") f.flows = static_cast<std::uint32_t>(*v);
+      else f.seed = *v;
+    } else if (key == "rate_pps" || key == "pause_s" || key == "duration_s") {
+      const auto v = Flags::parse_double(value);
+      if (!v) return "malformed " + key + ": " + value;
+      if (key == "rate_pps") f.rate_pps = *v;
+      else if (key == "pause_s") f.pause_s = *v;
+      else f.duration_s = *v;
+    } else {
+      return "unknown aggregate parameter: " + key;
+    }
+  }
+  return f;
+}
+
 serving::HttpServer::Handler make_handler(std::shared_ptr<ServeContext> ctx) {
   return [ctx](const serving::HttpRequest& req) -> serving::HttpResponse {
     if (req.path == "/status") {
@@ -325,10 +363,18 @@ serving::HttpServer::Handler make_handler(std::shared_ptr<ServeContext> ctx) {
       const auto it = req.query.find("cell");
       ctx->maybe_refresh();
       if (it == req.query.end()) {
+        const auto parsed = parse_aggregate_filter(req.query);
+        if (const auto* err = std::get_if<std::string>(&parsed)) {
+          return error_response(400, *err);
+        }
         serving::HttpResponse resp;
         resp.content_type = "text/csv";
-        resp.body = ctx->svc->aggregate_csv();
+        resp.body =
+            ctx->svc->aggregate_csv(std::get<serving::AggregateFilter>(parsed));
         return resp;
+      }
+      if (req.query.size() > 1) {
+        return error_response(400, "cell= cannot combine with grid filters");
       }
       const auto cell = parse_digest_param(it->second);
       if (!cell) return error_response(400, "malformed cell digest");
