@@ -97,6 +97,7 @@ std::string num_id(double v) {
 // at the legacy spelling instead.
 constexpr std::pair<std::string_view, std::string_view> kAxisOwned[] = {
     {"scheme", "schemes"},   {"routing", "routings"},
+    {"power.scheme", "schemes"}, {"routing.protocol", "routings"},
     {"rate_pps", "rates_pps"}, {"pause_s", "pauses_s"},
     {"nodes", "nodes"},      {"seed", "seeds / seed_base"},
 };
@@ -269,11 +270,11 @@ std::string registry_digest(const scenario::ScenarioConfig& cfg,
 }  // namespace
 
 std::string config_digest(const scenario::ScenarioConfig& cfg) {
-  return registry_digest(cfg, "cfg/v2", /*with_seed=*/true);
+  return registry_digest(cfg, "cfg/v3", /*with_seed=*/true);
 }
 
 std::string config_cell_digest(const scenario::ScenarioConfig& cfg) {
-  return registry_digest(cfg, "cell/v2", /*with_seed=*/false);
+  return registry_digest(cfg, "cell/v3", /*with_seed=*/false);
 }
 
 std::vector<Job> expand(const Manifest& m, const scenario::ScenarioConfig& base) {

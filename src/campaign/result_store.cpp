@@ -134,7 +134,8 @@ std::string record_to_json(const Job& job, const scenario::RunResult& r,
   w.key("data_tx_failed").value(r.data_tx_failed);
   w.key("data_salvaged").value(r.data_salvaged);
   w.key("dead_nodes").value(static_cast<std::uint64_t>(r.dead_nodes));
-  w.key("first_death_s").value(r.first_death_s);
+  w.key("first_node_death_s").value(r.first_death_s);
+  w.key("partition_time_s").value(r.partition_time_s);
   w.key("events_executed").value(r.events_executed);
 
   w.key("per_node_energy_j").begin_array();
@@ -188,6 +189,14 @@ JobRecord record_from_json(const json::Value& v) {
   const json::Value& cfg = v.at("config");
   for (const scenario::Param& p : scenario::param_registry()) {
     const json::Value* member = cfg.find(std::string(p.name));
+    // Records written before the policy-registry split (digest v3) stored
+    // the enum axes under their bare pre-v3 names.
+    if (member == nullptr && p.name == "power.scheme") {
+      member = cfg.find("scheme");
+    }
+    if (member == nullptr && p.name == "routing.protocol") {
+      member = cfg.find("routing");
+    }
     if (member == nullptr) continue;
     scenario::ParamValue value;
     try {
@@ -215,6 +224,8 @@ JobRecord record_from_json(const json::Value& v) {
   rec.cell = config_cell_digest(rec.cfg);
   rec.scheme = rec.cfg.scheme;
   rec.routing = rec.cfg.routing;
+  rec.mobility = rec.cfg.mobility_model;
+  rec.traffic = rec.cfg.traffic_pattern;
   rec.nodes = rec.cfg.num_nodes;
   rec.flows = rec.cfg.num_flows;
   rec.rate_pps = rec.cfg.rate_pps;
@@ -254,7 +265,15 @@ JobRecord record_from_json(const json::Value& v) {
   r.data_tx_failed = res.at("data_tx_failed").as_u64();
   r.data_salvaged = res.at("data_salvaged").as_u64();
   r.dead_nodes = static_cast<std::size_t>(res.at("dead_nodes").as_u64());
-  r.first_death_s = res.at("first_death_s").as_double();
+  // Renamed from "first_death_s" at digest v3; read either spelling.
+  if (const json::Value* g = res.find("first_node_death_s")) {
+    r.first_death_s = g->as_double();
+  } else {
+    r.first_death_s = res.at("first_death_s").as_double();
+  }
+  if (const json::Value* g = res.find("partition_time_s")) {
+    r.partition_time_s = g->as_double();
+  }
   r.events_executed = res.at("events_executed").as_u64();
 
   for (const auto& e : res.at("per_node_energy_j").as_array()) {
@@ -423,6 +442,8 @@ void AggregateAccumulator::add(const JobRecord& rec) {
     row.cell = rec.cell;
     row.scheme = rec.scheme;
     row.routing = rec.routing;
+    row.mobility = rec.mobility;
+    row.traffic = rec.traffic;
     row.nodes = rec.nodes;
     row.flows = rec.flows;
     row.rate_pps = rec.rate_pps;
@@ -458,24 +479,26 @@ std::string export_aggregate_csv(const std::vector<std::string>& paths) {
 
 std::string aggregate_csv(const std::vector<AggregateRow>& rows) {
   std::string out =
-      "scheme,routing,nodes,flows,rate_pps,pause_s,duration_s,seeds,"
-      "pdr_pct,energy_j,energy_var,energy_mean_j,epb_j_per_bit,delay_s,"
-      "norm_overhead,ctrl_tx,hello_tx,dead_nodes,first_death_s\n";
+      "scheme,routing,mobility,traffic,nodes,flows,rate_pps,pause_s,"
+      "duration_s,seeds,pdr_pct,energy_j,energy_var,energy_mean_j,"
+      "epb_j_per_bit,delay_s,norm_overhead,ctrl_tx,hello_tx,dead_nodes,"
+      "first_node_death_s,partition_time_s\n";
   char buf[512];
   for (const auto& row : rows) {
     const auto& m = row.mean;
     std::snprintf(
         buf, sizeof(buf),
-        "%s,%s,%zu,%zu,%.3f,%.1f,%.1f,%zu,%.2f,%.1f,%.1f,%.1f,%.6g,%.4f,"
-        "%.3f,%llu,%llu,%zu,%.1f\n",
+        "%s,%s,%s,%s,%zu,%zu,%.3f,%.1f,%.1f,%zu,%.2f,%.1f,%.1f,%.1f,%.6g,"
+        "%.4f,%.3f,%llu,%llu,%zu,%.1f,%.1f\n",
         std::string(scenario::scheme_name(row.scheme)).c_str(),
-        std::string(scenario::to_string(row.routing)).c_str(), row.nodes,
+        std::string(scenario::to_string(row.routing)).c_str(),
+        row.mobility.c_str(), row.traffic.c_str(), row.nodes,
         row.flows, row.rate_pps, row.pause_s, row.duration_s, row.seeds,
         m.pdr_percent, m.total_energy_j, m.energy_variance, m.energy_mean_j,
         m.energy_per_bit_j, m.avg_delay_s, m.normalized_overhead,
         static_cast<unsigned long long>(m.control_tx),
         static_cast<unsigned long long>(m.hello_tx), m.dead_nodes,
-        m.first_death_s);
+        m.first_death_s, m.partition_time_s);
     out += buf;
   }
   return out;

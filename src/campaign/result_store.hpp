@@ -82,6 +82,8 @@ struct JobRecord {
   // Convenience grid coordinates, derived from `cfg`.
   scenario::Scheme scheme = scenario::Scheme::kRcast;
   scenario::RoutingProtocol routing = scenario::RoutingProtocol::kDsr;
+  std::string mobility;  // mobility.model registry name
+  std::string traffic;   // traffic.pattern registry name
   std::size_t nodes = 0;
   std::size_t flows = 0;
   double rate_pps = 0.0;
@@ -132,6 +134,8 @@ struct AggregateRow {
   std::string cell;  // config_cell_digest shared by the cell's records
   scenario::Scheme scheme = scenario::Scheme::kRcast;
   scenario::RoutingProtocol routing = scenario::RoutingProtocol::kDsr;
+  std::string mobility;  // mobility.model registry name
+  std::string traffic;   // traffic.pattern registry name
   std::size_t nodes = 0;
   std::size_t flows = 0;
   double rate_pps = 0.0;

@@ -1,0 +1,75 @@
+#include "mobility/rpgm.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rcast::mobility {
+
+RpgmModel::RpgmModel(const RpgmConfig& config, Rng reference_rng,
+                     Rng member_rng)
+    : cfg_(config),
+      ref_(RandomWaypointConfig{config.world, config.min_speed_mps,
+                                config.max_speed_mps, config.pause},
+           reference_rng),
+      rng_(member_rng) {
+  RCAST_REQUIRE(cfg_.span_m >= 0.0);
+  RCAST_REQUIRE(cfg_.span_rate_mps >= 0.0);
+  // Initial scatter around the reference point.
+  off_from_ = off_to_ = {rng_.uniform(-cfg_.span_m, cfg_.span_m),
+                         rng_.uniform(-cfg_.span_m, cfg_.span_m)};
+  const MotionSegment rs = ref_.segment_at(0);
+  cur_ = MotionSegment{clamp_world(rs.from + off_from_),
+                       clamp_world(rs.to + off_to_), rs.begin, rs.end,
+                       rs.expires};
+}
+
+geo::Vec2 RpgmModel::clamp_world(geo::Vec2 p) const {
+  return {std::clamp(p.x, 0.0, cfg_.world.width),
+          std::clamp(p.y, 0.0, cfg_.world.height)};
+}
+
+void RpgmModel::mirror(const MotionSegment& rs) {
+  if (rs.end > rs.begin) {
+    // Reference leg: drift the offset toward a fresh draw, capped so the
+    // drift alone never exceeds span_rate_mps.
+    off_from_ = off_to_;
+    const geo::Vec2 raw = {rng_.uniform(-cfg_.span_m, cfg_.span_m),
+                           rng_.uniform(-cfg_.span_m, cfg_.span_m)};
+    const double leg_s = sim::to_seconds(rs.end - rs.begin);
+    const double max_d = cfg_.span_rate_mps * leg_s;
+    const geo::Vec2 delta = raw - off_from_;
+    const double d = delta.norm();
+    off_to_ = (d > max_d && d > 0.0) ? off_from_ + delta * (max_d / d) : raw;
+  } else {
+    // Reference pause (or zero-length leg): the member settles where its
+    // offset left it. No draw, so the member stream advances only per leg.
+    off_from_ = off_to_;
+  }
+  cur_ = MotionSegment{clamp_world(rs.from + off_from_),
+                       clamp_world(rs.to + off_to_), rs.begin, rs.end,
+                       rs.expires};
+}
+
+void RpgmModel::advance_past(sim::Time t) {
+  RCAST_REQUIRE_MSG(t >= last_query_, "mobility queried backwards in time");
+  last_query_ = t;
+  // Walk the reference trajectory one segment at a time, always querying at
+  // the previous segment's expiry: the query sequence — and with it every
+  // RNG draw — is independent of the caller's query times.
+  while (t >= cur_.expires) {
+    mirror(ref_.segment_at(cur_.expires));
+  }
+}
+
+geo::Vec2 RpgmModel::position_at(sim::Time t) {
+  advance_past(t);
+  return cur_.eval(t);
+}
+
+MotionSegment RpgmModel::segment_at(sim::Time t) {
+  advance_past(t);
+  return cur_;
+}
+
+}  // namespace rcast::mobility

@@ -1,0 +1,69 @@
+// Reference Point Group Mobility (Hong et al.): nodes move in groups, each
+// group following a logical reference point that itself performs random
+// waypoint motion; every member holds a bounded random offset from the
+// reference point that drifts slowly between waypoints.
+//
+// Implementation: each member owns a *private* RandomWaypointModel seeded
+// identically for all members of its group, so the group's reference
+// trajectory is reproduced in lockstep without shared mutable state (shard
+// workers may query members of one group concurrently). The member walks the
+// reference trajectory leg by leg at leg boundaries — never at caller query
+// times — so its offset draws, and therefore its trajectory, are bit-exact
+// regardless of the query pattern (the MotionSegment caching contract).
+#pragma once
+
+#include "geo/vec2.hpp"
+#include "mobility/mobility_model.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "sim/time.hpp"
+#include "util/rng.hpp"
+
+namespace rcast::mobility {
+
+struct RpgmConfig {
+  /// Reference-point kinematics (identical meaning to RandomWaypointConfig).
+  geo::Rect world;
+  double min_speed_mps = 0.1;
+  double max_speed_mps = 20.0;
+  sim::Time pause = 0;
+
+  /// Maximum member offset from the reference point, per axis.
+  double span_m = 100.0;
+  /// Cap on how fast the offset may drift while the reference moves.
+  double span_rate_mps = 2.0;
+};
+
+class RpgmModel final : public MobilityModel {
+ public:
+  /// `reference_rng` must be identical for every member of one group (it
+  /// drives the shared reference trajectory); `member_rng` is per-node and
+  /// drives this member's offsets.
+  RpgmModel(const RpgmConfig& config, Rng reference_rng, Rng member_rng);
+
+  geo::Vec2 position_at(sim::Time t) override;
+  MotionSegment segment_at(sim::Time t) override;
+  /// Reference speed plus the offset drift cap. World clamping only ever
+  /// shrinks endpoint distances (projection onto a convex set), so this
+  /// bound holds for the emitted segments too.
+  double max_speed() const override {
+    return cfg_.max_speed_mps + cfg_.span_rate_mps;
+  }
+
+ private:
+  void advance_past(sim::Time t);
+  /// Derives this member's segment from the reference segment starting at
+  /// cur_.expires: settles the offset across pauses, drifts it (capped at
+  /// span_rate_mps) across legs.
+  void mirror(const MotionSegment& rs);
+  geo::Vec2 clamp_world(geo::Vec2 p) const;
+
+  RpgmConfig cfg_;
+  RandomWaypointModel ref_;
+  Rng rng_;
+  geo::Vec2 off_from_;
+  geo::Vec2 off_to_;
+  MotionSegment cur_;
+  sim::Time last_query_ = 0;
+};
+
+}  // namespace rcast::mobility

@@ -1,0 +1,148 @@
+// LEACH-style clustered duty-cycling (Heinzelman et al., adapted to the
+// 802.11 PSM substrate): time is divided into rounds; at each round boundary
+// every node independently elects itself cluster head with probability
+// ch_fraction scaled by its residual battery fraction, subject to a cooldown
+// of ~1/ch_fraction rounds so headship rotates. Heads stay in active mode
+// for the round and announce themselves on the existing MAC broadcast path;
+// members duty-cycle through PSM and only trust the announced head to be
+// awake for immediate sends.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "energy/energy_model.hpp"
+#include "mac/mac_types.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rcast::power {
+
+struct ClusterConfig {
+  /// Round length: heads rotate at this cadence.
+  sim::Time round = 20 * sim::kSecond;
+  /// Desired fraction of nodes acting as cluster head per round (LEACH's P).
+  double ch_fraction = 0.05;
+};
+
+/// Cluster-head announcement, broadcast at round start. Policy-private: the
+/// MAC shows it to every power policy via on_frame_decoded and then drops it
+/// before the routing layer.
+struct ClusterAnnounce final : mac::NetDatagram {
+  mac::NodeId head = 0;
+  std::int64_t size_bits() const override { return 16 * 8; }
+  bool policy_private() const override { return true; }
+};
+
+class ClusterPowerPolicy final : public mac::PowerPolicy {
+ public:
+  using BroadcastFn = std::function<void(mac::NetDatagramPtr)>;
+
+  /// One CH-election entry per round (golden-trace tests).
+  struct Election {
+    std::uint64_t round = 0;
+    bool is_head = false;
+  };
+
+  ClusterPowerPolicy(const ClusterConfig& config, sim::Simulator& simulator,
+                     mac::NodeId id, Rng rng,
+                     energy::EnergyMeter* meter = nullptr)
+      : cfg_(config),
+        sim_(simulator),
+        id_(id),
+        rng_(rng),
+        meter_(meter),
+        cooldown_(static_cast<std::uint64_t>(std::max<long long>(
+            1, std::llround(1.0 / std::max(config.ch_fraction, 1e-4)) - 1))),
+        rounds_since_head_(cooldown_),  // everyone eligible in round 0
+        timer_(simulator, [this] { on_round(); }) {
+    RCAST_REQUIRE(cfg_.round > 0);
+    RCAST_REQUIRE(cfg_.ch_fraction > 0.0 && cfg_.ch_fraction <= 1.0);
+    timer_.start(sim_.now(), cfg_.round);
+  }
+
+  /// Wired by the scenario: hands an announcement to this node's MAC as a
+  /// broadcast data frame. Elections before this is set skip the announce.
+  void set_broadcast(BroadcastFn fn) { broadcast_ = std::move(fn); }
+
+  bool always_awake() const override { return false; }
+
+  /// Heads serve their cluster in active mode; members duty-cycle.
+  bool ps_mode_now(sim::Time) override { return !is_head_; }
+
+  /// Members never overhear: clustering minimizes member radio on-time.
+  bool should_overhear(mac::NodeId, mac::OverhearingMode,
+                       sim::Time) override {
+    return false;
+  }
+
+  /// Announcements arrive as broadcasts; everyone listens for them.
+  bool should_receive_broadcast(mac::NodeId, sim::Time) override {
+    return true;
+  }
+
+  /// Only the announced head is trusted to be awake outside ATIM windows.
+  bool believes_awake(mac::NodeId neighbor, sim::Time) override {
+    return head_known_ && neighbor == head_;
+  }
+
+  void on_immediate_send_failed(mac::NodeId neighbor) override {
+    if (head_known_ && neighbor == head_) head_known_ = false;
+  }
+
+  void on_frame_decoded(const mac::MacFrame& frame, sim::Time) override {
+    if (frame.kind != mac::FrameKind::kData || frame.datagram == nullptr) {
+      return;
+    }
+    const auto* a = dynamic_cast<const ClusterAnnounce*>(frame.datagram.get());
+    if (a == nullptr || a->head == id_) return;
+    head_ = a->head;
+    head_known_ = true;
+  }
+
+  bool is_head() const { return is_head_; }
+  const std::vector<Election>& election_log() const { return log_; }
+
+ private:
+  void on_round() {
+    // The draw happens every round regardless of eligibility so the stream
+    // stays aligned across nodes with different headship histories.
+    const double draw = rng_.uniform01();
+    double p = cfg_.ch_fraction;
+    if (meter_ != nullptr) p *= meter_->battery_fraction(sim_.now());
+    const bool eligible = rounds_since_head_ >= cooldown_;
+    is_head_ = eligible && draw < p;
+    head_known_ = false;  // members re-learn the head each round
+    if (is_head_) {
+      rounds_since_head_ = 0;
+      if (broadcast_) {
+        auto a = std::make_shared<ClusterAnnounce>();
+        a->head = id_;
+        broadcast_(std::move(a));
+      }
+    } else {
+      ++rounds_since_head_;
+    }
+    log_.push_back(Election{round_index_, is_head_});
+    ++round_index_;
+  }
+
+  ClusterConfig cfg_;
+  sim::Simulator& sim_;
+  mac::NodeId id_;
+  Rng rng_;
+  energy::EnergyMeter* meter_;
+  BroadcastFn broadcast_;
+  std::uint64_t cooldown_;
+  std::uint64_t rounds_since_head_;
+  std::uint64_t round_index_ = 0;
+  bool is_head_ = false;
+  bool head_known_ = false;
+  mac::NodeId head_ = mac::kBroadcastId;
+  std::vector<Election> log_;
+  sim::PeriodicTimer timer_;  // last member: cancelled before state dies
+};
+
+}  // namespace rcast::power

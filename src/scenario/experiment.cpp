@@ -58,6 +58,7 @@ void RunAverager::add(const RunResult& r) {
   sums_.energy_per_bit_j += r.energy_per_bit_j;
   sums_.normalized_overhead += r.normalized_overhead;
   sums_.first_death_s += r.first_death_s;
+  sums_.partition_time_s += r.partition_time_s;
 
   sums_.originated += static_cast<double>(r.originated);
   sums_.delivered += static_cast<double>(r.delivered);
@@ -96,6 +97,7 @@ RunResult RunAverager::mean() const {
   avg.energy_per_bit_j = sums_.energy_per_bit_j / n;
   avg.normalized_overhead = sums_.normalized_overhead / n;
   avg.first_death_s = sums_.first_death_s / n;
+  avg.partition_time_s = sums_.partition_time_s / n;
 
   avg.originated = static_cast<std::uint64_t>(sums_.originated / n);
   avg.delivered = static_cast<std::uint64_t>(sums_.delivered / n);

@@ -43,7 +43,7 @@ class RunAverager {
     double total_energy_j = 0, energy_variance = 0, energy_mean_j = 0;
     double energy_min_j = 0, energy_max_j = 0, pdr_percent = 0;
     double avg_delay_s = 0, energy_per_bit_j = 0, normalized_overhead = 0;
-    double first_death_s = 0;
+    double first_death_s = 0, partition_time_s = 0;
     double originated = 0, delivered = 0, control_tx = 0, atim_tx = 0;
     double data_tx_attempts = 0, overhear_commits = 0, overhear_declines = 0;
     double mac_sleeps = 0, rreq_tx = 0, rrep_tx = 0, rerr_tx = 0;

@@ -5,11 +5,9 @@
 #include <cmath>
 #include <thread>
 
-#include "mobility/random_waypoint.hpp"
+#include "scenario/policy_registry.hpp"
 #include "sim/sharded_executor.hpp"
 #include "util/alloc_tracker.hpp"
-#include "power/always_on.hpp"
-#include "power/psm_policy.hpp"
 #include "util/assert.hpp"
 
 namespace rcast::scenario {
@@ -41,22 +39,12 @@ sim::Time effective_horizon(const ScenarioConfig& cfg) {
 }  // namespace
 
 core::OverhearingMap oh_map_for(Scheme s) {
-  switch (s) {
-    case Scheme::k80211:
-    case Scheme::kPsmNone:
-    case Scheme::kOdpm:
-      return core::OverhearingMap::psm_none();
-    case Scheme::kPsmAll:
-      return core::OverhearingMap::psm_all();
-    case Scheme::kRcast:
-      return core::OverhearingMap::rcast();
-    case Scheme::kRcastBcast:
-      return core::OverhearingMap::rcast_with_broadcast();
-  }
-  return core::OverhearingMap::rcast();
+  return power_policies().resolve(to_string(s)).oh_map;
 }
 
-bool scheme_uses_psm(Scheme s) { return s != Scheme::k80211; }
+bool scheme_uses_psm(Scheme s) {
+  return power_policies().resolve(to_string(s)).uses_psm;
+}
 
 // --------------------------------------------------------------------------
 // Node
@@ -71,8 +59,10 @@ Node::Node(sim::Simulator& simulator, phy::Channel& channel,
   phy_ = std::make_unique<phy::Phy>(simulator, channel, id, meter_.get());
   phy_->set_telemetry(bus);
 
+  const PowerPolicyEntry& pe =
+      power_policies().resolve(to_string(cfg.scheme));
   mac::MacConfig mac_cfg = cfg.mac;
-  mac_cfg.psm_enabled = scheme_uses_psm(cfg.scheme);
+  mac_cfg.psm_enabled = pe.uses_psm;
   Rng mac_rng = rng.fork(0xAC);
   if (cfg.sync_jitter > 0) {
     mac_cfg.beacon_offset = static_cast<sim::Time>(
@@ -81,60 +71,28 @@ Node::Node(sim::Simulator& simulator, phy::Channel& channel,
   mac_ = std::make_unique<mac::Mac>(simulator, *phy_, mac_cfg, mac_rng);
   mac_->set_telemetry(bus);
 
-  switch (cfg.scheme) {
-    case Scheme::k80211:
-      policy_ = std::make_unique<power::AlwaysOnPolicy>();
-      break;
-    case Scheme::kPsmNone:
-    case Scheme::kPsmAll:
-      policy_ = std::make_unique<power::PsmPolicy>();
-      break;
-    case Scheme::kOdpm: {
-      auto odpm = std::make_unique<power::OdpmPolicy>(cfg.odpm);
-      odpm->set_telemetry(bus, id);
-      policy_ = std::move(odpm);
-      break;
-    }
-    case Scheme::kRcast:
-    case Scheme::kRcastBcast: {
-      core::RcastConfig rc = cfg.rcast;
-      if (cfg.rcast_oracle_neighbors && !rc.neighbor_count_fn) {
-        rc.neighbor_count_fn = [&channel, id] {
-          return channel.neighbor_count(id);
-        };
-      }
-      policy_ = std::make_unique<core::RcastPolicy>(rc, rng.fork(0x5C),
-                                                    meter_.get());
-      break;
-    }
-  }
+  policy_ = pe.make(PowerPolicyContext{simulator, channel, *mac_, cfg, id,
+                                       rng, meter_.get(), bus});
   mac_->set_power_policy(policy_.get());
 
-  if (cfg.routing == RoutingProtocol::kDsr) {
-    routing::DsrConfig dsr_cfg = cfg.dsr;
-    if (!cfg.override_oh_map) dsr_cfg.oh_map = oh_map_for(cfg.scheme);
-    dsr_ = std::make_unique<routing::Dsr>(simulator, *mac_, dsr_cfg,
-                                          rng.fork(0xD5), policy_.get());
-  } else {
-    aodv_ = std::make_unique<routing::Aodv>(simulator, *mac_, cfg.aodv,
-                                            rng.fork(0xA0), policy_.get());
-  }
+  const RoutingEntry& re =
+      routing_protocols().resolve(to_string(cfg.routing));
+  agent_ = re.make(RoutingContext{simulator, *mac_, cfg, rng, policy_.get()});
   mac_->start();
 }
 
-routing::RoutingAgent& Node::agent() {
-  if (dsr_ != nullptr) return *dsr_;
-  return *aodv_;
-}
+routing::RoutingAgent& Node::agent() { return *agent_; }
 
 routing::Dsr& Node::dsr() {
-  RCAST_REQUIRE_MSG(dsr_ != nullptr, "node runs AODV, not DSR");
-  return *dsr_;
+  auto* d = dynamic_cast<routing::Dsr*>(agent_.get());
+  RCAST_REQUIRE_MSG(d != nullptr, "node runs AODV, not DSR");
+  return *d;
 }
 
 routing::Aodv& Node::aodv() {
-  RCAST_REQUIRE_MSG(aodv_ != nullptr, "node runs DSR, not AODV");
-  return *aodv_;
+  auto* a = dynamic_cast<routing::Aodv*>(agent_.get());
+  RCAST_REQUIRE_MSG(a != nullptr, "node runs DSR, not AODV");
+  return *a;
 }
 
 // --------------------------------------------------------------------------
@@ -157,18 +115,13 @@ Network::Network(const ScenarioConfig& cfg)
   bus_.subscribe_mac(&counters_);
   Rng root(cfg.seed);
 
-  // Mobility models. A pause >= duration makes the node effectively static
-  // (the paper's T_pause = 1125 s scenario).
+  // Mobility models, via the registry. The fork order (one child stream per
+  // node index) is part of the determinism contract.
+  const MobilityEntry& me = mobility_models().resolve(cfg.mobility_model);
   Rng mob_rng = root.fork(0x30B);
   for (std::size_t i = 0; i < cfg.num_nodes; ++i) {
-    mobility::RandomWaypointConfig m;
-    m.world = cfg.world;
-    m.max_speed_mps = std::max(cfg.max_speed_mps, 0.2);
-    m.min_speed_mps = std::min(0.1, m.max_speed_mps / 2.0);
-    m.pause = cfg.pause;
     mobility_.add_node(static_cast<phy::NodeId>(i),
-                       std::make_unique<mobility::RandomWaypointModel>(
-                           m, mob_rng.fork(i)));
+                       me.make(MobilityContext{cfg, i, mob_rng.fork(i)}));
   }
 
   // Sharded runs: home-pin every node to one of K vertical strips of the
@@ -218,17 +171,65 @@ Network::Network(const ScenarioConfig& cfg)
     fleet_.add(&nodes_.back()->meter());
   }
 
-  // Traffic. Sources schedule their send events on the source node's shard.
+  // Traffic, via the registry. The pattern builds every source; bind_shard
+  // routes each source's events to its node's home shard.
   Rng traffic_rng = root.fork(0x7AF1C);
-  auto flows = traffic::make_flow_matrix(cfg.num_nodes, cfg.num_flows,
-                                         cfg.rate_pps, cfg.payload_bits,
-                                         traffic_rng);
-  for (const auto& f : flows) {
-    if (sim_.sharded()) sim_.set_shard_context(node_shard_[f.src]);
-    sources_.push_back(std::make_unique<traffic::CbrSource>(
-        sim_, nodes_[f.src]->agent(), f, traffic_rng.fork(f.flow_id)));
-  }
+  const TrafficEntry& te = traffic_patterns().resolve(cfg.traffic_pattern);
+  sources_ = te.make(TrafficContext{
+      sim_, cfg, traffic_rng,
+      [this](phy::NodeId id) -> routing::RoutingAgent& {
+        return nodes_[id]->agent();
+      },
+      [this](phy::NodeId id) {
+        if (sim_.sharded()) sim_.set_shard_context(node_shard_[id]);
+      }});
   if (sim_.sharded()) sim_.clear_shard_context();
+
+  // Finite-battery lifetime probe. Single-queue runs only: the periodic
+  // event has no home shard, and lifetime studies are not sharded-scale.
+  if (cfg.battery_joules > 0.0 && cfg.lifetime_check_interval > 0 &&
+      !sim_.sharded()) {
+    lifetime_timer_ = std::make_unique<sim::PeriodicTimer>(
+        sim_, [this] { lifetime_check(); });
+    lifetime_timer_->start(cfg.lifetime_check_interval,
+                           cfg.lifetime_check_interval);
+  }
+}
+
+void Network::lifetime_check() {
+  if (partition_time_s_ > 0.0) {
+    lifetime_timer_->stop();  // first partition instant already recorded
+    return;
+  }
+  std::vector<std::size_t> alive;
+  alive.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i]->meter().depleted()) alive.push_back(i);
+  }
+  if (alive.size() < 2) return;  // nothing left to partition
+  std::vector<geo::Vec2> pos(alive.size());
+  for (std::size_t k = 0; k < alive.size(); ++k) {
+    pos[k] = mobility_.position(static_cast<phy::NodeId>(alive[k]));
+  }
+  // Connectivity of the alive nodes at tx_range (BFS over the disc graph).
+  const double r2 = cfg_.tx_range_m * cfg_.tx_range_m;
+  std::vector<char> seen(alive.size(), 0);
+  std::vector<std::size_t> stack{0};
+  seen[0] = 1;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const std::size_t u = stack.back();
+    stack.pop_back();
+    for (std::size_t v = 0; v < alive.size(); ++v) {
+      if (seen[v] || geo::distance_sq(pos[u], pos[v]) > r2) continue;
+      seen[v] = 1;
+      ++reached;
+      stack.push_back(v);
+    }
+  }
+  if (reached < alive.size()) {
+    partition_time_s_ = sim::to_seconds(sim_.now());
+  }
 }
 
 RunResult Network::run() {
@@ -307,6 +308,7 @@ RunResult Network::base_summary() {
 
   r.dead_nodes = fleet_.dead_count();
   if (auto fd = fleet_.first_death()) r.first_death_s = sim::to_seconds(*fd);
+  r.partition_time_s = partition_time_s_;
   r.events_executed = sim_.executed_events();
   return r;
 }

@@ -17,6 +17,7 @@ enum class Scheme {
   kOdpm = 3,      // On-Demand Power Management (Zheng & Kravets)
   kRcast = 4,     // RandomCast (the paper's contribution)
   kRcastBcast = 5,  // Rcast + randomized broadcast receiving (paper §5)
+  kLeach = 6,     // LEACH-style clustered duty-cycling (registry extension)
 };
 
 constexpr std::string_view to_string(Scheme s) {
@@ -33,6 +34,8 @@ constexpr std::string_view to_string(Scheme s) {
       return "RCAST";
     case Scheme::kRcastBcast:
       return "RCAST-BC";
+    case Scheme::kLeach:
+      return "LEACH";
   }
   return "?";
 }
@@ -52,7 +55,10 @@ constexpr std::string_view to_string(RoutingProtocol p) {
   return "?";
 }
 
-/// Every scheme, in the comparison order the paper's figures use.
+/// Every scheme compared in the paper's figures, in figure order. LEACH is
+/// deliberately absent: `--scheme=all` and the figure loops iterate the
+/// paper's six-way comparison, and the clustered scheme joins sweeps by
+/// explicit name (`power.scheme=[rcast,leach]`).
 inline constexpr std::array<Scheme, 6> kAllSchemes = {
     Scheme::k80211,  Scheme::kPsmNone, Scheme::kPsmAll,
     Scheme::kOdpm,   Scheme::kRcast,   Scheme::kRcastBcast,
@@ -84,6 +90,7 @@ constexpr std::optional<Scheme> scheme_from_string(std::string_view s) {
   }
   if (detail::iequals(s, "802.11")) return Scheme::k80211;
   if (detail::iequals(s, "rcast-bcast")) return Scheme::kRcastBcast;
+  if (detail::iequals(s, to_string(Scheme::kLeach))) return Scheme::kLeach;
   return std::nullopt;
 }
 

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "scenario/policy_registry.hpp"
+
 namespace rcast::serving {
 
 namespace {
@@ -13,11 +15,6 @@ constexpr char kMagic[8] = {'r', 'c', 'a', 's', 't', 'i', 'd', 'x'};
 constexpr std::uint32_t kVersion = 1;
 constexpr std::uint32_t kRecordSize = 80;
 constexpr std::size_t kHeaderSize = 16;
-
-void put_u16(unsigned char* p, std::uint16_t v) {
-  p[0] = static_cast<unsigned char>(v);
-  p[1] = static_cast<unsigned char>(v >> 8);
-}
 
 void put_u32(unsigned char* p, std::uint32_t v) {
   for (int i = 0; i < 4; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
@@ -76,7 +73,8 @@ void encode_entry(const IndexEntry& e, unsigned char out[80]) {
   put_u32(out + 32, e.length);
   out[36] = e.scheme;
   out[37] = e.routing;
-  put_u16(out + 38, 0);
+  out[38] = e.mobility;
+  out[39] = e.traffic;
   put_u32(out + 40, e.nodes);
   put_u32(out + 44, e.flows);
   put_f64(out + 48, e.rate_pps);
@@ -94,6 +92,8 @@ IndexEntry decode_entry(const unsigned char in[80]) {
   e.length = get_u32(in + 32);
   e.scheme = in[36];
   e.routing = in[37];
+  e.mobility = in[38];
+  e.traffic = in[39];
   e.nodes = get_u32(in + 40);
   e.flows = get_u32(in + 44);
   e.rate_pps = get_f64(in + 48);
@@ -113,6 +113,10 @@ IndexEntry entry_from_record(const campaign::JobRecord& rec,
   e.length = length;
   e.scheme = static_cast<std::uint8_t>(rec.scheme);
   e.routing = static_cast<std::uint8_t>(rec.routing);
+  e.mobility = static_cast<std::uint8_t>(
+      scenario::mobility_models().index_of(rec.mobility));
+  e.traffic = static_cast<std::uint8_t>(
+      scenario::traffic_patterns().index_of(rec.traffic));
   e.nodes = static_cast<std::uint32_t>(rec.nodes);
   e.flows = static_cast<std::uint32_t>(rec.flows);
   e.rate_pps = rec.rate_pps;

@@ -12,9 +12,13 @@
 //   header, 16 B:  "rcastidx" | u32 version (1) | u32 record size (80)
 //   record, 80 B:   0 u64 job        8 u64 offset    16 u64 cfg_digest
 //                  24 u64 cell      32 u32 length    36 u8 scheme
-//                  37 u8 routing    38 u16 pad       40 u32 nodes
-//                  44 u32 flows     48 f64 rate_pps  56 f64 pause_s
-//                  64 f64 duration  72 u64 seed
+//                  37 u8 routing    38 u8 mobility   39 u8 traffic
+//                  40 u32 nodes     44 u32 flows     48 f64 rate_pps
+//                  56 f64 pause_s   64 f64 duration  72 u64 seed
+//
+// Bytes 38/39 were zero padding before the policy-registry split; they now
+// carry the mobility/traffic registry ordinals, whose value 0 is the
+// pre-split default (rwp / cbr) — old sidecars stay valid unmodified.
 //
 // Deliberately no record count in the header: the count is derived from the
 // file size, so an append crash leaves at worst a torn trailing record that
@@ -49,6 +53,8 @@ struct IndexEntry {
   std::uint32_t length = 0;      // line length excluding '\n'
   std::uint8_t scheme = 0;       // scenario::Scheme
   std::uint8_t routing = 0;      // scenario::RoutingProtocol
+  std::uint8_t mobility = 0;     // mobility_models() registry ordinal
+  std::uint8_t traffic = 0;      // traffic_patterns() registry ordinal
   std::uint32_t nodes = 0;
   std::uint32_t flows = 0;
   double rate_pps = 0.0;

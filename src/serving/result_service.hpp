@@ -42,6 +42,8 @@ struct CacheStats {
 struct AggregateFilter {
   std::optional<std::uint8_t> scheme;
   std::optional<std::uint8_t> routing;
+  std::optional<std::uint8_t> mobility;  // mobility_models() ordinal
+  std::optional<std::uint8_t> traffic;   // traffic_patterns() ordinal
   std::optional<std::uint32_t> nodes;
   std::optional<std::uint32_t> flows;
   std::optional<double> rate_pps;
@@ -50,13 +52,15 @@ struct AggregateFilter {
   std::optional<std::uint64_t> seed;
 
   bool empty() const {
-    return !scheme && !routing && !nodes && !flows && !rate_pps && !pause_s &&
-           !duration_s && !seed;
+    return !scheme && !routing && !mobility && !traffic && !nodes && !flows &&
+           !rate_pps && !pause_s && !duration_s && !seed;
   }
 
   bool matches(const IndexEntry& e) const {
     return (!scheme || *scheme == e.scheme) &&
            (!routing || *routing == e.routing) &&
+           (!mobility || *mobility == e.mobility) &&
+           (!traffic || *traffic == e.traffic) &&
            (!nodes || *nodes == e.nodes) && (!flows || *flows == e.flows) &&
            (!rate_pps || *rate_pps == e.rate_pps) &&
            (!pause_s || *pause_s == e.pause_s) &&

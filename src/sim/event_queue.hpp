@@ -119,12 +119,14 @@ class EventQueue {
   };
 
   /// Schedules `h` at absolute time `t` (must not be in the past relative to
-  /// the last popped event).
-  EventId push(Time t, Handler h) { return push_impl(t, h, nullptr); }
+  /// the last popped event). Takes the handler by rvalue reference so the
+  /// caller's object (e.g. Simulator::at's by-value parameter) is moved into
+  /// the slot directly, with no intermediate parameter move.
+  EventId push(Time t, Handler&& h) { return push_impl(t, h, nullptr); }
 
   /// Hinted variant for hot call sites pushing runs of nearby timestamps;
   /// the hint is filled on the first push and consulted on the rest.
-  EventId push(Time t, Handler h, ScheduleHint& hint) {
+  EventId push(Time t, Handler&& h, ScheduleHint& hint) {
     return push_impl(t, h, &hint);
   }
 

@@ -1,0 +1,91 @@
+#include "traffic/sensing.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace rcast::traffic {
+
+PeriodicBurstSource::PeriodicBurstSource(sim::Simulator& simulator,
+                                         routing::RoutingAgent& agent,
+                                         const CbrFlowConfig& flow,
+                                         const SensingConfig& sensing,
+                                         Rng rng)
+    : sim_(simulator),
+      agent_(agent),
+      cfg_(flow),
+      sense_(sensing),
+      rng_(rng),
+      period_(sim::from_seconds(1.0 / flow.rate_pps)),
+      report_timer_(simulator, [this] { report(); }),
+      burst_timer_(simulator, [this] { burst_fire(); }) {
+  RCAST_REQUIRE(cfg_.rate_pps > 0.0);
+  RCAST_REQUIRE(cfg_.src == agent.id());
+  RCAST_REQUIRE(cfg_.src != cfg_.dst);
+  RCAST_REQUIRE(sense_.burst_rate_pps >= 0.0);
+  RCAST_REQUIRE(sense_.burst_size >= 1);
+  RCAST_REQUIRE(sense_.burst_spacing > 0);
+  const sim::Time phase =
+      static_cast<sim::Time>(rng_.uniform01() * static_cast<double>(period_));
+  report_timer_.start(cfg_.start + phase, period_);
+  if (sense_.burst_rate_pps > 0.0) {
+    burst_timer_.arm(next_burst_delay());
+  }
+}
+
+bool PeriodicBurstSource::stopped() const {
+  return cfg_.stop != 0 && sim_.now() >= cfg_.stop;
+}
+
+sim::Time PeriodicBurstSource::next_burst_delay() {
+  return std::max<sim::Time>(
+      1, sim::from_seconds(rng_.exponential(1.0 / sense_.burst_rate_pps)));
+}
+
+void PeriodicBurstSource::report() {
+  if (stopped()) {
+    report_timer_.stop();
+    return;
+  }
+  agent_.send_data(cfg_.dst, cfg_.payload_bits, cfg_.flow_id, ++seq_);
+}
+
+void PeriodicBurstSource::burst_fire() {
+  if (stopped()) return;  // no re-arm: the burst chain ends here
+  if (burst_left_ == 0) burst_left_ = sense_.burst_size;  // burst arrival
+  agent_.send_data(cfg_.dst, cfg_.payload_bits, cfg_.flow_id, ++seq_);
+  --burst_left_;
+  burst_timer_.arm(burst_left_ > 0 ? sense_.burst_spacing
+                                   : next_burst_delay());
+}
+
+std::vector<CbrFlowConfig> make_sensing_flows(std::size_t n_nodes,
+                                              std::size_t n_flows,
+                                              double rate_pps,
+                                              std::int64_t payload_bits,
+                                              Rng& rng) {
+  RCAST_REQUIRE(n_nodes >= 2);
+  RCAST_REQUIRE_MSG(n_flows <= n_nodes - 1,
+                    "sensing pattern needs a distinct source per flow "
+                    "(node 0 is the sink)");
+  std::vector<NodeId> ids(n_nodes - 1);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ids[i] = static_cast<NodeId>(i + 1);
+  }
+  rng.shuffle(ids);  // distinct sources, sink excluded
+
+  std::vector<CbrFlowConfig> flows;
+  flows.reserve(n_flows);
+  for (std::size_t i = 0; i < n_flows; ++i) {
+    CbrFlowConfig f;
+    f.src = ids[i];
+    f.dst = 0;  // the sink
+    f.flow_id = static_cast<std::uint32_t>(i);
+    f.rate_pps = rate_pps;
+    f.payload_bits = payload_bits;
+    flows.push_back(f);
+  }
+  return flows;
+}
+
+}  // namespace rcast::traffic

@@ -1,0 +1,63 @@
+// Sensing-style workload for clustered scenarios: every source node sends
+// periodic reports toward a sink (convergecast, the WSN data-gathering
+// shape) plus Poisson-arriving event bursts — a detected event produces a
+// short back-to-back packet train instead of a lone report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "traffic/cbr.hpp"
+#include "traffic/traffic_source.hpp"
+
+namespace rcast::traffic {
+
+struct SensingConfig {
+  /// Poisson rate of event bursts per source; 0 = periodic reports only.
+  double burst_rate_pps = 0.05;
+  /// Packets per burst.
+  std::uint64_t burst_size = 5;
+  /// Spacing between consecutive packets of one burst.
+  sim::Time burst_spacing = 10 * sim::kMillisecond;
+};
+
+/// Periodic reports at flow.rate_pps (random phase, like CbrSource) plus
+/// exponential-interarrival bursts of `burst_size` packets spaced
+/// `burst_spacing` apart. Reports and burst packets share one sequence
+/// stream toward the flow's destination.
+class PeriodicBurstSource final : public TrafficSource {
+ public:
+  PeriodicBurstSource(sim::Simulator& simulator, routing::RoutingAgent& agent,
+                      const CbrFlowConfig& flow, const SensingConfig& sensing,
+                      Rng rng);
+
+  std::uint32_t packets_sent() const override { return seq_; }
+  const CbrFlowConfig& config() const { return cfg_; }
+
+ private:
+  void report();
+  void burst_fire();
+  bool stopped() const;
+  sim::Time next_burst_delay();
+
+  sim::Simulator& sim_;
+  routing::RoutingAgent& agent_;
+  CbrFlowConfig cfg_;
+  SensingConfig sense_;
+  Rng rng_;
+  sim::Time period_;
+  std::uint32_t seq_ = 0;
+  std::uint64_t burst_left_ = 0;  // packets remaining in the active burst
+  sim::PeriodicTimer report_timer_;
+  sim::OneShotTimer burst_timer_;
+};
+
+/// Convergecast flow matrix: node 0 is the sink, sources are distinct nodes
+/// drawn from 1..n-1. Requires n_flows <= n_nodes - 1.
+std::vector<CbrFlowConfig> make_sensing_flows(std::size_t n_nodes,
+                                              std::size_t n_flows,
+                                              double rate_pps,
+                                              std::int64_t payload_bits,
+                                              Rng& rng);
+
+}  // namespace rcast::traffic

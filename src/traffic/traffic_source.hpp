@@ -1,0 +1,18 @@
+// Common interface for workload generators. A traffic pattern (registry
+// entry) builds one TrafficSource per flow; the scenario only needs the
+// sent-packet count for diagnostics, everything else is pattern-private.
+#pragma once
+
+#include <cstdint>
+
+namespace rcast::traffic {
+
+class TrafficSource {
+ public:
+  virtual ~TrafficSource() = default;
+
+  /// Packets handed to the routing agent so far.
+  virtual std::uint32_t packets_sent() const = 0;
+};
+
+}  // namespace rcast::traffic

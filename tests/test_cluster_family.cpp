@@ -1,0 +1,231 @@
+// Clustered workload family (DESIGN.md §16): LEACH-style cluster-head
+// election golden trace and rotation invariants, RPGM's bit-exactness
+// contract (segment caching and query-pattern independence), and the full
+// leach+rpgm+sensing scenario under determinism and shard-equivalence
+// checks. TSan runs the ClusterFamily suite (ci.yml).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geo/vec2.hpp"
+#include "mobility/rpgm.hpp"
+#include "power/cluster.hpp"
+#include "scenario/scenario.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace rcast {
+namespace {
+
+using power::ClusterAnnounce;
+using power::ClusterConfig;
+using power::ClusterPowerPolicy;
+using scenario::RunResult;
+using scenario::ScenarioConfig;
+using scenario::Scheme;
+
+// ------------------------------------------------------ CH election ------
+
+ClusterConfig election_cfg() {
+  ClusterConfig c;
+  c.round = sim::kSecond;
+  c.ch_fraction = 0.3;  // cooldown = round(1/0.3) - 1 = 2 rounds
+  return c;
+}
+
+std::vector<bool> head_rounds(std::uint64_t seed, int rounds) {
+  sim::Simulator sim;
+  ClusterPowerPolicy p(election_cfg(), sim, /*id=*/0, Rng(seed));
+  sim.run_until(static_cast<sim::Time>(rounds - 1) * sim::kSecond + 1);
+  std::vector<bool> out;
+  for (const auto& e : p.election_log()) out.push_back(e.is_head);
+  return out;
+}
+
+// The election stream is part of the reproduction surface: a fixed seed
+// must elect the same head sequence forever. Regenerate by printing
+// head_rounds(42, 20) if the stream is deliberately changed.
+TEST(ClusterFamily, ElectionGoldenTrace) {
+  const std::vector<bool> got = head_rounds(42, 20);
+  ASSERT_EQ(got.size(), 20u);
+  const std::vector<bool> want = {true,  false, false, false, false,
+                                  false, false, false, false, false,
+                                  false, true,  false, false, false,
+                                  false, false, false, false, false};
+  EXPECT_EQ(got, want);
+}
+
+TEST(ClusterFamily, ElectionLogIsDeterministicAndCooldownHolds) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    const std::vector<bool> a = head_rounds(seed, 40);
+    const std::vector<bool> b = head_rounds(seed, 40);
+    ASSERT_EQ(a, b) << "seed " << seed;
+    // After a headship, the cooldown (2 rounds at P=0.3) bars re-election.
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (!a[i]) continue;
+      for (std::size_t j = i + 1; j < std::min(i + 3, a.size()); ++j) {
+        EXPECT_FALSE(a[j]) << "seed " << seed << " rounds " << i << "," << j;
+      }
+    }
+  }
+  // Headship actually happens: across seeds the election is live.
+  std::size_t heads = 0;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    for (const bool h : head_rounds(seed, 40)) heads += h;
+  }
+  EXPECT_GT(heads, 0u);
+}
+
+TEST(ClusterFamily, AnnouncementTeachesMembersTheHead) {
+  sim::Simulator sim;
+  ClusterPowerPolicy member(election_cfg(), sim, /*id=*/3, Rng(1));
+  EXPECT_FALSE(member.believes_awake(7, 0));
+
+  auto announce = std::make_shared<ClusterAnnounce>();
+  announce->head = 7;
+  EXPECT_TRUE(announce->policy_private());  // never reaches routing
+  mac::MacFrame frame;
+  frame.kind = mac::FrameKind::kData;
+  frame.src = 7;
+  frame.datagram = announce;
+  member.on_frame_decoded(frame, 0);
+  EXPECT_TRUE(member.believes_awake(7, 0));
+  EXPECT_FALSE(member.believes_awake(8, 0));
+
+  // A failed immediate send revokes the belief until the next announce.
+  member.on_immediate_send_failed(7);
+  EXPECT_FALSE(member.believes_awake(7, 0));
+}
+
+// ---------------------------------------------------------------- RPGM ---
+
+mobility::RpgmConfig rpgm_cfg() {
+  mobility::RpgmConfig c;
+  c.world = {1500.0, 300.0};
+  c.min_speed_mps = 1.0;
+  c.max_speed_mps = 20.0;
+  c.pause = 0;
+  c.span_m = 100.0;
+  c.span_rate_mps = 2.0;
+  return c;
+}
+
+TEST(ClusterFamily, RpgmStaysInsideWorld) {
+  mobility::RpgmModel m(rpgm_cfg(), Rng(7), Rng(8));
+  for (int s = 0; s <= 1000; s += 3) {
+    EXPECT_TRUE(rpgm_cfg().world.contains(m.position_at(sim::from_seconds(s))))
+        << "t=" << s;
+  }
+}
+
+TEST(ClusterFamily, RpgmSegmentEvalBitIdenticalToPositionAt) {
+  // Same contract RandomWaypoint pins: the cached segment must reproduce
+  // position_at to the last bit or sharded goldens drift.
+  mobility::RpgmModel direct(rpgm_cfg(), Rng(42), Rng(43));
+  mobility::RpgmModel cached(rpgm_cfg(), Rng(42), Rng(43));
+  mobility::MotionSegment seg = cached.segment_at(0);
+  for (int ms = 0; ms <= 300000; ms += 73) {
+    const sim::Time t = sim::from_millis(ms);
+    if (t >= seg.expires) seg = cached.segment_at(t);
+    const geo::Vec2 want = direct.position_at(t);
+    const geo::Vec2 got = seg.eval(t);
+    ASSERT_EQ(got.x, want.x) << "t=" << ms << "ms";
+    ASSERT_EQ(got.y, want.y) << "t=" << ms << "ms";
+  }
+}
+
+TEST(ClusterFamily, RpgmTrajectoryIndependentOfQueryPattern) {
+  // Offsets are drawn at reference leg boundaries, never at query times, so
+  // a model probed every 73 ms and one probed once at the end agree exactly.
+  mobility::RpgmModel fine(rpgm_cfg(), Rng(9), Rng(10));
+  mobility::RpgmModel coarse(rpgm_cfg(), Rng(9), Rng(10));
+  for (int ms = 0; ms <= 200000; ms += 73) {
+    (void)fine.position_at(sim::from_millis(ms));
+  }
+  const sim::Time end = sim::from_millis(200001);
+  const geo::Vec2 a = fine.position_at(end);
+  const geo::Vec2 b = coarse.position_at(end);
+  EXPECT_EQ(a.x, b.x);
+  EXPECT_EQ(a.y, b.y);
+}
+
+TEST(ClusterFamily, RpgmGroupMembersStayWithinSpanOfEachOther) {
+  // Two members of one group (identical reference rng, distinct member
+  // rngs) can be at most 2*span apart per axis by construction.
+  mobility::RpgmModel m1(rpgm_cfg(), Rng(5), Rng(100));
+  mobility::RpgmModel m2(rpgm_cfg(), Rng(5), Rng(200));
+  for (int s = 0; s <= 500; s += 7) {
+    const geo::Vec2 p1 = m1.position_at(sim::from_seconds(s));
+    const geo::Vec2 p2 = m2.position_at(sim::from_seconds(s));
+    EXPECT_LE(std::abs(p1.x - p2.x), 2 * rpgm_cfg().span_m + 1e-9) << s;
+    EXPECT_LE(std::abs(p1.y - p2.y), 2 * rpgm_cfg().span_m + 1e-9) << s;
+  }
+}
+
+TEST(ClusterFamily, RpgmMonotonicQueriesRequired) {
+  mobility::RpgmModel m(rpgm_cfg(), Rng(11), Rng(12));
+  (void)m.position_at(sim::from_seconds(100));
+  EXPECT_THROW(m.position_at(sim::from_seconds(50)), ContractViolation);
+}
+
+// ------------------------------------------------- clustered scenario ----
+
+ScenarioConfig clustered_cfg(std::uint64_t seed, std::uint64_t shards) {
+  ScenarioConfig cfg;
+  cfg.num_nodes = 40;
+  cfg.num_flows = 8;
+  cfg.world = {1000.0, 300.0};
+  cfg.rate_pps = 1.0;
+  cfg.duration = 15 * sim::kSecond;
+  cfg.pause = 0;
+  cfg.seed = seed;
+  cfg.sim_shards = shards;
+  cfg.scheme = Scheme::kLeach;
+  cfg.mobility_model = "rpgm";
+  cfg.traffic_pattern = "sensing";
+  cfg.cluster.round = 5 * sim::kSecond;
+  return cfg;
+}
+
+TEST(ClusterFamily, ScenarioDeterministicGivenSeed) {
+  const RunResult a = run_scenario(clustered_cfg(7, 1));
+  const RunResult b = run_scenario(clustered_cfg(7, 1));
+  ASSERT_GT(a.originated, 0u);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.per_node_energy_j, b.per_node_energy_j);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.avg_delay_s, b.avg_delay_s);
+  EXPECT_EQ(a.control_tx, b.control_tx);
+  EXPECT_EQ(a.mac_sleeps, b.mac_sleeps);
+}
+
+TEST(ClusterFamily, ShardedRunBitReproducible) {
+  const RunResult a = run_scenario(clustered_cfg(7, 4));
+  const RunResult b = run_scenario(clustered_cfg(7, 4));
+  ASSERT_GT(a.originated, 0u);
+  EXPECT_EQ(a.total_energy_j, b.total_energy_j);
+  EXPECT_EQ(a.per_node_energy_j, b.per_node_energy_j);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.mac_sleeps, b.mac_sleeps);
+}
+
+// Same tolerance rationale as Sharded.FourShardsEquivalentToSingleQueue:
+// different interleavings of one physical system, bounded by conservative
+// sync, so metrics agree loosely — only a real divergence trips this.
+TEST(ClusterFamily, FourShardsEquivalentToSingleQueue) {
+  const RunResult one = run_scenario(clustered_cfg(7, 1));
+  const RunResult four = run_scenario(clustered_cfg(7, 4));
+  ASSERT_GT(one.originated, 0u);
+  ASSERT_GT(four.originated, 0u);
+  EXPECT_NEAR(static_cast<double>(four.originated),
+              static_cast<double>(one.originated),
+              0.05 * static_cast<double>(one.originated));
+  EXPECT_NEAR(four.pdr_percent, one.pdr_percent, 10.0);
+  EXPECT_NEAR(four.total_energy_j, one.total_energy_j,
+              0.25 * one.total_energy_j);
+}
+
+}  // namespace
+}  // namespace rcast

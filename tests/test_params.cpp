@@ -261,10 +261,10 @@ TEST(ParamRegistryStore, CorruptConfigValueIsRejected) {
   job.cfg = cfg;
   std::string line = campaign::record_to_json(job, RunResult{}, 1.0);
   // Sabotage the routing token; the loader validates enums via the registry.
-  const auto pos = line.find("\"routing\":\"DSR\"");
+  const auto pos = line.find("\"routing.protocol\":\"DSR\"");
   ASSERT_NE(pos, std::string::npos);
-  line.replace(pos, std::string("\"routing\":\"DSR\"").size(),
-               "\"routing\":\"RIP\"");
+  line.replace(pos, std::string("\"routing.protocol\":\"DSR\"").size(),
+               "\"routing.protocol\":\"RIP\"");
   TempDir dir;
   const std::string path = dir.file("results.jsonl");
   {

@@ -535,10 +535,10 @@ TEST(ResultService, FilteredAggregateSelectsRows) {
   std::string header, row;
   std::getline(sin, header);
   while (std::getline(sin, row)) {
-    // seeds is the 8th CSV column.
+    // seeds is the 10th CSV column.
     std::istringstream cols(row);
     std::string field;
-    for (int i = 0; i < 8; ++i) ASSERT_TRUE(std::getline(cols, field, ','));
+    for (int i = 0; i < 10; ++i) ASSERT_TRUE(std::getline(cols, field, ','));
     EXPECT_EQ(field, "1") << row;
   }
 }

@@ -185,7 +185,8 @@ int main(int argc, char** argv) {
     }
     const std::string key = kv.substr(0, eq);
     for (const char* owned :
-         {"scheme", "routing", "rate_pps", "pause_s", "nodes", "seed"}) {
+         {"scheme", "routing", "power.scheme", "routing.protocol", "rate_pps",
+          "pause_s", "nodes", "seed"}) {
       if (key == owned) {
         std::fprintf(stderr,
                      "--set %s: grid axes come from the manifest, not --set\n",

@@ -22,9 +22,9 @@
 // cache view), /results?digest=<16hex> (point lookup via the index),
 // /aggregate?cell=<16hex> (memoized seed-average), /aggregate (full CSV,
 // optionally filtered by the grid coordinates the index records carry:
-// ?scheme=rcast&routing=dsr&nodes=60&flows=8&rate_pps=4&pause_s=30
-// &duration_s=900&seed=3), /metrics (chunked live counter stream merged
-// across shards).
+// ?scheme=rcast&routing=dsr&mobility.model=rpgm&traffic.pattern=sensing
+// &nodes=60&flows=8&rate_pps=4&pause_s=30&duration_s=900&seed=3),
+// /metrics (chunked live counter stream merged across shards).
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -45,6 +45,7 @@
 #include "campaign/result_store.hpp"
 #include "campaign/runner.hpp"
 #include "scenario/params.hpp"
+#include "scenario/policy_registry.hpp"
 #include "scenario/scheme.hpp"
 #include "serving/http_server.hpp"
 #include "serving/metrics_io.hpp"
@@ -268,6 +269,8 @@ std::string aggregate_row_json(const campaign::AggregateRow& row) {
   w.key("cell").value(row.cell);
   w.key("scheme").value(scenario::scheme_name(row.scheme));
   w.key("routing").value(scenario::to_string(row.routing));
+  w.key("mobility").value(row.mobility);
+  w.key("traffic").value(row.traffic);
   w.key("nodes").value(static_cast<std::uint64_t>(row.nodes));
   w.key("flows").value(static_cast<std::uint64_t>(row.flows));
   w.key("rate_pps").value(row.rate_pps);
@@ -284,7 +287,8 @@ std::string aggregate_row_json(const campaign::AggregateRow& row) {
   w.key("ctrl_tx").value(m.control_tx);
   w.key("hello_tx").value(m.hello_tx);
   w.key("dead_nodes").value(static_cast<std::uint64_t>(m.dead_nodes));
-  w.key("first_death_s").value(m.first_death_s);
+  w.key("first_node_death_s").value(m.first_death_s);
+  w.key("partition_time_s").value(m.partition_time_s);
   w.end_object();
   return w.take();
 }
@@ -312,6 +316,20 @@ std::variant<serving::AggregateFilter, std::string> parse_aggregate_filter(
       const auto r = scenario::routing_from_string(value);
       if (!r) return "unknown routing: " + value;
       f.routing = static_cast<std::uint8_t>(*r);
+    } else if (key == "mobility.model") {
+      try {
+        f.mobility = static_cast<std::uint8_t>(
+            scenario::mobility_models().index_of(value));
+      } catch (const scenario::RegistryError& e) {
+        return std::string(e.what());
+      }
+    } else if (key == "traffic.pattern") {
+      try {
+        f.traffic = static_cast<std::uint8_t>(
+            scenario::traffic_patterns().index_of(value));
+      } catch (const scenario::RegistryError& e) {
+        return std::string(e.what());
+      }
     } else if (key == "nodes" || key == "flows" || key == "seed") {
       const auto v = Flags::parse_u64(value);
       if (!v) return "malformed " + key + ": " + value;
@@ -469,6 +487,10 @@ int cmd_worker(const campaign::Manifest& manifest,
               serving::digest_to_u64(campaign::config_cell_digest(job.cfg));
           e.scheme = static_cast<std::uint8_t>(job.cfg.scheme);
           e.routing = static_cast<std::uint8_t>(job.cfg.routing);
+          e.mobility = static_cast<std::uint8_t>(
+              scenario::mobility_models().index_of(job.cfg.mobility_model));
+          e.traffic = static_cast<std::uint8_t>(
+              scenario::traffic_patterns().index_of(job.cfg.traffic_pattern));
           e.nodes = static_cast<std::uint32_t>(job.cfg.num_nodes);
           e.flows = static_cast<std::uint32_t>(job.cfg.num_flows);
           e.rate_pps = job.cfg.rate_pps;
@@ -751,7 +773,8 @@ int main(int argc, char** argv) {
     }
     const std::string key = kv.substr(0, eq);
     for (const char* owned :
-         {"scheme", "routing", "rate_pps", "pause_s", "nodes", "seed"}) {
+         {"scheme", "routing", "power.scheme", "routing.protocol", "rate_pps",
+          "pause_s", "nodes", "seed"}) {
       if (key == owned) {
         std::fprintf(stderr,
                      "--set %s: grid axes come from the manifest, not --set\n",

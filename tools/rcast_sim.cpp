@@ -29,7 +29,8 @@ void print_usage() {
       "rcast_sim — MANET energy-efficiency simulator (Rcast reproduction)\n"
       "\n"
       "  --scheme=NAME      80211 | psm-none | psm-all | odpm | rcast |\n"
-      "                     rcast-bc | all            (default rcast)\n"
+      "                     rcast-bc | leach | all    (default rcast;\n"
+      "                     'all' = the paper's six, without leach)\n"
       "  --routing=PROTO    dsr | aodv                (default dsr)\n"
       "  --nodes=N          node count                (default 100)\n"
       "  --flows=N          CBR flow count            (default nodes/5)\n"
@@ -55,19 +56,20 @@ void print_usage() {
 
 void print_csv_header() {
   std::printf(
-      "scheme,routing,seed,nodes,flows,rate_pps,seconds,pause_s,"
-      "pdr_pct,energy_j,energy_var,epb_j_per_bit,delay_s,delay_p50_s,"
+      "scheme,routing,mobility,traffic,seed,nodes,flows,rate_pps,seconds,"
+      "pause_s,pdr_pct,energy_j,energy_var,epb_j_per_bit,delay_s,delay_p50_s,"
       "delay_p90_s,norm_overhead,ctrl_tx,hello_tx,dead_nodes,"
-      "first_death_s\n");
+      "first_node_death_s,partition_time_s\n");
 }
 
 void print_csv_row(const scenario::ScenarioConfig& cfg,
                    const scenario::RunResult& r) {
   std::printf(
-      "%s,%s,%llu,%zu,%zu,%.3f,%.1f,%.1f,%.2f,%.1f,%.1f,%.6g,%.4f,%.4f,"
-      "%.4f,%.3f,%llu,%llu,%zu,%.1f\n",
+      "%s,%s,%s,%s,%llu,%zu,%zu,%.3f,%.1f,%.1f,%.2f,%.1f,%.1f,%.6g,%.4f,"
+      "%.4f,%.4f,%.3f,%llu,%llu,%zu,%.1f,%.1f\n",
       std::string(to_string(cfg.scheme)).c_str(),
       std::string(to_string(cfg.routing)).c_str(),
+      cfg.mobility_model.c_str(), cfg.traffic_pattern.c_str(),
       static_cast<unsigned long long>(cfg.seed), cfg.num_nodes,
       cfg.num_flows, cfg.rate_pps, sim::to_seconds(cfg.duration),
       sim::to_seconds(cfg.pause), r.pdr_percent, r.total_energy_j,
@@ -75,7 +77,7 @@ void print_csv_row(const scenario::ScenarioConfig& cfg,
       r.delay_p90_s, r.normalized_overhead,
       static_cast<unsigned long long>(r.control_tx),
       static_cast<unsigned long long>(r.hello_tx), r.dead_nodes,
-      r.first_death_s);
+      r.first_death_s, r.partition_time_s);
 }
 
 void print_report(const scenario::ScenarioConfig& cfg,
@@ -108,6 +110,10 @@ void print_report(const scenario::ScenarioConfig& cfg,
   if (r.dead_nodes > 0) {
     std::printf("  battery  : %zu nodes dead, first death at %.1f s\n",
                 r.dead_nodes, r.first_death_s);
+  }
+  if (r.partition_time_s > 0.0) {
+    std::printf("  lifetime : network partitioned at %.1f s\n",
+                r.partition_time_s);
   }
   std::printf("\n");
 }
@@ -174,8 +180,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Generic overrides, applied on top of the legacy flags above. The scheme
-  // and seed stay flag-owned because the run loops below iterate them.
+  // Generic overrides, applied on top of the legacy flags above. The seed
+  // stays flag-owned because the run loops below iterate it; the scheme may
+  // come from either --scheme or --set power.scheme, but not both.
+  bool scheme_from_set = false;
   for (const std::string& kv : flags.get_all("set")) {
     const auto eq = kv.find('=');
     if (eq == std::string::npos || eq == 0) {
@@ -183,10 +191,18 @@ int main(int argc, char** argv) {
       return 2;
     }
     const std::string key = kv.substr(0, eq);
-    if (key == "scheme" || key == "seed") {
-      std::fprintf(stderr, "--set %s: use --%s instead\n", key.c_str(),
-                   key.c_str());
+    if (key == "seed") {
+      std::fprintf(stderr, "--set seed: use --seed instead\n");
       return 2;
+    }
+    if (key == "scheme" || key == "power.scheme") {
+      if (flags.has("scheme")) {
+        std::fprintf(stderr,
+                     "--set %s conflicts with --scheme; pass one of them\n",
+                     key.c_str());
+        return 2;
+      }
+      scheme_from_set = true;
     }
     try {
       scenario::set_param(cfg, key, kv.substr(eq + 1));
@@ -195,6 +211,7 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (scheme_from_set) schemes = {cfg.scheme};
 
   const bool csv = flags.get_bool("csv", false);
   const std::string trace_path = flags.get_string("trace", "");
