@@ -135,7 +135,7 @@ void BM_EventBimodalHorizon(benchmark::State& state) {
                    static_cast<sim::Time>(rng.uniform_u64(25 * sim::kSecond)),
                [] {});
       }
-      if (q.size() > 128) now = q.pop().first;
+      if (q.size() > 128) now = q.pop();
     }
     while (!q.empty()) q.pop();
   }

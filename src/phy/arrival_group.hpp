@@ -1,0 +1,118 @@
+// Batched PHY arrival delivery (DESIGN.md §17).
+//
+// A broadcast in a dense storm used to schedule two closures per sensed
+// receiver (arrival start + arrival end), so one frame became 2·N queue
+// entries each paying routing, slot and dispatch costs. Receivers whose
+// integer propagation delay (ns) coincides share the exact same start and
+// end timestamps, so their deliveries are batched into one arrival *group*:
+// a pooled record vector consumed by a tight loop at fire time. Groups are
+// keyed by propagation delay during a single transmit() fan-out via an
+// epoch-stamped open-group table (one entry per possible delay in ns, no
+// clearing between transmissions), and records are appended in the spatial
+// query's deterministic grid order so per-receiver delivery order — and with
+// it goldens and TelemetryBus streams — is unchanged.
+//
+// A group only forms once a second receiver lands on the same delay: a lone
+// receiver stays a *pending single* (parked in per-transmit scratch, indexed
+// from its open-group slot) and is scheduled as the classic pair of direct
+// per-receiver closures after the pass. At continuous-uniform placement most
+// delay slots hold exactly one receiver, and the direct closure keeps all
+// delivery state inline in the event slot — the group indirection is paid
+// only where it collapses events. Reordering between delay slots is
+// unobservable: equal timestamps imply equal delay, i.e. the same slot.
+//
+// Capacity: a group holds at most kArrivalGroupCapacity records; the next
+// same-delay receiver chains a fresh group (scheduled right behind, so
+// (time, seq) order still matches per-receiver scheduling). The SmallVec
+// therefore never spills to the heap, which CI proves via the size
+// histogram's forbidden buckets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "phy/frame.hpp"
+#include "sim/time.hpp"
+#include "util/small_vec.hpp"
+
+namespace rcast::phy {
+
+class Phy;
+
+/// One receiver's slice of a batched arrival: everything arrival_start /
+/// arrival_end need beyond the frame itself. Trivially copyable (SmallVec
+/// element contract).
+struct ArrivalRec {
+  Phy* phy = nullptr;
+  std::uint64_t arrival_id = 0;
+  double distance_m = 0.0;
+  bool in_rx_range = false;
+};
+
+/// Records per group; chosen so a group stays ~256 B and the record vector
+/// can never heap-spill (push past capacity chains a new group instead).
+inline constexpr std::size_t kArrivalGroupCapacity = 7;
+
+/// All same-(frame, start, end) arrivals of one transmission. The start and
+/// end events both point at one group; the end fire releases it.
+struct ArrivalGroup {
+  FramePtr frame;
+  sim::Time end_time = 0;  // arrival end at the receivers (start + duration)
+  util::SmallVec<ArrivalRec, kArrivalGroupCapacity> recs;
+};
+
+/// Free-list arena of permanently constructed groups. Chunks never move or
+/// shrink, so raw group pointers stay valid for the closure lifetime;
+/// release() only resets the per-use fields (frame reference, records), and
+/// chunk destruction releases any frames still held by never-fired groups
+/// (a run stopped mid-flight) while the simulator's pools are still alive.
+class ArrivalGroupPool {
+ public:
+  ArrivalGroup* acquire() {
+    if (free_.empty()) grow();
+    ArrivalGroup* g = free_.back();
+    free_.pop_back();
+    return g;
+  }
+
+  void release(ArrivalGroup* g) {
+    g->frame.reset();
+    g->recs.clear();
+    free_.push_back(g);
+  }
+
+ private:
+  static constexpr std::size_t kChunk = 64;
+
+  void grow() {
+    chunks_.push_back(std::make_unique<ArrivalGroup[]>(kChunk));
+    ArrivalGroup* base = chunks_.back().get();
+    for (std::size_t i = kChunk; i > 0; --i) free_.push_back(base + (i - 1));
+  }
+
+  std::vector<std::unique_ptr<ArrivalGroup[]>> chunks_;
+  std::vector<ArrivalGroup*> free_;
+};
+
+/// A receiver parked while its delay slot is still a singleton, in the
+/// per-transmit scratch vector. `rec.phy == nullptr` marks it consumed
+/// (promoted into a group when a second same-delay receiver arrived).
+struct PendingSingle {
+  ArrivalRec rec;
+  sim::Time prop = 0;
+};
+
+/// Open-group table entry, indexed by propagation delay (ns). The epoch
+/// stamp scopes entries to one grouping pass — bumping the pass epoch
+/// invalidates the whole table in O(1) instead of clearing ~1800 entries
+/// per transmission. While `group` is null the slot holds one pending
+/// receiver, referenced by index (`single`) into the pass's scratch vector
+/// (an index, not a pointer — the scratch may grow mid-pass).
+struct OpenGroup {
+  std::uint64_t epoch = 0;
+  ArrivalGroup* group = nullptr;
+  std::uint32_t single = 0;
+};
+
+}  // namespace rcast::phy

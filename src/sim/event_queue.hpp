@@ -44,6 +44,17 @@
 // transfer, top sweep) once its generation no longer matches. A global
 // compaction sweeps all tiers when dead entries outnumber live ones 4:1.
 //
+// In-place dispatch: a handler is constructed directly in its slot (push
+// sites pass the raw lambda; Handler&& pushes pay one move, counted as
+// handler_moves) and invoked directly from slot storage at fire time —
+// never moved out first. That is safe against reentrancy because slots
+// live in fixed-size chunks that never relocate: a mid-fire push may add
+// a chunk but cannot move the storage the executing closure lives in. The
+// firing slot's generation is bumped *before* the call (stale EventIds to
+// it are inert, exactly as with the old move-out path) but its free-list
+// insertion and handler destruction are deferred to after the call, so a
+// mid-fire push can never recycle the buffer it is executing from.
+//
 // Zero steady-state allocation: buckets are intrusive singly-linked lists
 // through one recycled node pool (a bucket is {head, tail, count}), so
 // bucket transfer, rung subdivision and compaction are pure index relinks.
@@ -60,6 +71,8 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -120,8 +133,11 @@ class EventQueue {
 
   /// Schedules `h` at absolute time `t` (must not be in the past relative to
   /// the last popped event). Takes the handler by rvalue reference so the
-  /// caller's object (e.g. Simulator::at's by-value parameter) is moved into
-  /// the slot directly, with no intermediate parameter move.
+  /// caller's object (e.g. a sharded outbox entry) is moved into the slot
+  /// directly, with no intermediate parameter move. Each such move is
+  /// counted in handler_moves(); hot sites should prefer the emplace
+  /// overloads below, which construct the callable in the slot and never
+  /// move it at all.
   EventId push(Time t, Handler&& h) { return push_impl(t, h, nullptr); }
 
   /// Hinted variant for hot call sites pushing runs of nearby timestamps;
@@ -130,13 +146,28 @@ class EventQueue {
     return push_impl(t, h, &hint);
   }
 
+  /// Emplace push: constructs the callable directly in its slot. The only
+  /// handler cost on this path is the one unavoidable construction; the
+  /// handler is then invoked in place at fire time and destroyed in place.
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, Handler>>>
+  EventId push(Time t, F&& f) {
+    return emplace_impl(t, std::forward<F>(f), nullptr);
+  }
+
+  template <class F, class = std::enable_if_t<
+                         !std::is_same_v<std::decay_t<F>, Handler>>>
+  EventId push(Time t, F&& f, ScheduleHint& hint) {
+    return emplace_impl(t, std::forward<F>(f), &hint);
+  }
+
   /// Cancels a pending event; no-op if it already fired or was cancelled.
   /// Returns true if an event was actually cancelled.
   bool cancel(EventId id) {
     if (!id.valid()) return false;
     const std::uint32_t slot = id.slot();
-    if (slot >= slots_.size()) return false;
-    Slot& s = slots_[slot];
+    if (slot >= slot_limit_) return false;
+    Slot& s = slot_ref(slot);
     if (!s.live || s.gen != id.gen()) return false;
     release_slot(slot);
     --live_;
@@ -156,19 +187,23 @@ class EventQueue {
     return bottom_[bottom_pos_].time;
   }
 
-  /// Pops and returns the earliest event. Requires !empty().
-  std::pair<Time, Handler> pop() {
+  /// Pops the earliest event, calling `fire(handler)` with the handler still
+  /// in its slot (the single fire routine shared with pop_batch). Requires
+  /// !empty(). Returns the event's time.
+  template <typename Fire>
+  Time pop(Fire&& fire) {
     prepare_front();
     RCAST_REQUIRE(bottom_pos_ < bottom_.size());
     const Entry e = bottom_[bottom_pos_++];
     --stored_;
-    Slot& s = slots_[e.slot];
-    RCAST_DCHECK(s.live && s.gen == e.gen);
-    Handler h = std::move(s.handler);
-    release_slot(e.slot);
-    --live_;
     last_popped_ = e.time;
-    return {e.time, std::move(h)};
+    fire_slot(e, fire);
+    return e.time;
+  }
+
+  /// Convenience overload: pops the earliest event and invokes its handler.
+  Time pop() {
+    return pop([](Handler& h) { h(); });
   }
 
   /// Drains every event at the earliest pending timestamp in scheduling
@@ -190,13 +225,9 @@ class EventQueue {
     while (bottom_pos_ < bottom_.size() && bottom_[bottom_pos_].time == t) {
       const Entry e = bottom_[bottom_pos_++];
       --stored_;
-      Slot& s = slots_[e.slot];
-      if (!s.live || s.gen != e.gen) continue;  // cancelled, possibly mid-batch
-      Handler h = std::move(s.handler);
-      release_slot(e.slot);
-      --live_;
+      if (dead(e)) continue;  // cancelled, possibly mid-batch
+      fire_slot(e, fire);
       ++fired;
-      fire(h);
     }
     ++batches_;
     batch_hist_[std::min<std::size_t>(
@@ -224,6 +255,15 @@ class EventQueue {
   const std::array<std::uint64_t, 8>& batch_size_hist() const {
     return batch_hist_;
   }
+
+  /// Handlers invoked directly from slot storage (every fire since the
+  /// in-place dispatch rework; the move-out path no longer exists).
+  std::uint64_t inplace_fires() const { return inplace_fires_; }
+
+  /// Handler moves performed by the queue: one per Handler&& push (the
+  /// emplace pushes construct in the slot and never move). Zero here means
+  /// the schedule->fire path ran move-free end to end.
+  std::uint64_t handler_moves() const { return handler_moves_; }
 
   /// Entries physically held across all tiers, live plus not-yet-reclaimed
   /// cancelled ones. Tests use it to pin the compaction bound; it is the
@@ -298,19 +338,63 @@ class EventQueue {
   /// is never the binding constraint in practice.
   static constexpr std::size_t kMaxRungs = 16;
 
+  /// Slots live in fixed-size chunks that never relocate, so a handler can
+  /// execute out of its slot while mid-fire pushes grow the map. The chunk
+  /// is kept small (64 slots) because every freshly-allocated chunk
+  /// value-initializes all of its slots up front: tiny queues (a fresh
+  /// Simulator per scenario repetition) must not pay for hundreds of slots
+  /// they never use, and the chunk directory stays L1-resident at any
+  /// realistic depth regardless.
+  static constexpr int kSlotChunkLog2 = 6;
+  static constexpr std::uint32_t kSlotChunkSize = 1u << kSlotChunkLog2;
+
   static bool before(const Entry& a, const Entry& b) {
     if (a.time != b.time) return a.time < b.time;
     return a.seq < b.seq;
   }
 
+  Slot& slot_ref(std::uint32_t i) {
+    return slot_chunks_[i >> kSlotChunkLog2][i & (kSlotChunkSize - 1)];
+  }
+  const Slot& slot_ref(std::uint32_t i) const {
+    return slot_chunks_[i >> kSlotChunkLog2][i & (kSlotChunkSize - 1)];
+  }
+
   bool dead(const Entry& e) const {
-    const Slot& s = slots_[e.slot];
+    const Slot& s = slot_ref(e.slot);
     return !s.live || s.gen != e.gen;
   }
 
   bool dead_node(const Node& n) const {
-    const Slot& s = slots_[n.slot];
+    const Slot& s = slot_ref(n.slot);
     return !s.live || s.gen != n.gen;
+  }
+
+  /// Invokes a live entry's handler in place. The slot is invalidated
+  /// (generation bump) before the call so a stale EventId for the firing
+  /// event is inert mid-fire, but it joins the free list only afterwards —
+  /// a mid-fire push must never reuse the buffer the closure is executing
+  /// from. The guard destroys the handler and frees the slot even if the
+  /// fire callback throws.
+  template <typename Fire>
+  void fire_slot(const Entry& e, Fire& fire) {
+    Slot& s = slot_ref(e.slot);
+    RCAST_DCHECK(s.live && s.gen == e.gen);
+    s.live = false;
+    ++s.gen;
+    --live_;
+    ++inplace_fires_;
+    struct Guard {
+      EventQueue* q;
+      Slot* s;  // chunked storage: stable across mid-fire pushes
+      std::uint32_t slot;
+      ~Guard() {
+        s->handler = Handler();
+        s->next_free = q->free_head_;
+        q->free_head_ = slot;
+      }
+    } guard{this, &s, e.slot};
+    fire(s.handler);
   }
 
   std::uint32_t acquire_node(const Entry& e) {
@@ -349,15 +433,17 @@ class EventQueue {
   std::uint32_t acquire_slot() {
     if (free_head_ != kNilSlot) {
       const std::uint32_t slot = free_head_;
-      free_head_ = slots_[slot].next_free;
+      free_head_ = slot_ref(slot).next_free;
       return slot;
     }
-    slots_.emplace_back();
-    return static_cast<std::uint32_t>(slots_.size() - 1);
+    if ((slot_limit_ & (kSlotChunkSize - 1)) == 0) {
+      slot_chunks_.push_back(std::make_unique<Slot[]>(kSlotChunkSize));
+    }
+    return slot_limit_++;
   }
 
   void release_slot(std::uint32_t slot) {
-    Slot& s = slots_[slot];
+    Slot& s = slot_ref(slot);
     s.handler = Handler();
     s.live = false;
     ++s.gen;  // invalidates outstanding EventIds and tier entries
@@ -369,8 +455,25 @@ class EventQueue {
     RCAST_REQUIRE_MSG(t >= last_popped_, "scheduling into the past");
     if (h.heap_allocated()) ++heap_fallbacks_;
     const std::uint32_t slot = acquire_slot();
-    Slot& s = slots_[slot];
+    Slot& s = slot_ref(slot);
     s.handler = std::move(h);
+    ++handler_moves_;
+    s.live = true;
+    route(Entry{t, ++next_seq_, slot, s.gen}, hint);
+    ++stored_;
+    ++live_;
+    if (live_ > depth_high_water_) depth_high_water_ = live_;
+    maybe_compact();
+    return EventId(slot, s.gen);
+  }
+
+  template <class F>
+  EventId emplace_impl(Time t, F&& f, ScheduleHint* hint) {
+    RCAST_REQUIRE_MSG(t >= last_popped_, "scheduling into the past");
+    const std::uint32_t slot = acquire_slot();
+    Slot& s = slot_ref(slot);
+    s.handler.emplace(std::forward<F>(f));
+    if (s.handler.heap_allocated()) ++heap_fallbacks_;
     s.live = true;
     route(Entry{t, ++next_seq_, slot, s.gen}, hint);
     ++stored_;
@@ -725,7 +828,10 @@ class EventQueue {
   std::uint32_t node_free_ = kNilNode;
 
   // --- slot map ---
-  std::vector<Slot> slots_;
+  // Chunked storage: slots never relocate, so a handler can execute from its
+  // slot while a mid-fire push grows the map (new chunk, old ones untouched).
+  std::vector<std::unique_ptr<Slot[]>> slot_chunks_;
+  std::uint32_t slot_limit_ = 0;  // slots ever allocated (chunk high-water)
   std::uint32_t free_head_ = kNilSlot;
 
   // --- bookkeeping ---
@@ -740,6 +846,8 @@ class EventQueue {
   std::size_t depth_high_water_ = 0;
   std::uint64_t rung_spawns_ = 0;
   std::uint64_t batches_ = 0;
+  std::uint64_t inplace_fires_ = 0;
+  std::uint64_t handler_moves_ = 0;
   std::array<std::uint64_t, 8> batch_hist_{};
 };
 

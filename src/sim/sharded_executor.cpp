@@ -61,6 +61,8 @@ void ShardedExecutor::fill_perf(PerfCounters& p) const {
         std::max(p.queue_depth_high_water, s.queue.depth_high_water());
     p.queue_rung_spawns += s.queue.rung_spawns();
     p.dispatch_batches += s.queue.dispatch_batches();
+    p.handler_moves += s.queue.handler_moves();
+    p.inplace_fires += s.queue.inplace_fires();
     const auto hist = s.queue.batch_size_hist();
     for (std::size_t i = 0; i < hist.size(); ++i) p.batch_size_hist[i] += hist[i];
   }

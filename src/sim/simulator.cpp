@@ -74,6 +74,8 @@ PerfCounters Simulator::perf_counters() const {
     p.queue_rung_spawns = queue_.rung_spawns();
     p.dispatch_batches = queue_.dispatch_batches();
     p.batch_size_hist = queue_.batch_size_hist();
+    p.handler_moves = queue_.handler_moves();
+    p.inplace_fires = queue_.inplace_fires();
   }
   const util::PoolStats pools = pools_.total_stats();
   p.pool_hits = pools.hits;
@@ -135,11 +137,12 @@ void Simulator::run_all() {
 bool Simulator::step() {
   RCAST_REQUIRE_MSG(exec_ == nullptr, "step requires single-queue mode");
   if (queue_.empty()) return false;
-  auto [t, h] = queue_.pop();
-  now_ = t;
+  // now_ must be current before the handler runs; peek the front timestamp
+  // first, then fire in place (same dispatch routine as the batched loop).
+  now_ = queue_.next_time();
   ++executed_;
   if (deadline_armed_) check_wall_deadline();
-  h();
+  queue_.pop([](Handler& h) { h(); });
   return true;
 }
 

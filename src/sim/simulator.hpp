@@ -62,47 +62,60 @@ class Simulator {
     return now_;
   }
 
-  /// Schedules at an absolute simulation time (>= now).
-  EventId at(Time t, Handler h) {
+  /// Schedules at an absolute simulation time (>= now). Raw callables are
+  /// forwarded to the queue's emplace path (constructed directly in the
+  /// slot, zero handler moves); a pre-built Handler is moved in once. The
+  /// sharded branch always builds a Handler — cross-shard events travel
+  /// through an outbox, so a move is inherent there.
+  template <class H, class = std::enable_if_t<
+                         std::is_invocable_r_v<void, std::decay_t<H>&>>>
+  EventId at(Time t, H&& h) {
     if (exec_ != nullptr && g_shard_context.owner == this) {
-      return shard_push(g_shard_context.shard, t, std::move(h));
+      return shard_push(g_shard_context.shard, t, Handler(std::forward<H>(h)));
     }
     RCAST_REQUIRE(t >= now_);
-    return queue_.push(t, std::move(h));
+    return queue_.push(t, std::forward<H>(h));
   }
 
   /// Hinted variant for hot sites scheduling runs of nearby timestamps
   /// (e.g. the channel fan-out, a MAC's per-interval beacon): the hint
   /// memoizes the queue-tier routing across calls. Semantically identical
   /// to the unhinted overload.
-  EventId at(Time t, Handler h, ScheduleHint& hint) {
+  template <class H, class = std::enable_if_t<
+                         std::is_invocable_r_v<void, std::decay_t<H>&>>>
+  EventId at(Time t, H&& h, ScheduleHint& hint) {
     if (exec_ != nullptr && g_shard_context.owner == this) {
-      return shard_push(g_shard_context.shard, t, std::move(h), hint);
+      return shard_push(g_shard_context.shard, t, Handler(std::forward<H>(h)),
+                        hint);
     }
     RCAST_REQUIRE(t >= now_);
-    return queue_.push(t, std::move(h), hint);
+    return queue_.push(t, std::forward<H>(h), hint);
   }
 
   /// Schedules `delay` nanoseconds from now (delay >= 0).
-  EventId after(Time delay, Handler h) {
+  template <class H, class = std::enable_if_t<
+                         std::is_invocable_r_v<void, std::decay_t<H>&>>>
+  EventId after(Time delay, H&& h) {
     RCAST_REQUIRE(delay >= 0);
     if (exec_ != nullptr && g_shard_context.owner == this) {
       return shard_push(g_shard_context.shard,
                         shard_now(g_shard_context.shard) + delay,
-                        std::move(h));
+                        Handler(std::forward<H>(h)));
     }
-    return queue_.push(now_ + delay, std::move(h));
+    return queue_.push(now_ + delay, std::forward<H>(h));
   }
 
   /// Hinted variant of after(); see at().
-  EventId after(Time delay, Handler h, ScheduleHint& hint) {
+  template <class H, class = std::enable_if_t<
+                         std::is_invocable_r_v<void, std::decay_t<H>&>>>
+  EventId after(Time delay, H&& h, ScheduleHint& hint) {
     RCAST_REQUIRE(delay >= 0);
     if (exec_ != nullptr && g_shard_context.owner == this) {
       return shard_push(g_shard_context.shard,
                         shard_now(g_shard_context.shard) + delay,
-                        std::move(h), hint);
+                        Handler(std::forward<H>(h)), hint);
     }
-    return queue_.push(now_ + delay, std::move(h), hint);
+    return queue_.push(now_ + delay, std::forward<H>(h), hint);
   }
 
   bool cancel(EventId id) {

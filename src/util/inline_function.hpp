@@ -25,6 +25,17 @@ class InlineFunction {
             class = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
                                      std::is_invocable_r_v<void, D&>>>
   InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor): by design
+    emplace(std::forward<F>(f));
+  }
+
+  /// Constructs a callable directly in this object's storage, destroying any
+  /// current one first. The event queue uses this to build handlers in their
+  /// slot with zero intermediate moves (push sites pass the raw lambda).
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                     std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& f) {
+    reset();
     if constexpr (fits_inline<D>()) {
       ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
       invoke_ = [](void* p) { (*static_cast<D*>(p))(); };

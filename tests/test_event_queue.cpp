@@ -23,7 +23,7 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.push(30, [&] { order.push_back(3); });
   q.push(10, [&] { order.push_back(1); });
   q.push(20, [&] { order.push_back(2); });
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -33,15 +33,14 @@ TEST(EventQueue, TiesFireInSchedulingOrder) {
   for (int i = 0; i < 10; ++i) {
     q.push(100, [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
 TEST(EventQueue, PopReturnsTimestamp) {
   EventQueue q;
   q.push(77, [] {});
-  auto [t, h] = q.pop();
-  EXPECT_EQ(t, 77);
+  EXPECT_EQ(q.pop(), 77);
 }
 
 TEST(EventQueue, CancelPreventsExecution) {
@@ -63,7 +62,7 @@ TEST(EventQueue, CancelTwiceReturnsFalse) {
 TEST(EventQueue, CancelAfterFireReturnsFalse) {
   EventQueue q;
   const EventId id = q.push(10, [] {});
-  q.pop().second();
+  q.pop();
   EXPECT_FALSE(q.cancel(id));
 }
 
@@ -81,7 +80,7 @@ TEST(EventQueue, CancelMiddleKeepsOthers) {
   const EventId mid = q.push(2, [&] { order.push_back(2); });
   q.push(3, [&] { order.push_back(3); });
   q.cancel(mid);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop();
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 
@@ -96,7 +95,7 @@ TEST(EventQueue, NextTimeSkipsCancelled) {
 TEST(EventQueue, RejectsSchedulingIntoPast) {
   EventQueue q;
   q.push(100, [] {});
-  q.pop().second();
+  q.pop();
   EXPECT_THROW(q.push(50, [] {}), ContractViolation);
   EXPECT_NO_THROW(q.push(100, [] {}));  // same time is fine
 }
@@ -118,7 +117,7 @@ TEST(EventQueue, ManyEventsStressOrder) {
     const Time t = (i * 7919) % 1000;
     q.push(t, [&times, t] { times.push_back(t); });
   }
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop();
   EXPECT_TRUE(std::is_sorted(times.begin(), times.end()));
   EXPECT_EQ(times.size(), 1000u);
 }
@@ -147,7 +146,7 @@ TEST(EventQueue, ChurnCancelHalfInterleaved) {
   }
   EXPECT_EQ(q.size(), kN / 2u);
   EXPECT_EQ(q.scheduled_count(), static_cast<std::uint64_t>(kN));
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop();
   EXPECT_EQ(q.size(), 0u);
   EXPECT_EQ(fired.size(), kN / 2u);
   EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
@@ -204,9 +203,7 @@ TEST(EventQueue, RandomizedMatchesReferenceModel) {
             [](const ModelEvent& a, const ModelEvent& b) {
               return a.time != b.time ? a.time < b.time : a.seq < b.seq;
             });
-        auto [t, h] = q.pop();
-        EXPECT_EQ(t, it->time);
-        h();
+        EXPECT_EQ(q.pop(), it->time);  // fires the handler in place
         popped_model.push_back(it->tag);
         now = it->time;
         model.erase(it);
@@ -232,7 +229,7 @@ TEST(EventQueue, HeapFallbackOnlyForOversizedCaptures) {
   static_assert(!EventQueue::Handler::fits_inline<decltype(large)>());
   q.push(2, large);
   EXPECT_EQ(q.handler_heap_fallbacks(), 1u);
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop();
   EXPECT_EQ(x, 1);
 }
 
@@ -241,12 +238,12 @@ TEST(EventQueue, HeapFallbackOnlyForOversizedCaptures) {
 TEST(EventQueue, StaleHandleCannotCancelRecycledSlot) {
   EventQueue q;
   const EventId old_id = q.push(1, [] {});
-  q.pop().second();  // slot released, generation bumped
+  q.pop();  // slot released, generation bumped
   bool fired = false;
   q.push(2, [&fired] { fired = true; });  // recycles the slot
   EXPECT_FALSE(q.cancel(old_id));
   EXPECT_EQ(q.size(), 1u);
-  q.pop().second();
+  q.pop();
   EXPECT_TRUE(fired);
 }
 
@@ -255,7 +252,7 @@ TEST(EventQueue, ScheduledCountMonotone) {
   q.push(1, [] {});
   q.push(2, [] {});
   EXPECT_EQ(q.scheduled_count(), 2u);
-  q.pop().second();
+  q.pop();
   EXPECT_EQ(q.scheduled_count(), 2u);
 }
 
@@ -341,7 +338,7 @@ TEST(EventQueue, DepthHighWaterTracksPeak) {
   q.push(2, [] {});
   q.push(3, [] {});
   q.cancel(a);
-  q.pop().second();
+  q.pop();
   q.push(4, [] {});
   EXPECT_EQ(q.depth_high_water(), 3u);
 }
@@ -360,9 +357,96 @@ TEST(EventQueue, ScheduleHintIsBehaviorNeutral) {
     q.push(t, [&fired, t] { fired.push_back(t); }, hint);
     if (i % 2 == 0) now = q.pop_batch([](EventQueue::Handler& h) { h(); });
   }
-  while (!q.empty()) q.pop().second();
+  while (!q.empty()) q.pop();
   EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
   EXPECT_EQ(fired.size(), 20'000u);
+}
+
+// --- in-place dispatch reentrancy (DESIGN.md §17) ---------------------------
+
+// A handler cancelling *itself* via its own (now stale) EventId mid-fire is
+// inert: the generation is bumped before dispatch, so the id is spent by the
+// time the handler runs — same semantics the move-out dispatch had.
+TEST(EventQueue, HandlerSelfCancelViaStaleIdIsInert) {
+  EventQueue q;
+  EventId self;
+  int fires = 0;
+  self = q.push(10, [&] {
+    ++fires;
+    EXPECT_FALSE(q.cancel(self));
+  });
+  q.pop();
+  EXPECT_EQ(fires, 1);
+  EXPECT_FALSE(q.cancel(self));
+}
+
+// Same through the batched path, combined with a mid-fire push. Reclamation
+// of the firing slot is deferred until after the fire, so the push from
+// inside the handler cannot land in (and the self-cancel cannot corrupt)
+// the buffer the closure is executing from.
+TEST(EventQueue, PopBatchSelfCancelWithMidFirePush) {
+  EventQueue q;
+  EventId self;
+  bool pushed_fired = false;
+  self = q.push(10, [&] {
+    q.push(20, [&] { pushed_fired = true; });
+    EXPECT_FALSE(q.cancel(self));
+  });
+  q.pop_batch([](EventQueue::Handler& h) { h(); });
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_batch([](EventQueue::Handler& h) { h(); });
+  EXPECT_TRUE(pushed_fired);
+}
+
+// Slot-map growth mid-fire: the executing handler lives in slot storage, so
+// pushing enough events from inside it to force new slot chunks must leave
+// the running closure's captures intact (chunks never relocate). The capture
+// is read after the growth to catch any use-after-move/realloc.
+TEST(EventQueue, SlotMapGrowthMidFireKeepsExecutingHandlerValid) {
+  EventQueue q;
+  constexpr int kSpawn = 2048;  // several 512-slot chunks
+  std::uint64_t canary = 0x5ca1ab1e;
+  std::uint64_t seen = 0;
+  int spawned_fired = 0;
+  q.push(10, [&q, &spawned_fired, &seen, canary] {
+    for (int i = 0; i < kSpawn; ++i) {
+      q.push(20, [&spawned_fired] { ++spawned_fired; });
+    }
+    seen = canary;  // read the capture *after* the slot map grew
+  });
+  q.pop_batch([](EventQueue::Handler& h) { h(); });
+  EXPECT_EQ(seen, 0x5ca1ab1eu);
+  EXPECT_EQ(q.size(), static_cast<std::size_t>(kSpawn));
+  q.pop_batch([](EventQueue::Handler& h) { h(); });
+  EXPECT_EQ(spawned_fired, kSpawn);
+}
+
+// Mid-fire growth through pop() as well (shares fire_slot with pop_batch).
+TEST(EventQueue, SlotMapGrowthMidSinglePop) {
+  EventQueue q;
+  int fired = 0;
+  q.push(10, [&] {
+    for (int i = 0; i < 1024; ++i) q.push(11, [&fired] { ++fired; });
+  });
+  q.pop();
+  while (!q.empty()) q.pop();
+  EXPECT_EQ(fired, 1024);
+}
+
+// Dispatch accounting: every fire is in-place, and raw-callable pushes take
+// the emplace path (zero handler moves); only pre-built Handler pushes move.
+TEST(EventQueue, InplaceFireAndMoveCounters) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.push(2, [] {});
+  EXPECT_EQ(q.handler_moves(), 0u);  // emplace path
+  EventQueue::Handler prebuilt([] {});
+  q.push(3, std::move(prebuilt));
+  EXPECT_EQ(q.handler_moves(), 1u);  // Handler&& path
+  q.pop();
+  q.pop_batch([](EventQueue::Handler& h) { h(); });
+  q.pop();
+  EXPECT_EQ(q.inplace_fires(), 3u);
 }
 
 }  // namespace

@@ -55,10 +55,9 @@ class DiffHarness {
     ASSERT_EQ(q_.empty(), ref_.empty());
     if (q_.empty()) return;
     ASSERT_EQ(q_.next_time(), ref_.next_time());
-    auto [tq, hq] = q_.pop();
+    const Time tq = q_.pop();  // fires the handler in place
     auto [tr, hr] = ref_.pop();
     ASSERT_EQ(tq, tr);
-    hq();
     hr();
     ASSERT_EQ(fired_q_.back(), fired_ref_.back());
     now_ = tq;
@@ -239,7 +238,7 @@ TEST(EventQueueDifferential, SpentHandlesStayInertAtScale) {
       ASSERT_EQ(q.cancel(ids[i]), ref.cancel(ref_ids[i]));
     }
     while (!q.empty()) {
-      ASSERT_EQ(q.pop().first, ref.pop().first);
+      ASSERT_EQ(q.pop(), ref.pop().first);
     }
     ASSERT_TRUE(ref.empty());
     for (std::size_t i = 0; i < ids.size(); ++i) {
